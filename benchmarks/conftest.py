@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale and prints the same rows/series the paper reports; pytest-benchmark
+times the regeneration.  The experiment context is session-scoped so that
+figures sharing golden runs and injection campaigns (e.g. the accuracy
+figures 14/15/16) do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, ExperimentScale
+
+#: Rendered reports are also written here so they survive pytest's stdout
+#: capture (one text file per table/figure).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale used by the benchmark harness: two MiBench and two SPEC kernels at a
+#: reduced problem size, paper-sized fault lists for the injection-free
+#: speedup figures and small lists for the accuracy studies.
+BENCH_SCALE = ExperimentScale(
+    mibench=("sha", "qsort"),
+    spec=("gcc", "bzip2"),
+    workload_scale=2,
+    initial_faults=20_000,
+    scaling_pair=(1_000, 10_000),
+    accuracy_faults=60,
+)
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(BENCH_SCALE)
+
+
+def run_and_print(benchmark, run_callable, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and report it.
+
+    The rendered table/series is printed (visible with ``pytest -s``) and
+    written to ``benchmarks/results/<benchmark name>.txt`` so the regenerated
+    rows are preserved even when pytest captures stdout.
+    """
+    report = benchmark.pedantic(run_callable, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    rendered = report.render()
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = benchmark.name.replace("/", "_")
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    return report

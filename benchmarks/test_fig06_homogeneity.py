@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 fine-grained homogeneity (paper reproduction harness)."""
+
+from repro.experiments import fig06_homogeneity
+
+from conftest import run_and_print
+
+
+def test_fig06(benchmark, context):
+    """Figure 6 fine-grained homogeneity: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig06_homogeneity.run, context=context)

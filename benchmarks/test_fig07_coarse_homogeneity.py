@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 coarse homogeneity (paper reproduction harness)."""
+
+from repro.experiments import fig07_coarse_homogeneity
+
+from conftest import run_and_print
+
+
+def test_fig07(benchmark, context):
+    """Figure 7 coarse homogeneity: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig07_coarse_homogeneity.run, context=context)

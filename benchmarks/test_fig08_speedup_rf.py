@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 register-file speedup (paper reproduction harness)."""
+
+from repro.experiments import fig08_speedup_rf
+
+from conftest import run_and_print
+
+
+def test_fig08(benchmark, context):
+    """Figure 8 register-file speedup: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig08_speedup_rf.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 store-queue speedup (paper reproduction harness)."""
+
+from repro.experiments import fig09_speedup_sq
+
+from conftest import run_and_print
+
+
+def test_fig09(benchmark, context):
+    """Figure 9 store-queue speedup: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig09_speedup_sq.run, context=context)

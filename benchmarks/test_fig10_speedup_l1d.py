@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 10 L1D speedup (paper reproduction harness)."""
+
+from repro.experiments import fig10_speedup_l1d
+
+from conftest import run_and_print
+
+
+def test_fig10(benchmark, context):
+    """Figure 10 L1D speedup: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig10_speedup_l1d.run, context=context)

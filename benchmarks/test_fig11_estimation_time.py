@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 estimation time (paper reproduction harness)."""
+
+from repro.experiments import fig11_estimation_time
+
+from conftest import run_and_print
+
+
+def test_fig11(benchmark, context):
+    """Figure 11 estimation time: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig11_estimation_time.run, context=context)

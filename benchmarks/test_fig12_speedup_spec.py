@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12 SPEC speedup (paper reproduction harness)."""
+
+from repro.experiments import fig12_speedup_spec
+
+from conftest import run_and_print
+
+
+def test_fig12(benchmark, context):
+    """Figure 12 SPEC speedup: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig12_speedup_spec.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 13 fault-list scaling (paper reproduction harness)."""
+
+from repro.experiments import fig13_scaling
+
+from conftest import run_and_print
+
+
+def test_fig13(benchmark, context):
+    """Figure 13 fault-list scaling: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig13_scaling.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 14 post-ACE accuracy (paper reproduction harness)."""
+
+from repro.experiments import fig14_accuracy_post_ace
+
+from conftest import run_and_print
+
+
+def test_fig14(benchmark, context):
+    """Figure 14 post-ACE accuracy: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig14_accuracy_post_ace.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 15 final accuracy (paper reproduction harness)."""
+
+from repro.experiments import fig15_accuracy_final
+
+from conftest import run_and_print
+
+
+def test_fig15(benchmark, context):
+    """Figure 15 final accuracy: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig15_accuracy_final.run, context=context)

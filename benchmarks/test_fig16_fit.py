@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 16 FIT rates (paper reproduction harness)."""
+
+from repro.experiments import fig16_fit
+
+from conftest import run_and_print
+
+
+def test_fig16(benchmark, context):
+    """Figure 16 FIT rates: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig16_fit.run, context=context)

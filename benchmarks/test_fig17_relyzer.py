@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 17 Relyzer comparison (paper reproduction harness)."""
+
+from repro.experiments import fig17_relyzer
+
+from conftest import run_and_print
+
+
+def test_fig17(benchmark, context):
+    """Figure 17 Relyzer comparison: regenerate and print the paper's rows."""
+    run_and_print(benchmark, fig17_relyzer.run, context=context)

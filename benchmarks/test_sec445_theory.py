@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 4.4.5 estimator theory (paper reproduction harness)."""
+
+from repro.experiments import sec445_theory
+
+from conftest import run_and_print
+
+
+def test_sec445(benchmark, context):
+    """Section 4.4.5 estimator theory: regenerate and print the paper's rows."""
+    run_and_print(benchmark, sec445_theory.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 baseline configuration (paper reproduction harness)."""
+
+from repro.experiments import table1_config
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark):
+    """Table 1 baseline configuration: regenerate and print the paper's rows."""
+    run_and_print(benchmark, table1_config.run)

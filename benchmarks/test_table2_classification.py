@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 fault-effect classification (paper reproduction harness)."""
+
+from repro.experiments import table2_classification
+
+from conftest import run_and_print
+
+
+def test_table2(benchmark, context):
+    """Table 2 fault-effect classification: regenerate and print the paper's rows."""
+    run_and_print(benchmark, table2_classification.run, context=context)

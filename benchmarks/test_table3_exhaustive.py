@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 exhaustive-list comparison (paper reproduction harness)."""
+
+from repro.experiments import table3_exhaustive
+
+from conftest import run_and_print
+
+
+def test_table3(benchmark, context):
+    """Table 3 exhaustive-list comparison: regenerate and print the paper's rows."""
+    run_and_print(benchmark, table3_exhaustive.run, context=context)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 4 SPEC SimPoint accuracy (paper reproduction harness)."""
+
+from repro.experiments import table4_spec_accuracy
+
+from conftest import run_and_print
+
+
+def test_table4(benchmark, context):
+    """Table 4 SPEC SimPoint accuracy: regenerate and print the paper's rows."""
+    run_and_print(benchmark, table4_spec_accuracy.run, context=context)

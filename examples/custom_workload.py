@@ -1,0 +1,78 @@
+"""Assess a custom workload written in the textual assembly format.
+
+Any program a user writes for the synthetic ISA can be assessed: this
+example assembles a small dot-product kernel from text, profiles its
+vulnerable intervals with the ACE-like analysis, and runs MeRLiN on the L1
+data cache — demonstrating the public API end to end without the bundled
+benchmark suite.
+
+Run with:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from repro.core.ace import ace_like_avf
+from repro.core.intervals import build_interval_set
+from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.faults.golden import capture_golden
+from repro.isa import assemble
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+DOT_PRODUCT = """
+; dot product of two 32-element vectors, accumulated twice through memory
+.data vec_a: words {values_a}
+.data vec_b: words {values_b}
+.data partials: space 256
+    mov rdi, @vec_a
+    mov rsi, @vec_b
+    mov rbx, @partials
+    mov rax, 0
+    mov rcx, 0
+loop:
+    load rdx, [rdi]
+    mul rdx, rdx, [rsi]
+    store rdx, [rbx]
+    add rax, rax, [rbx]
+    add rdi, rdi, 8
+    add rsi, rsi, 8
+    add rbx, rbx, 8
+    add rcx, rcx, 1
+    br.lt rcx, 32, loop
+    out rax
+    halt
+"""
+
+
+def main() -> None:
+    values_a = ", ".join(str((i * 3 + 1) % 17) for i in range(32))
+    values_b = ", ".join(str((i * 5 + 2) % 13) for i in range(32))
+    program = assemble(DOT_PRODUCT.format(values_a=values_a, values_b=values_b),
+                       name="dot_product")
+
+    config = MicroarchConfig().with_l1d(16)
+    golden = capture_golden(program, config)
+    print(f"golden run: {golden.cycles} cycles, "
+          f"{golden.committed_instructions} instructions, output {golden.result.output}")
+
+    # ACE-like profile of the L1D data array.
+    intervals = build_interval_set(golden.tracer, TargetStructure.L1D)
+    geometry = structure_geometry(TargetStructure.L1D, config)
+    print(f"L1D vulnerable intervals: {intervals.num_intervals} "
+          f"(ACE-like AVF upper bound {ace_like_avf(intervals, geometry, golden.cycles):.4f})")
+
+    # MeRLiN campaign on the L1D.
+    campaign = MerlinCampaign(
+        program, config,
+        MerlinConfig(structure=TargetStructure.L1D, initial_faults=1_500, seed=11),
+        golden=golden,
+    )
+    result = campaign.run()
+    print(f"MeRLiN: {result.injections_performed} injections for "
+          f"{result.grouped.initial_faults} faults ({result.total_speedup:.1f}x), "
+          f"AVF {result.avf:.4f}")
+    print("classification:", dict(sorted(result.counts_final.counts.items())))
+
+
+if __name__ == "__main__":
+    main()

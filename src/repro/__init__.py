@@ -1,0 +1,30 @@
+"""Reproduction of MeRLiN (ISCA 2017).
+
+MeRLiN accelerates statistical microarchitecture-level fault injection by
+pruning faults that land in non-vulnerable intervals (the "ACE-like" step)
+and grouping the remaining faults by the (RIP, uPC) of the committed
+micro-operation that reads the faulty entry, injecting only a handful of
+representatives per group.
+
+The package is organised in four layers:
+
+``repro.isa``
+    A synthetic x86-64-flavoured instruction set whose macro-instructions
+    decode into micro-operations, plus a functional ("atomic") executor.
+``repro.uarch``
+    A cycle-level out-of-order core (rename, ROB, issue queue, LSQ,
+    write-back caches, tournament branch predictor) that models the three
+    fault-target structures of the paper: the physical integer register
+    file, the store-queue data field and the L1 data cache data array.
+``repro.workloads``
+    Synthetic MiBench-like and SPEC-CPU2006-like kernels used as workloads.
+``repro.faults`` and ``repro.core``
+    The GeFIN-like fault-injection framework and the MeRLiN methodology
+    itself (ACE-like interval profiling, statistical fault sampling,
+    two-step grouping, campaign management, metrics, and the Relyzer
+    control-equivalence baseline).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,120 @@
+"""Command-line interface for running MeRLiN campaigns on bundled workloads.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli run --workload sha --structure RF --registers 64 --faults 2000
+    python -m repro.cli run --workload qsort --structure SQ --sq-entries 16 --baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.core.metrics import fit_rate, max_inaccuracy
+from repro.faults.campaign import ComprehensiveCampaign
+from repro.faults.classification import FaultEffectClass
+from repro.faults.golden import capture_golden
+from repro.faults.sampling import generate_fault_list
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure, structure_geometry
+from repro.workloads import all_names, build_program, get_workload
+
+
+def _build_config(args: argparse.Namespace) -> MicroarchConfig:
+    config = MicroarchConfig()
+    if args.registers:
+        config = config.with_register_file(args.registers)
+    if args.sq_entries:
+        config = config.with_store_queue(args.sq_entries)
+    if args.l1d_kb:
+        config = config.with_l1d(args.l1d_kb)
+    return config
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in all_names():
+        spec = get_workload(name)
+        print(f"{name:14s} [{spec.suite:7s}] {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    structure = TargetStructure[args.structure]
+    program = build_program(args.workload, scale=args.scale)
+    config = _build_config(args)
+
+    golden = capture_golden(program, config)
+    geometry = structure_geometry(structure, config)
+    fault_list = generate_fault_list(
+        geometry, golden.cycles, sample_size=args.faults, seed=args.seed
+    )
+
+    baseline: Optional[ComprehensiveCampaign] = None
+    if args.baseline:
+        baseline = ComprehensiveCampaign(golden, fault_list)
+
+    campaign = MerlinCampaign(
+        program, config,
+        MerlinConfig(structure=structure, initial_faults=args.faults, seed=args.seed),
+        golden=golden, baseline=baseline,
+    )
+    campaign.use_fault_list(fault_list)
+    result = campaign.run()
+
+    print(f"workload {program.name}: golden {golden.cycles} cycles, "
+          f"{golden.committed_instructions} instructions")
+    print(f"{structure.short_name}: {result.grouped.initial_faults} faults -> "
+          f"{result.injections_performed} injections "
+          f"(ACE-like {result.ace_speedup:.1f}x, total {result.total_speedup:.1f}x)")
+    for effect in FaultEffectClass:
+        print(f"  {effect.value:8s} {result.counts_final.fraction(effect) * 100:6.2f}%")
+    print(f"AVF {result.avf:.4f}, FIT {fit_rate(result.avf, geometry.total_bits):.3f}")
+
+    if baseline is not None:
+        reference = baseline.run()
+        print(f"baseline: {reference.injections_performed} injections, "
+              f"AVF {reference.avf:.4f}")
+        print(f"max per-class difference: "
+              f"{max_inaccuracy(reference.counts, result.counts_final):.2f} percentile points")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the bundled workloads")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run a MeRLiN campaign")
+    run_parser.add_argument("--workload", required=True, choices=all_names())
+    run_parser.add_argument("--structure", default="RF",
+                            choices=[s.name for s in TargetStructure])
+    run_parser.add_argument("--faults", type=int, default=2_000,
+                            help="initial fault-list size (default 2000)")
+    run_parser.add_argument("--scale", type=int, default=None,
+                            help="workload scale (default: the workload's own)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--registers", type=int, default=None,
+                            help="physical integer registers (256/128/64)")
+    run_parser.add_argument("--sq-entries", type=int, default=None,
+                            help="load/store queue entries (64/32/16)")
+    run_parser.add_argument("--l1d-kb", type=int, default=None,
+                            help="L1 data cache size in KB (64/32/16)")
+    run_parser.add_argument("--baseline", action="store_true",
+                            help="also run the comprehensive campaign for comparison")
+    run_parser.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""ACE-like vulnerable-interval profiling (Section 3.1.1).
+
+A vulnerable interval of a structure entry
+
+* starts with a write and ends with a committed read of the same entry, or
+* starts with a committed read and ends with another committed read.
+
+Unlike classic ACE analysis, intermediate committed reads split an interval
+(Figure 3) — this is what allows MeRLiN to attribute every interval to the
+single (RIP, uPC) that reads the entry at its end.  Squashed (wrong-path)
+reads never appear in the trace, so they cannot terminate an interval.
+
+A fault injected at the beginning of cycle ``c`` lies in the interval
+``(previous_access_cycle, read_cycle]``: a flip in the same cycle as the
+preceding write is overwritten by it, while a flip in the same cycle as the
+terminating read is consumed by it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.uarch.structures import StructureGeometry, TargetStructure
+from repro.uarch.trace import AccessEvent, AccessTracer
+
+
+@dataclass(frozen=True)
+class VulnerableInterval:
+    """A single ACE-like vulnerable interval of one entry."""
+
+    structure: TargetStructure
+    entry: int
+    start_cycle: int
+    end_cycle: int
+    rip: int
+    upc: int
+
+    @property
+    def length(self) -> int:
+        """Number of cycles in which a flip is visible to the terminating read."""
+        return self.end_cycle - self.start_cycle
+
+    def contains(self, cycle: int) -> bool:
+        """True when a fault injected at the start of ``cycle`` lands in this interval."""
+        return self.start_cycle < cycle <= self.end_cycle
+
+    @property
+    def reader_key(self) -> Tuple[int, int]:
+        """The (RIP, uPC) grouping key of MeRLiN's first step."""
+        return self.rip, self.upc
+
+
+class IntervalSet:
+    """All vulnerable intervals of one structure, indexed by entry."""
+
+    def __init__(self, structure: TargetStructure,
+                 intervals_by_entry: Dict[int, List[VulnerableInterval]]):
+        self.structure = structure
+        self._by_entry = {
+            entry: sorted(intervals, key=lambda iv: iv.end_cycle)
+            for entry, intervals in intervals_by_entry.items()
+        }
+        self._end_cycles = {
+            entry: [iv.end_cycle for iv in intervals]
+            for entry, intervals in self._by_entry.items()
+        }
+
+    # ------------------------------------------------------------------
+    def intervals_of(self, entry: int) -> List[VulnerableInterval]:
+        return self._by_entry.get(entry, [])
+
+    def all_intervals(self) -> Iterable[VulnerableInterval]:
+        for intervals in self._by_entry.values():
+            yield from intervals
+
+    @property
+    def num_intervals(self) -> int:
+        return sum(len(v) for v in self._by_entry.values())
+
+    @property
+    def entries_with_intervals(self) -> List[int]:
+        return sorted(self._by_entry)
+
+    # ------------------------------------------------------------------
+    def find(self, entry: int, cycle: int) -> Optional[VulnerableInterval]:
+        """Return the vulnerable interval covering a fault at (entry, cycle)."""
+        ends = self._end_cycles.get(entry)
+        if not ends:
+            return None
+        index = bisect.bisect_left(ends, cycle)
+        if index >= len(ends):
+            return None
+        interval = self._by_entry[entry][index]
+        return interval if interval.contains(cycle) else None
+
+    def vulnerable_cycles(self, entry: int) -> int:
+        """Total vulnerable time of an entry (sum of its interval lengths)."""
+        return sum(iv.length for iv in self._by_entry.get(entry, []))
+
+    def total_vulnerable_cycles(self) -> int:
+        return sum(self.vulnerable_cycles(entry) for entry in self._by_entry)
+
+    def reader_keys(self) -> List[Tuple[int, int]]:
+        """Distinct (RIP, uPC) pairs that terminate at least one interval."""
+        return sorted({iv.reader_key for iv in self.all_intervals()})
+
+    def describe(self) -> str:
+        return (
+            f"IntervalSet({self.structure.short_name}: {self.num_intervals} intervals "
+            f"over {len(self._by_entry)} entries, "
+            f"{self.total_vulnerable_cycles()} vulnerable cycles)"
+        )
+
+
+def build_intervals_for_entry(structure: TargetStructure, entry: int,
+                              events: List[AccessEvent]) -> List[VulnerableInterval]:
+    """Turn the chronological access events of one entry into intervals."""
+    # Reads are ordered before writes within a cycle: a value read and
+    # overwritten in the same cycle was still consumed by that read.
+    ordered = sorted(events, key=lambda e: (e.cycle, e.is_write))
+    intervals: List[VulnerableInterval] = []
+    previous: Optional[AccessEvent] = None
+    for event in ordered:
+        if event.is_read:
+            if previous is not None:
+                intervals.append(
+                    VulnerableInterval(
+                        structure=structure,
+                        entry=entry,
+                        start_cycle=previous.cycle,
+                        end_cycle=event.cycle,
+                        rip=event.rip,
+                        upc=event.upc,
+                    )
+                )
+            previous = event
+        else:
+            previous = event
+    return intervals
+
+
+def build_interval_set(tracer: AccessTracer, structure: TargetStructure) -> IntervalSet:
+    """Build the ACE-like interval set of ``structure`` from a profiling trace."""
+    intervals_by_entry: Dict[int, List[VulnerableInterval]] = {}
+    for entry, events in tracer.events_by_entry(structure).items():
+        intervals = build_intervals_for_entry(structure, entry, events)
+        if intervals:
+            intervals_by_entry[entry] = intervals
+    return IntervalSet(structure, intervals_by_entry)
+
+
+def classic_ace_intervals(tracer: AccessTracer, structure: TargetStructure) -> IntervalSet:
+    """Classic ACE intervals: write .. *last* committed read before overwrite.
+
+    Used only to corroborate that the overall vulnerable time matches the
+    ACE-like definition (the paper makes the same observation in
+    Section 3.1.1); the per-interval reader attribution is that of the last
+    read of the chain.
+    """
+    merged_by_entry: Dict[int, List[VulnerableInterval]] = {}
+    for entry, events in tracer.events_by_entry(structure).items():
+        fine = build_intervals_for_entry(structure, entry, events)
+        if not fine:
+            continue
+        merged: List[VulnerableInterval] = []
+        current = fine[0]
+        for nxt in fine[1:]:
+            if nxt.start_cycle == current.end_cycle:
+                current = VulnerableInterval(
+                    structure=structure,
+                    entry=entry,
+                    start_cycle=current.start_cycle,
+                    end_cycle=nxt.end_cycle,
+                    rip=nxt.rip,
+                    upc=nxt.upc,
+                )
+            else:
+                merged.append(current)
+                current = nxt
+        merged.append(current)
+        merged_by_entry[entry] = merged
+    return IntervalSet(structure, merged_by_entry)

@@ -1,0 +1,144 @@
+"""Reliability metrics: homogeneity, AVF and FIT (Sections 4.4.1, 4.4.3.3).
+
+The *homogeneity* of a grouping (equation 1 of the paper) measures how often
+the faults of a group share the fault effect of the group's dominant class:
+
+.. math::
+
+    homogeneity = \\frac{\\sum_{g} \\#faults_g \\cdot dominant\\_class\\%_g}
+                        {\\#total\\_faults \\cdot 100\\%}
+
+Fine-grained homogeneity uses the six classes of Table 2; coarse-grained
+homogeneity only distinguishes Masked from not-Masked.  Both require the
+*true* per-fault outcomes (from a comprehensive campaign over the same
+fault list), so they are evaluation metrics, not something MeRLiN needs at
+deployment time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.grouping import FaultGroup, GroupedFaults
+from repro.faults.classification import ClassificationCounts, FaultEffectClass
+
+#: Raw failure rate per bit used by the paper for FIT reporting (Section 4.4.3.3).
+RAW_FIT_PER_BIT = 0.01
+
+
+def _group_class_counts(group: FaultGroup,
+                        outcomes: Dict[int, FaultEffectClass],
+                        coarse: bool) -> Counter:
+    """Histogram of true outcomes inside a group (optionally masked/not-masked)."""
+    histogram: Counter = Counter()
+    for fault_id in group.member_fault_ids():
+        effect = outcomes.get(fault_id)
+        if effect is None:
+            continue
+        if coarse:
+            label = "Masked" if effect is FaultEffectClass.MASKED else "NotMasked"
+        else:
+            label = effect.value
+        histogram[label] += 1
+    return histogram
+
+
+def _homogeneity(groups: Iterable[FaultGroup],
+                 outcomes: Dict[int, FaultEffectClass],
+                 coarse: bool) -> float:
+    """Equation (1): weighted dominant-class share across groups."""
+    weighted = 0.0
+    total = 0
+    for group in groups:
+        histogram = _group_class_counts(group, outcomes, coarse)
+        size = sum(histogram.values())
+        if size == 0:
+            continue
+        dominant = max(histogram.values())
+        weighted += size * (dominant / size)
+        total += size
+    if total == 0:
+        return 1.0
+    return weighted / total
+
+
+def fine_homogeneity(grouped: GroupedFaults,
+                     outcomes: Dict[int, FaultEffectClass]) -> float:
+    """Homogeneity over the six classes of Table 2 (Figure 6)."""
+    return _homogeneity(grouped.groups, outcomes, coarse=False)
+
+
+def coarse_homogeneity(grouped: GroupedFaults,
+                       outcomes: Dict[int, FaultEffectClass]) -> float:
+    """Homogeneity over Masked vs not-Masked (Figure 7, top of bars)."""
+    return _homogeneity(grouped.groups, outcomes, coarse=True)
+
+
+def perfect_group_fraction(grouped: GroupedFaults,
+                           outcomes: Dict[int, FaultEffectClass],
+                           coarse: bool = True) -> float:
+    """Fraction of groups whose faults all share one effect (Figure 7, bottom)."""
+    perfect = 0
+    considered = 0
+    for group in grouped.groups:
+        histogram = _group_class_counts(group, outcomes, coarse)
+        size = sum(histogram.values())
+        if size == 0:
+            continue
+        considered += 1
+        if max(histogram.values()) == size:
+            perfect += 1
+    if considered == 0:
+        return 1.0
+    return perfect / considered
+
+
+def group_non_masking_probabilities(
+    grouped: GroupedFaults,
+    outcomes: Dict[int, FaultEffectClass],
+) -> List[Tuple[int, float]]:
+    """Per-group (size, probability of non-masking) pairs for the Section 4.4.5 model."""
+    result: List[Tuple[int, float]] = []
+    for group in grouped.groups:
+        histogram = _group_class_counts(group, outcomes, coarse=True)
+        size = sum(histogram.values())
+        if size == 0:
+            continue
+        not_masked = histogram.get("NotMasked", 0)
+        result.append((size, not_masked / size))
+    return result
+
+
+# ----------------------------------------------------------------------
+# AVF / FIT
+# ----------------------------------------------------------------------
+def avf_from_counts(counts: ClassificationCounts) -> float:
+    """AVF = fraction of injections that are not Masked."""
+    return counts.avf()
+
+
+def fit_rate(avf: float, total_bits: int, raw_fit_per_bit: float = RAW_FIT_PER_BIT) -> float:
+    """FIT = AVF x raw FIT/bit x number of bits (Section 4.4.3.3)."""
+    if not 0.0 <= avf <= 1.0:
+        raise ValueError(f"AVF must be in [0, 1], got {avf}")
+    if total_bits < 0:
+        raise ValueError("total_bits must be non-negative")
+    return avf * raw_fit_per_bit * total_bits
+
+
+def classification_inaccuracy(reference: ClassificationCounts,
+                              measured: ClassificationCounts) -> Dict[str, float]:
+    """Per-class |difference| in percentile units (Figure 17 metric)."""
+    labels = set(reference.counts) | set(measured.counts)
+    return {
+        label: abs(reference.fraction(label) - measured.fraction(label)) * 100.0
+        for label in sorted(labels)
+    }
+
+
+def max_inaccuracy(reference: ClassificationCounts,
+                   measured: ClassificationCounts) -> float:
+    """Largest per-class inaccuracy in percentile units."""
+    per_class = classification_inaccuracy(reference, measured)
+    return max(per_class.values()) if per_class else 0.0

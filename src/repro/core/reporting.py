@@ -1,0 +1,116 @@
+"""Row/series containers and text rendering for the experiment harness.
+
+Every experiment module produces either a :class:`TableReport` (paper
+tables, per-class classification breakdowns) or a :class:`SeriesReport`
+(per-benchmark bar charts such as the speedup figures).  Both render to
+aligned plain text so the benchmark harness can print the same rows/series
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_value(value: Union[str, Number], precision: int = 2) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{precision}f}"
+
+
+@dataclass
+class TableReport:
+    """A generic table with named columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Union[str, Number]]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Union[str, Number]]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Union[str, Number]]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Union[str, Number]]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self, precision: int = 2) -> str:
+        formatted = [
+            [_format_value(value, precision) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in formatted)) if formatted
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in formatted:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SeriesReport:
+    """Named series over a shared x-axis (one series per bar colour)."""
+
+    title: str
+    x_label: str
+    x_values: List[str] = field(default_factory=list)
+    series: Dict[str, List[Number]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_point(self, x_value: str, values: Mapping[str, Number]) -> None:
+        self.x_values.append(x_value)
+        for name, value in values.items():
+            self.series.setdefault(name, [])
+        for name in self.series:
+            self.series[name].append(float(values.get(name, float("nan"))))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def averages(self) -> Dict[str, float]:
+        result = {}
+        for name, values in self.series.items():
+            finite = [v for v in values if v == v]  # drop NaNs
+            result[name] = sum(finite) / len(finite) if finite else float("nan")
+        return result
+
+    def as_table(self, precision: int = 2) -> TableReport:
+        table = TableReport(
+            title=self.title,
+            columns=[self.x_label] + list(self.series.keys()),
+        )
+        for index, x_value in enumerate(self.x_values):
+            row: List[Union[str, Number]] = [x_value]
+            for name in self.series:
+                row.append(round(self.series[name][index], precision + 2))
+            table.add_row(row)
+        averages = self.averages()
+        table.add_row(["average"] + [round(averages[name], precision + 2) for name in self.series])
+        for note in self.notes:
+            table.add_note(note)
+        return table
+
+    def render(self, precision: int = 2) -> str:
+        return self.as_table(precision).render(precision)

@@ -1,0 +1,105 @@
+"""Evaluation-time cost model (Section 4.2, Figure 11, Table 3).
+
+The paper converts injection counts into wall-clock estimates using the
+published gem5 throughputs: ~1e5 cycles/second for full-system detailed
+(cycle-accurate) simulation and ~1e6 cycles/second for software emulation
+(the abstraction level Relyzer injects at).  We reproduce the same
+arithmetic from the injection counts measured by our campaigns, so the
+figure/table shapes can be regenerated even though our substrate is a
+Python simulator rather than gem5 on an i7-4771.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+#: gem5 full-system detailed (cycle-accurate) throughput, cycles/second.
+DETAILED_CYCLES_PER_SECOND = 1.0e5
+
+#: gem5 software-emulation throughput, cycles/second (Relyzer's level).
+EMULATION_CYCLES_PER_SECOND = 1.0e6
+
+#: Seconds per "month" used when reporting campaign durations.
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+#: Seconds per year used for Table 3.
+SECONDS_PER_YEAR = 365 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class CampaignTimeEstimate:
+    """Wall-clock estimate of an injection campaign on the paper's testbed."""
+
+    injections: int
+    cycles_per_run: float
+    cycles_per_second: float = DETAILED_CYCLES_PER_SECOND
+
+    @property
+    def seconds(self) -> float:
+        return self.injections * self.cycles_per_run / self.cycles_per_second
+
+    @property
+    def months(self) -> float:
+        return self.seconds / SECONDS_PER_MONTH
+
+    @property
+    def years(self) -> float:
+        return self.seconds / SECONDS_PER_YEAR
+
+
+class EvaluationCostModel:
+    """Turns injection counts into the time estimates of Figure 11 / Table 3."""
+
+    def __init__(self,
+                 detailed_cycles_per_second: float = DETAILED_CYCLES_PER_SECOND,
+                 emulation_cycles_per_second: float = EMULATION_CYCLES_PER_SECOND):
+        self.detailed_cycles_per_second = detailed_cycles_per_second
+        self.emulation_cycles_per_second = emulation_cycles_per_second
+
+    # ------------------------------------------------------------------
+    def campaign_months(self, injections: int, cycles_per_run: float) -> float:
+        """Months needed to run ``injections`` detailed runs of ``cycles_per_run``."""
+        return CampaignTimeEstimate(
+            injections, cycles_per_run, self.detailed_cycles_per_second
+        ).months
+
+    def total_months(self, campaigns: Iterable[Dict[str, float]]) -> float:
+        """Sum over campaign dictionaries with ``injections`` and ``cycles_per_run``."""
+        return sum(
+            self.campaign_months(int(c["injections"]), float(c["cycles_per_run"]))
+            for c in campaigns
+        )
+
+    # ------------------------------------------------------------------
+    def exhaustive_list_size(self, structure_bits: int, total_cycles: int) -> int:
+        """Exhaustive microarchitectural fault list: every bit at every cycle."""
+        return structure_bits * total_cycles
+
+    def exhaustive_software_list_size(self, dynamic_instructions: int,
+                                      bits_per_instruction: int = 128) -> int:
+        """Exhaustive software-level fault list (operand bits of each instruction)."""
+        return dynamic_instructions * bits_per_instruction
+
+    def table3_row(self, exhaustive: float, remaining: float, cycles_per_run: float,
+                   detailed: bool = True) -> Dict[str, float]:
+        """One row of Table 3: gains and evaluation times for a pruning method."""
+        throughput = (
+            self.detailed_cycles_per_second if detailed else self.emulation_cycles_per_second
+        )
+        exhaustive_seconds = exhaustive * cycles_per_run / throughput
+        remaining_seconds = remaining * cycles_per_run / throughput
+        return {
+            "exhaustive_faults": exhaustive,
+            "remaining_faults": remaining,
+            "gain": exhaustive / remaining if remaining else float("inf"),
+            "exhaustive_years": exhaustive_seconds / SECONDS_PER_YEAR,
+            "remaining_months": remaining_seconds / SECONDS_PER_MONTH,
+        }
+
+
+def speedup(initial_faults: int, injected_faults: int) -> float:
+    """Fault-list reduction factor (the paper's speedup metric)."""
+    if injected_faults <= 0:
+        return float(initial_faults) if initial_faults else 1.0
+    return initial_faults / injected_faults

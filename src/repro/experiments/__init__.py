@@ -1,0 +1,12 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale) -> TableReport | SeriesReport`` plus a
+``main()`` that prints it; ``repro.experiments.runner`` can execute any
+subset by name.  The default :class:`repro.experiments.common.ExperimentScale`
+is deliberately small so the full harness completes on a laptop; paper-scale
+parameters are documented in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentScale
+
+__all__ = ["ExperimentContext", "ExperimentScale"]

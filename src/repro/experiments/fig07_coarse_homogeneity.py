@@ -1,0 +1,46 @@
+"""Figure 7: coarse homogeneity and fraction of perfectly homogeneous groups."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.metrics import coarse_homogeneity, perfect_group_fraction
+from repro.core.reporting import TableReport
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.uarch.structures import TargetStructure
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> TableReport:
+    context = context or ExperimentContext(scale)
+    table = TableReport(
+        title="Figure 7: coarse-grained homogeneity (Masked vs not-Masked)",
+        columns=["structure", "config", "coarse homogeneity", "perfect groups (%)"],
+    )
+    for structure in (TargetStructure.RF, TargetStructure.SQ, TargetStructure.L1D):
+        for label, config in structure_configs(structure, context.scale):
+            homogeneities = []
+            perfect = []
+            for benchmark in context.benchmarks("mibench"):
+                study = context.accuracy_study(benchmark, structure, config, label)
+                homogeneities.append(coarse_homogeneity(study.grouped, study.baseline_outcomes))
+                perfect.append(perfect_group_fraction(study.grouped, study.baseline_outcomes))
+            table.add_row([
+                structure.short_name,
+                label,
+                round(sum(homogeneities) / len(homogeneities), 3),
+                round(100 * sum(perfect) / len(perfect), 1),
+            ])
+    table.add_note(
+        "Paper averages: coarse homogeneity 0.93-0.98 with 88-92% perfectly "
+        "homogeneous groups (Figure 7)."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render(precision=3))
+
+
+if __name__ == "__main__":
+    main()

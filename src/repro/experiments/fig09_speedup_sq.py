@@ -1,0 +1,29 @@
+"""Figure 9: MeRLiN speedup for the store queue data field (MiBench)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import SeriesReport
+from repro.experiments.common import ExperimentContext, ExperimentScale
+from repro.experiments.speedup import speedup_series
+from repro.uarch.structures import TargetStructure
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> SeriesReport:
+    context = context or ExperimentContext(scale)
+    return speedup_series(
+        context,
+        TargetStructure.SQ,
+        context.benchmarks("mibench"),
+        title="Figure 9: MeRLiN speedup, store queue (MiBench)",
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 11: actual reliability-estimation time, comprehensive vs MeRLiN.
+
+The paper converts injection counts into machine months assuming every
+injection runs sequentially at gem5's detailed-simulation throughput
+(~1e5 cycles/second).  The harness does the same arithmetic from the
+injection counts the grouping produces, scaled to the paper's baseline of
+60,000 faults per campaign so the bar heights are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import TableReport
+from repro.core.timing import EvaluationCostModel
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.faults.sampling import BASELINE_ERROR_MARGIN
+from repro.uarch.structures import TargetStructure
+
+#: Injection count of the paper's comprehensive baseline campaign.
+PAPER_BASELINE_FAULTS = 60_000
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> TableReport:
+    context = context or ExperimentContext(scale)
+    model = EvaluationCostModel()
+    table = TableReport(
+        title="Figure 11: estimation time (machine months), comprehensive vs MeRLiN",
+        columns=["structure", "baseline months", "MeRLiN months", "reduction"],
+    )
+    total_baseline = 0.0
+    total_merlin = 0.0
+    for structure in (TargetStructure.RF, TargetStructure.SQ, TargetStructure.L1D):
+        baseline_months = 0.0
+        merlin_months = 0.0
+        for label, config in structure_configs(structure, context.scale):
+            for benchmark in context.benchmarks("mibench"):
+                grouped = context.grouping(benchmark, structure, config)
+                golden = context.golden(benchmark, config)
+                # Scale the measured reduction to the paper's 60K-fault baseline.
+                scaled_injections = PAPER_BASELINE_FAULTS / grouped.total_speedup
+                baseline_months += model.campaign_months(PAPER_BASELINE_FAULTS, golden.cycles)
+                merlin_months += model.campaign_months(int(scaled_injections), golden.cycles)
+        table.add_row([
+            structure.short_name,
+            round(baseline_months, 2),
+            round(merlin_months, 2),
+            round(baseline_months / merlin_months, 1) if merlin_months else float("inf"),
+        ])
+        total_baseline += baseline_months
+        total_merlin += merlin_months
+    table.add_row([
+        "Final Estimation Time",
+        round(total_baseline, 2),
+        round(total_merlin, 2),
+        round(total_baseline / total_merlin, 1) if total_merlin else float("inf"),
+    ])
+    table.add_note(
+        f"Assumes sequential injections of {PAPER_BASELINE_FAULTS} faults per campaign "
+        f"(error margin {BASELINE_ERROR_MARGIN:.2%}) at 1e5 cycles/second; the paper "
+        "reports 40.7/77.1/82.1 months baseline vs 0.65/0.49/1.28 months for MeRLiN."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

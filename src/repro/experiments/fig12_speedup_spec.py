@@ -1,0 +1,45 @@
+"""Figure 12: MeRLiN speedup for RF, SQ and L1D running SPEC CPU2006 kernels.
+
+The paper uses the SPEC configuration of Section 4.4.2.3 (128 physical
+registers, 16-entry store queue, 32 KB L1D) and reports speedups per
+benchmark and structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import SeriesReport
+from repro.experiments.common import ExperimentContext, ExperimentScale
+from repro.uarch.config import SPEC_CONFIG
+from repro.uarch.structures import TargetStructure
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> SeriesReport:
+    context = context or ExperimentContext(scale)
+    report = SeriesReport(
+        title="Figure 12: MeRLiN speedup for RF, SQ and L1D (SPEC CPU2006 kernels)",
+        x_label="benchmark (structure)",
+    )
+    for benchmark in context.benchmarks("spec"):
+        for structure in (TargetStructure.RF, TargetStructure.SQ, TargetStructure.L1D):
+            grouped = context.grouping(benchmark, structure, SPEC_CONFIG)
+            report.add_point(
+                f"{benchmark} ({structure.short_name})",
+                {
+                    "ACE-like speedup": grouped.ace_speedup,
+                    "Total speedup": grouped.total_speedup,
+                    "Injections": grouped.injections_required,
+                },
+            )
+    report.add_note("Configuration: 128 registers, 16-entry SQ, 32KB L1D (Section 4.4.2.3).")
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

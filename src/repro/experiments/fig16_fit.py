@@ -1,0 +1,53 @@
+"""Figure 16: FIT rates — baseline injection, MeRLiN and the ACE-like bound."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ace import ace_like_avf
+from repro.core.metrics import fit_rate
+from repro.core.reporting import TableReport
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> TableReport:
+    context = context or ExperimentContext(scale)
+    table = TableReport(
+        title="Figure 16: FIT rates (baseline vs MeRLiN vs ACE-like bound)",
+        columns=["structure", "config", "FIT baseline", "FIT MeRLiN", "FIT ACE-like"],
+    )
+    for structure in (TargetStructure.RF, TargetStructure.SQ, TargetStructure.L1D):
+        for label, config in structure_configs(structure, context.scale):
+            geometry = structure_geometry(structure, config)
+            baseline_fits = []
+            merlin_fits = []
+            ace_fits = []
+            for benchmark in context.benchmarks("mibench"):
+                study = context.accuracy_study(benchmark, structure, config, label)
+                baseline_fits.append(fit_rate(study.baseline_full.avf(), geometry.total_bits))
+                merlin_fits.append(fit_rate(study.merlin.counts_final.avf(), geometry.total_bits))
+                intervals = context.intervals(benchmark, structure, config)
+                ace = ace_like_avf(intervals, geometry, study.golden.cycles)
+                ace_fits.append(fit_rate(ace, geometry.total_bits))
+            count = len(baseline_fits)
+            table.add_row([
+                structure.short_name, label,
+                round(sum(baseline_fits) / count, 3),
+                round(sum(merlin_fits) / count, 3),
+                round(sum(ace_fits) / count, 3),
+            ])
+    table.add_note(
+        "FIT = AVF x 0.01 FIT/bit x structure bits.  The ACE-like column is the "
+        "pessimistic upper bound the paper contrasts with injection (Figure 16)."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render(precision=3))
+
+
+if __name__ == "__main__":
+    main()

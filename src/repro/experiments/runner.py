@@ -1,0 +1,96 @@
+"""Run any subset of the experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments.runner                 # every experiment, default scale
+    python -m repro.experiments.runner fig08 table3    # a subset
+    python -m repro.experiments.runner --scale quick   # smallest scale
+    python -m repro.experiments.runner --scale full    # all benchmarks & sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    fig06_homogeneity,
+    fig07_coarse_homogeneity,
+    fig08_speedup_rf,
+    fig09_speedup_sq,
+    fig10_speedup_l1d,
+    fig11_estimation_time,
+    fig12_speedup_spec,
+    fig13_scaling,
+    fig14_accuracy_post_ace,
+    fig15_accuracy_final,
+    fig16_fit,
+    fig17_relyzer,
+    sec445_theory,
+    table1_config,
+    table2_classification,
+    table3_exhaustive,
+    table4_spec_accuracy,
+)
+from repro.experiments.common import ExperimentContext, ExperimentScale
+
+#: Experiment registry: short name -> module with a run() callable.
+EXPERIMENTS: Dict[str, object] = {
+    "table1": table1_config,
+    "table2": table2_classification,
+    "table3": table3_exhaustive,
+    "table4": table4_spec_accuracy,
+    "fig06": fig06_homogeneity,
+    "fig07": fig07_coarse_homogeneity,
+    "fig08": fig08_speedup_rf,
+    "fig09": fig09_speedup_sq,
+    "fig10": fig10_speedup_l1d,
+    "fig11": fig11_estimation_time,
+    "fig12": fig12_speedup_spec,
+    "fig13": fig13_scaling,
+    "fig14": fig14_accuracy_post_ace,
+    "fig15": fig15_accuracy_final,
+    "fig16": fig16_fit,
+    "fig17": fig17_relyzer,
+    "sec445": sec445_theory,
+}
+
+_SCALES: Dict[str, Callable[[], ExperimentScale]] = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale.default,
+    "full": ExperimentScale.full,
+}
+
+
+def run_experiment(name: str, scale: Optional[ExperimentScale] = None,
+                   context: Optional[ExperimentContext] = None) -> str:
+    """Run one experiment by short name and return its rendered report."""
+    module = EXPERIMENTS[name]
+    if name == "table1":
+        report = module.run(scale)
+    else:
+        report = module.run(scale, context=context)
+    return report.render()
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(description="MeRLiN reproduction experiment runner")
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"experiments to run (default: all of {', '.join(EXPERIMENTS)})")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    scale = _SCALES[args.scale]()
+    context = ExperimentContext(scale)
+    for name in names:
+        print(run_experiment(name, scale, context))
+        print()
+
+
+if __name__ == "__main__":
+    main()

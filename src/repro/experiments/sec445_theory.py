@@ -1,0 +1,52 @@
+"""Section 4.4.5: theoretical mean/variance of the AVF estimators, measured."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import TableReport
+from repro.core.stats_model import analyze_groups
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.uarch.structures import TargetStructure
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> TableReport:
+    context = context or ExperimentContext(scale)
+    table = TableReport(
+        title="Section 4.4.5: AVF estimator moments (comprehensive vs MeRLiN)",
+        columns=[
+            "benchmark", "structure", "mean AVF", "mean difference",
+            "var (comprehensive)", "var (MeRLiN)", "variance inflation",
+            "avg group size",
+        ],
+    )
+    for structure in (TargetStructure.RF, TargetStructure.SQ):
+        for label, config in structure_configs(structure, context.scale):
+            for benchmark in context.benchmarks("mibench"):
+                study = context.accuracy_study(benchmark, structure, config, label)
+                comparison = analyze_groups(study.grouped, study.baseline_outcomes)
+                table.add_row([
+                    benchmark,
+                    f"{structure.short_name}/{label}",
+                    round(comparison.comprehensive.mean, 5),
+                    round(comparison.mean_difference, 10),
+                    f"{comparison.comprehensive.variance:.3e}",
+                    f"{comparison.merlin.variance:.3e}",
+                    round(comparison.variance_inflation, 1),
+                    round(comparison.average_group_size, 1),
+                ])
+            break
+    table.add_note(
+        "The two estimators share the same mean; MeRLiN's variance is inflated by "
+        "at most the group size, staying orders of magnitude below the mean."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render(precision=5))
+
+
+if __name__ == "__main__":
+    main()

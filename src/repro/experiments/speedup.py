@@ -1,0 +1,41 @@
+"""Shared speedup sweep used by Figures 8, 9, 10, 12 and 13.
+
+The speedup of MeRLiN needs no fault injection at all: it is the reduction
+of the initial fault list achieved by the ACE-like pruning and by the
+grouping algorithm, both of which only require the golden profiling run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.core.reporting import SeriesReport
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.uarch.structures import TargetStructure
+
+
+def speedup_series(
+    context: ExperimentContext,
+    structure: TargetStructure,
+    benchmarks: Iterable[str],
+    title: str,
+    initial_faults: Optional[int] = None,
+) -> SeriesReport:
+    """Per-benchmark, per-configuration ACE-like and total speedups."""
+    report = SeriesReport(title=title, x_label="benchmark (config)")
+    for label, config in structure_configs(structure, context.scale):
+        for benchmark in benchmarks:
+            grouped = context.grouping(benchmark, structure, config, initial_faults)
+            report.add_point(
+                f"{benchmark} ({label})",
+                {
+                    "ACE-like speedup": grouped.ace_speedup,
+                    "Total speedup": grouped.total_speedup,
+                    "Injections": grouped.injections_required,
+                },
+            )
+    report.add_note(
+        "Speedup = initial fault list size / faults actually injected "
+        "(paper Figures 8-10 report the same two bar segments)."
+    )
+    return report

@@ -1,0 +1,32 @@
+"""Table 1: baseline microprocessor configuration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import TableReport
+from repro.experiments.common import ExperimentScale
+from repro.uarch.config import MicroarchConfig
+
+
+def run(scale: Optional[ExperimentScale] = None) -> TableReport:
+    config = MicroarchConfig()
+    table = TableReport(
+        title="Table 1: baseline microprocessor configuration",
+        columns=["Parameter", "x86 microprocessor model configuration"],
+    )
+    for parameter, value in config.describe().items():
+        table.add_row([parameter, value])
+    table.add_note(
+        "The register file, LSQ and L1D sizes are swept to 256/128/64 registers, "
+        "64/32/16 entries and 64/32/16 KB respectively in the evaluation."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Table 2: fault-effect classification taxonomy, demonstrated on real outcomes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reporting import TableReport
+from repro.experiments.common import ExperimentContext, ExperimentScale
+from repro.faults.classification import FaultEffectClass
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure, structure_config_label
+
+_DESCRIPTIONS = {
+    FaultEffectClass.MASKED: "Output and exceptions identical to the golden run",
+    FaultEffectClass.SDC: "Output corrupted without any abnormal behaviour",
+    FaultEffectClass.DUE: "Output intact but extra architecturally visible exceptions",
+    FaultEffectClass.TIMEOUT: "Deadlock/livelock exceeding 3x the golden execution time",
+    FaultEffectClass.CRASH: "Process, system or simulator crash",
+    FaultEffectClass.ASSERT: "Simulator stopped on an internal assertion",
+}
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        context: Optional[ExperimentContext] = None) -> TableReport:
+    context = context or ExperimentContext(scale)
+    config = MicroarchConfig().with_register_file(64)
+    benchmark = context.benchmarks("mibench")[0]
+    label = structure_config_label(TargetStructure.RF, config)
+    study = context.accuracy_study(benchmark, TargetStructure.RF, config, label)
+    table = TableReport(
+        title="Table 2: fault-effect classification",
+        columns=["Category", "Effect", f"observed on {benchmark} (count)"],
+    )
+    for effect in FaultEffectClass:
+        table.add_row([
+            effect.value,
+            _DESCRIPTIONS[effect],
+            study.baseline_full.count(effect),
+        ])
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

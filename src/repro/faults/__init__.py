@@ -1,0 +1,51 @@
+"""Microarchitecture-level fault-injection framework (the GeFIN substitute).
+
+The framework provides:
+
+* the single-bit transient fault model used by the paper
+  (:class:`repro.faults.model.FaultSpec`: structure, entry, bit, cycle);
+* statistical fault sampling following Leveugle et al. (DATE 2009), the
+  paper's reference [26] (:mod:`repro.faults.sampling`);
+* golden-run capture with structure access tracing
+  (:mod:`repro.faults.golden`);
+* per-fault injection runs and the six-class fault-effect taxonomy of
+  Table 2 (:mod:`repro.faults.injector`,
+  :mod:`repro.faults.classification`);
+* comprehensive campaign drivers (:mod:`repro.faults.campaign`).
+"""
+
+from repro.faults.model import FaultList, FaultSpec
+from repro.faults.sampling import (
+    SamplingPlan,
+    required_sample_size,
+    generate_fault_list,
+)
+from repro.faults.classification import (
+    FaultEffectClass,
+    SimpointEffectClass,
+    ClassificationCounts,
+    classify_outcome,
+    classify_simpoint_outcome,
+)
+from repro.faults.golden import GoldenRecord, capture_golden
+from repro.faults.injector import InjectionOutcome, inject_fault
+from repro.faults.campaign import CampaignResult, ComprehensiveCampaign
+
+__all__ = [
+    "FaultList",
+    "FaultSpec",
+    "SamplingPlan",
+    "required_sample_size",
+    "generate_fault_list",
+    "FaultEffectClass",
+    "SimpointEffectClass",
+    "ClassificationCounts",
+    "classify_outcome",
+    "classify_simpoint_outcome",
+    "GoldenRecord",
+    "capture_golden",
+    "InjectionOutcome",
+    "inject_fault",
+    "CampaignResult",
+    "ComprehensiveCampaign",
+]

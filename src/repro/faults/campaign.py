@@ -1,0 +1,98 @@
+"""Comprehensive (baseline) fault-injection campaigns.
+
+A comprehensive campaign injects *every* fault of the initial statistical
+fault list — this is the paper's baseline against which MeRLiN's speedup and
+accuracy are measured.  The campaign driver caches per-fault outcomes so
+that accuracy comparisons (which re-use the same fault list) do not pay for
+double simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.faults.classification import ClassificationCounts, FaultEffectClass
+from repro.faults.golden import GoldenRecord
+from repro.faults.injector import InjectionOutcome, inject_fault
+from repro.faults.model import FaultList, FaultSpec
+
+#: Optional progress callback: (faults done, faults total).
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate result of an injection campaign."""
+
+    structure_name: str
+    benchmark_name: str
+    counts: ClassificationCounts
+    outcomes: Dict[int, FaultEffectClass] = field(default_factory=dict)
+    injections_performed: int = 0
+    wall_clock_seconds: float = 0.0
+    simulated_cycles: int = 0
+
+    @property
+    def avf(self) -> float:
+        return self.counts.avf()
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark_name}/{self.structure_name}: "
+            f"{self.injections_performed} injections, AVF={self.avf:.4f}, "
+            f"{self.counts.describe()}"
+        )
+
+
+class ComprehensiveCampaign:
+    """Inject every fault of a fault list and classify each outcome."""
+
+    def __init__(self, golden: GoldenRecord, fault_list: FaultList,
+                 simpoint_mode: bool = False):
+        self.golden = golden
+        self.fault_list = fault_list
+        self.simpoint_mode = simpoint_mode
+        self._outcome_cache: Dict[int, InjectionOutcome] = {}
+
+    # ------------------------------------------------------------------
+    def run_fault(self, fault: FaultSpec) -> InjectionOutcome:
+        """Inject a single fault (memoised by fault id)."""
+        cached = self._outcome_cache.get(fault.fault_id)
+        if cached is not None:
+            return cached
+        outcome = inject_fault(self.golden, fault, simpoint_mode=self.simpoint_mode)
+        self._outcome_cache[fault.fault_id] = outcome
+        return outcome
+
+    def run(self, faults: Optional[Iterable[FaultSpec]] = None,
+            progress: Optional[ProgressCallback] = None) -> CampaignResult:
+        """Inject ``faults`` (default: the full list) and aggregate the outcome."""
+        target: List[FaultSpec] = list(faults) if faults is not None else list(self.fault_list)
+        counts = ClassificationCounts.empty()
+        outcomes: Dict[int, FaultEffectClass] = {}
+        simulated_cycles = 0
+        started = time.perf_counter()
+        for index, fault in enumerate(target):
+            outcome = self.run_fault(fault)
+            counts.add(outcome.effect)
+            outcomes[fault.fault_id] = outcome.effect
+            simulated_cycles += outcome.result.cycles
+            if progress is not None:
+                progress(index + 1, len(target))
+        elapsed = time.perf_counter() - started
+        return CampaignResult(
+            structure_name=self.fault_list.structure.short_name,
+            benchmark_name=self.golden.program.name,
+            counts=counts,
+            outcomes=outcomes,
+            injections_performed=len(target),
+            wall_clock_seconds=elapsed,
+            simulated_cycles=simulated_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def cached_outcomes(self) -> Dict[int, InjectionOutcome]:
+        """Return the memoised per-fault outcomes (used by accuracy studies)."""
+        return dict(self._outcome_cache)

@@ -1,0 +1,176 @@
+"""Fault-effect classification (Table 2 of the paper).
+
+Every injection run is compared to the golden run and classified into one
+of six categories:
+
+==========  =============================================================
+Masked      output and exceptions identical to the golden run
+SDC         output corrupted, no abnormal behaviour otherwise
+DUE         output intact but extra architecturally visible exceptions
+Timeout     deadlock/livelock: execution exceeds 3x the golden run time
+Crash       process / system / simulator crash
+Assert      the simulator stopped on an internal assertion
+==========  =============================================================
+
+Section 4.4.3.4 uses a reduced taxonomy for runs terminated at the end of a
+SimPoint interval (Masked / DUE / Crash / Assert / Unknown); this module
+implements both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.uarch.pipeline import SimulationResult, TerminationKind
+
+
+class FaultEffectClass(enum.Enum):
+    """Six-class taxonomy of Table 2."""
+
+    MASKED = "Masked"
+    SDC = "SDC"
+    DUE = "DUE"
+    TIMEOUT = "Timeout"
+    CRASH = "Crash"
+    ASSERT = "Assert"
+
+    @property
+    def is_masked(self) -> bool:
+        return self is FaultEffectClass.MASKED
+
+
+class SimpointEffectClass(enum.Enum):
+    """Reduced taxonomy for runs stopped at the end of a SimPoint interval."""
+
+    MASKED = "Masked"
+    DUE = "DUE"
+    CRASH = "Crash"
+    ASSERT = "Assert"
+    UNKNOWN = "Unknown"
+
+
+#: Multiplier of the golden execution time that defines a timeout (Table 2).
+TIMEOUT_FACTOR = 3
+
+
+def classify_outcome(golden: SimulationResult, faulty: SimulationResult) -> FaultEffectClass:
+    """Classify a completed-to-the-end injection run against the golden run."""
+    termination = faulty.termination
+    if termination is TerminationKind.ASSERT:
+        return FaultEffectClass.ASSERT
+    if termination is TerminationKind.CRASH:
+        return FaultEffectClass.CRASH
+    if termination in (TerminationKind.TIMEOUT, TerminationKind.DEADLOCK):
+        return FaultEffectClass.TIMEOUT
+    if faulty.output != golden.output:
+        return FaultEffectClass.SDC
+    if faulty.exceptions > golden.exceptions:
+        return FaultEffectClass.DUE
+    return FaultEffectClass.MASKED
+
+
+def classify_simpoint_outcome(golden: SimulationResult,
+                              faulty: SimulationResult) -> SimpointEffectClass:
+    """Classify a run terminated at the end of a SimPoint interval.
+
+    A fault whose architectural traces (output, memory image) match the
+    golden run at the interval end is Masked; one that is still latent or
+    has already diverged — without crashing — is Unknown, because the rest
+    of the program was not simulated (Section 4.4.3.4).
+    """
+    termination = faulty.termination
+    if termination is TerminationKind.ASSERT:
+        return SimpointEffectClass.ASSERT
+    if termination in (TerminationKind.CRASH, TerminationKind.TIMEOUT, TerminationKind.DEADLOCK):
+        return SimpointEffectClass.CRASH
+    if faulty.exceptions > golden.exceptions:
+        return SimpointEffectClass.DUE
+    if (faulty.output == golden.output
+            and faulty.memory_hash == golden.memory_hash):
+        return SimpointEffectClass.MASKED
+    return SimpointEffectClass.UNKNOWN
+
+
+@dataclass
+class ClassificationCounts:
+    """Histogram over fault-effect classes (works for both taxonomies)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def empty(taxonomy: Iterable = FaultEffectClass) -> "ClassificationCounts":
+        return ClassificationCounts({cls.value: 0 for cls in taxonomy})
+
+    def add(self, effect, weight: int = 1) -> None:
+        """Add ``weight`` observations of ``effect`` (enum or label)."""
+        label = effect.value if isinstance(effect, enum.Enum) else str(effect)
+        self.counts[label] = self.counts.get(label, 0) + weight
+
+    def merge(self, other: "ClassificationCounts") -> "ClassificationCounts":
+        merged = ClassificationCounts(dict(self.counts))
+        for label, count in other.counts.items():
+            merged.counts[label] = merged.counts.get(label, 0) + count
+        return merged
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, effect) -> int:
+        label = effect.value if isinstance(effect, enum.Enum) else str(effect)
+        return self.counts.get(label, 0)
+
+    def fraction(self, effect) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(effect) / self.total
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {label: 0.0 for label in self.counts}
+        return {label: count / total for label, count in self.counts.items()}
+
+    def masked_fraction(self) -> float:
+        return self.fraction(FaultEffectClass.MASKED)
+
+    def avf(self) -> float:
+        """Architectural Vulnerability Factor: fraction of non-masked faults."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.masked_fraction()
+
+    def as_table_row(self, order: Optional[Iterable] = None) -> Dict[str, str]:
+        """Return percentage strings per class (for printed tables)."""
+        classes = list(order) if order is not None else list(FaultEffectClass)
+        return {
+            (cls.value if isinstance(cls, enum.Enum) else str(cls)):
+            f"{self.fraction(cls) * 100:.2f}%"
+            for cls in classes
+        }
+
+    def describe(self) -> str:
+        parts = [f"{label}={count}" for label, count in sorted(self.counts.items())]
+        return f"ClassificationCounts(total={self.total}, {', '.join(parts)})"
+
+
+def distribution_distance(a: ClassificationCounts, b: ClassificationCounts) -> float:
+    """Maximum per-class absolute difference, in percentile units (Figure 17)."""
+    labels = set(a.counts) | set(b.counts)
+    worst = 0.0
+    for label in labels:
+        delta = abs(a.fraction(label) - b.fraction(label)) * 100.0
+        worst = max(worst, delta)
+    return worst
+
+
+def per_class_inaccuracy(reference: ClassificationCounts,
+                         measured: ClassificationCounts) -> Dict[str, float]:
+    """Per-class absolute difference in percentile units (Figure 17 bars)."""
+    labels = set(reference.counts) | set(measured.counts)
+    return {
+        label: abs(reference.fraction(label) - measured.fraction(label)) * 100.0
+        for label in sorted(labels)
+    }

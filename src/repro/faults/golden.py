@@ -1,0 +1,75 @@
+"""Golden-run capture.
+
+The golden (fault-free) run serves two purposes: it is the reference the
+injection outcomes are compared against, and — when tracing is enabled — it
+is MeRLiN's profiling run that records the structure accesses from which
+the ACE-like vulnerable intervals are built (a single run for both, exactly
+as in the paper's Preprocessing phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.pipeline import OutOfOrderCpu, SimulationResult, TerminationKind
+from repro.uarch.trace import AccessTracer
+
+
+@dataclass
+class GoldenRecord:
+    """Result of the fault-free reference run."""
+
+    program: Program
+    config: MicroarchConfig
+    result: SimulationResult
+    tracer: Optional[AccessTracer] = None
+    #: Committed macro-instruction log (rip, commit cycle); populated when
+    #: tracing is enabled, used by the Relyzer control-equivalence baseline.
+    commit_log: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def committed_instructions(self) -> int:
+        return self.result.committed_instructions
+
+    def timeout_cycles(self, factor: int = 3) -> int:
+        """Cycle budget after which an injection run is declared a timeout."""
+        return self.result.cycles * factor
+
+
+def capture_golden(
+    program: Program,
+    config: Optional[MicroarchConfig] = None,
+    trace: bool = True,
+    max_cycles: int = 5_000_000,
+    max_instructions: Optional[int] = None,
+) -> GoldenRecord:
+    """Run ``program`` fault-free and capture its architectural outcome.
+
+    Raises ``RuntimeError`` if the fault-free run does not terminate
+    normally — a broken workload would silently poison every reliability
+    number derived from it.
+    """
+    config = config or MicroarchConfig()
+    tracer = AccessTracer(enabled=trace)
+    cpu = OutOfOrderCpu(program, config, tracer=tracer)
+    result = cpu.run(max_cycles=max_cycles, max_instructions=max_instructions)
+    acceptable = (TerminationKind.HALTED, TerminationKind.INTERVAL_END)
+    if result.termination not in acceptable:
+        raise RuntimeError(
+            f"golden run of {program.name!r} did not complete: "
+            f"{result.termination.value} ({result.crash_reason})"
+        )
+    return GoldenRecord(
+        program=program,
+        config=config,
+        result=result,
+        tracer=tracer if trace else None,
+        commit_log=list(cpu.commit_log),
+    )

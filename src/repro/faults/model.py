@@ -1,0 +1,88 @@
+"""Single-bit transient fault model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.uarch.structures import StructureGeometry, TargetStructure
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A single transient bit flip.
+
+    The fault flips bit ``bit`` of entry ``entry`` of ``structure`` at the
+    beginning of cycle ``cycle``.  ``fault_id`` is a stable identifier within
+    its fault list (used to map outcomes back to faults after grouping).
+    """
+
+    fault_id: int
+    structure: TargetStructure
+    entry: int
+    bit: int
+    cycle: int
+
+    @property
+    def byte(self) -> int:
+        """Byte position of the flipped bit inside its 64-bit entry."""
+        return self.bit // 8
+
+    def as_plan_entry(self) -> Tuple[int, Tuple[TargetStructure, int, int]]:
+        """Return the (cycle, flip) pair consumed by the pipeline fault plan."""
+        return self.cycle, (self.structure, self.entry, self.bit)
+
+    def describe(self) -> str:
+        return (
+            f"fault#{self.fault_id} {self.structure.short_name} "
+            f"entry={self.entry} bit={self.bit} cycle={self.cycle}"
+        )
+
+
+class FaultList:
+    """An ordered collection of faults targeting a single structure."""
+
+    def __init__(self, structure: TargetStructure, faults: Iterable[FaultSpec] = ()):
+        self.structure = structure
+        self._faults: List[FaultSpec] = list(faults)
+        for fault in self._faults:
+            if fault.structure is not structure:
+                raise ValueError("fault list mixes target structures")
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._faults)
+
+    def __getitem__(self, index: int) -> FaultSpec:
+        return self._faults[index]
+
+    def append(self, fault: FaultSpec) -> None:
+        if fault.structure is not self.structure:
+            raise ValueError("fault targets a different structure")
+        self._faults.append(fault)
+
+    def by_id(self) -> Dict[int, FaultSpec]:
+        """Return a mapping from fault id to fault."""
+        return {fault.fault_id: fault for fault in self._faults}
+
+    def subset(self, fault_ids: Iterable[int]) -> "FaultList":
+        """Return a new list containing only the given fault ids (original order)."""
+        wanted = set(fault_ids)
+        return FaultList(
+            self.structure, [f for f in self._faults if f.fault_id in wanted]
+        )
+
+    def validate(self, geometry: StructureGeometry, total_cycles: int) -> None:
+        """Check that every fault targets a legal (entry, bit, cycle) triple."""
+        for fault in self._faults:
+            if not 0 <= fault.entry < geometry.num_entries:
+                raise ValueError(f"{fault.describe()}: entry out of range")
+            if not 0 <= fault.bit < geometry.bits_per_entry:
+                raise ValueError(f"{fault.describe()}: bit out of range")
+            if not 0 <= fault.cycle < total_cycles:
+                raise ValueError(f"{fault.describe()}: cycle out of range")
+
+    def describe(self) -> str:
+        return f"FaultList({self.structure.short_name}, {len(self)} faults)"

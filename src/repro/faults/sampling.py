@@ -1,0 +1,156 @@
+"""Statistical fault sampling (Leveugle et al., DATE 2009 — paper ref. [26]).
+
+The initial fault-list size for a statistically significant campaign is
+
+.. math::
+
+    n = \\frac{N}{1 + e^2 \\cdot \\frac{N - 1}{t^2 \\cdot p (1 - p)}}
+
+where ``N`` is the size of the exhaustive fault population (structure bits
+times execution cycles), ``e`` the error margin, ``t`` the normal-quantile
+of the confidence level, and ``p`` the estimated proportion (0.5 worst
+case).  The paper's baseline campaign uses a 0.63% error margin at a 99.8%
+confidence level — about 60,000 faults — and the scaling study (Figure 13)
+a 0.19% margin — about 600,000 faults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.model import FaultList, FaultSpec
+from repro.uarch.structures import StructureGeometry, TargetStructure
+
+#: Error margin / confidence level of the paper's baseline 60K-fault campaign.
+BASELINE_ERROR_MARGIN = 0.0063
+BASELINE_CONFIDENCE = 0.998
+
+#: Error margin of the 600K-fault scaling campaign (Figure 13).
+SCALING_ERROR_MARGIN = 0.0019
+
+
+def _normal_quantile(probability: float) -> float:
+    """Two-sided normal quantile via the inverse error function."""
+    if not 0.0 < probability < 1.0:
+        raise ValueError("confidence level must be in (0, 1)")
+    # t such that P(|Z| <= t) = probability for Z ~ N(0, 1).
+    return math.sqrt(2.0) * _erfinv(probability)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation refined by Newton steps)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError("erfinv domain is (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    estimate = math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), x
+    )
+    # Two Newton-Raphson refinements on erf(y) - x = 0.
+    for _ in range(2):
+        error = math.erf(estimate) - x
+        derivative = 2.0 / math.sqrt(math.pi) * math.exp(-estimate * estimate)
+        estimate -= error / derivative
+    return estimate
+
+
+def exhaustive_population(geometry: StructureGeometry, total_cycles: int) -> int:
+    """Size of the exhaustive fault list: every bit at every cycle."""
+    return geometry.total_bits * total_cycles
+
+
+def required_sample_size(
+    population: int,
+    error_margin: float = BASELINE_ERROR_MARGIN,
+    confidence: float = BASELINE_CONFIDENCE,
+    proportion: float = 0.5,
+) -> int:
+    """Number of faults required for the given statistical significance."""
+    if population <= 0:
+        raise ValueError("population must be positive")
+    if not 0.0 < error_margin < 1.0:
+        raise ValueError("error margin must be in (0, 1)")
+    t = _normal_quantile(confidence)
+    numerator = float(population)
+    denominator = 1.0 + (error_margin ** 2) * (population - 1) / (
+        t ** 2 * proportion * (1.0 - proportion)
+    )
+    return max(1, math.ceil(numerator / denominator))
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """A fully specified statistical sampling of the exhaustive fault list."""
+
+    structure: TargetStructure
+    num_entries: int
+    bits_per_entry: int
+    total_cycles: int
+    error_margin: float = BASELINE_ERROR_MARGIN
+    confidence: float = BASELINE_CONFIDENCE
+    sample_size_override: Optional[int] = None
+
+    @property
+    def population(self) -> int:
+        return self.num_entries * self.bits_per_entry * self.total_cycles
+
+    @property
+    def sample_size(self) -> int:
+        if self.sample_size_override is not None:
+            return self.sample_size_override
+        return required_sample_size(self.population, self.error_margin, self.confidence)
+
+    def describe(self) -> str:
+        return (
+            f"{self.structure.short_name}: population={self.population:.3e}, "
+            f"margin={self.error_margin:.2%}, confidence={self.confidence:.1%}, "
+            f"sample={self.sample_size}"
+        )
+
+
+def generate_fault_list(
+    geometry: StructureGeometry,
+    total_cycles: int,
+    sample_size: Optional[int] = None,
+    error_margin: float = BASELINE_ERROR_MARGIN,
+    confidence: float = BASELINE_CONFIDENCE,
+    seed: int = 0,
+) -> FaultList:
+    """Draw a uniform random fault list over (entry, bit, cycle).
+
+    When ``sample_size`` is None it is computed from the sampling formula;
+    experiments at reduced scale pass an explicit size and report the
+    statistically required size separately.
+    """
+    if total_cycles <= 0:
+        raise ValueError("total_cycles must be positive")
+    plan = SamplingPlan(
+        structure=geometry.structure,
+        num_entries=geometry.num_entries,
+        bits_per_entry=geometry.bits_per_entry,
+        total_cycles=total_cycles,
+        error_margin=error_margin,
+        confidence=confidence,
+        sample_size_override=sample_size,
+    )
+    count = plan.sample_size
+    rng = np.random.default_rng(seed)
+    entries = rng.integers(0, geometry.num_entries, size=count)
+    bits = rng.integers(0, geometry.bits_per_entry, size=count)
+    cycles = rng.integers(0, total_cycles, size=count)
+    faults = [
+        FaultSpec(
+            fault_id=index,
+            structure=geometry.structure,
+            entry=int(entries[index]),
+            bit=int(bits[index]),
+            cycle=int(cycles[index]),
+        )
+        for index in range(count)
+    ]
+    return FaultList(geometry.structure, faults)

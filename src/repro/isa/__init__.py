@@ -1,0 +1,65 @@
+"""Synthetic x86-64-flavoured instruction set architecture.
+
+The ISA is deliberately small but preserves the properties MeRLiN relies on:
+
+* every macro-instruction has a static instruction pointer (RIP) and decodes
+  into one or more micro-operations, each with its own micro program counter
+  (uPC) — the pair (RIP, uPC) is the grouping key of MeRLiN's first step;
+* memory-operand ALU forms, stores, CALL and RET decode into several
+  micro-operations so the uPC dimension is exercised;
+* programs produce architecturally visible output through ``OUT``
+  instructions, raise recoverable exceptions on demand-mapped accesses and
+  crash on out-of-range accesses, which gives the fault-effect taxonomy of
+  the paper (Masked / SDC / DUE / Timeout / Crash / Assert) an observation
+  channel.
+"""
+
+from repro.isa.errors import (
+    AssemblerError,
+    IsaError,
+    ProgramCrash,
+    RecoverableFault,
+)
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    Reg,
+    register_name,
+    parse_register,
+)
+from repro.isa.instructions import (
+    BranchCondition,
+    Instruction,
+    Opcode,
+    Operand,
+    OperandKind,
+)
+from repro.isa.microops import MicroOp, MicroOpKind, decode_instruction
+from repro.isa.program import DataSegment, Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble
+from repro.isa.functional import FunctionalCpu, FunctionalResult
+
+__all__ = [
+    "AssemblerError",
+    "IsaError",
+    "ProgramCrash",
+    "RecoverableFault",
+    "NUM_ARCH_REGS",
+    "Reg",
+    "register_name",
+    "parse_register",
+    "BranchCondition",
+    "Instruction",
+    "Opcode",
+    "Operand",
+    "OperandKind",
+    "MicroOp",
+    "MicroOpKind",
+    "decode_instruction",
+    "DataSegment",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "FunctionalCpu",
+    "FunctionalResult",
+]

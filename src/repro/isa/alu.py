@@ -1,0 +1,87 @@
+"""Integer ALU semantics shared by the functional and cycle-level simulators.
+
+All operations work on 64-bit unsigned values with wrap-around semantics;
+signed comparisons reinterpret their operands as two's complement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.errors import ProgramCrash
+from repro.isa.instructions import BranchCondition, Opcode
+from repro.isa.registers import WORD_MASK, to_signed, to_unsigned
+
+
+def apply_binary(op: Opcode, a: int, b: int) -> int:
+    """Apply a two-source ALU operation and return the 64-bit result."""
+    a = to_unsigned(a)
+    b = to_unsigned(b)
+    if op is Opcode.ADD:
+        return (a + b) & WORD_MASK
+    if op is Opcode.SUB:
+        return (a - b) & WORD_MASK
+    if op is Opcode.MUL:
+        return (a * b) & WORD_MASK
+    if op is Opcode.DIV:
+        if b == 0:
+            raise ProgramCrash("integer division by zero")
+        return (a // b) & WORD_MASK
+    if op is Opcode.MOD:
+        if b == 0:
+            raise ProgramCrash("integer modulo by zero")
+        return (a % b) & WORD_MASK
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return (a << (b & 63)) & WORD_MASK
+    if op is Opcode.SHR:
+        return (a >> (b & 63)) & WORD_MASK
+    if op is Opcode.SAR:
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if op is Opcode.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Opcode.SLTU:
+        return 1 if a < b else 0
+    if op is Opcode.MIN:
+        return a if to_signed(a) <= to_signed(b) else b
+    if op is Opcode.MAX:
+        return a if to_signed(a) >= to_signed(b) else b
+    raise ValueError(f"not a binary ALU opcode: {op}")
+
+
+def apply_unary(op: Opcode, a: int) -> int:
+    """Apply a single-source ALU operation and return the 64-bit result."""
+    a = to_unsigned(a)
+    if op is Opcode.MOV:
+        return a
+    if op is Opcode.NOT:
+        return (~a) & WORD_MASK
+    if op is Opcode.NEG:
+        return (-a) & WORD_MASK
+    raise ValueError(f"not a unary ALU opcode: {op}")
+
+
+def evaluate_condition(cond: BranchCondition, a: int, b: int) -> bool:
+    """Evaluate a branch condition on two 64-bit operands."""
+    ua, ub = to_unsigned(a), to_unsigned(b)
+    sa, sb = to_signed(ua), to_signed(ub)
+    if cond is BranchCondition.EQ:
+        return ua == ub
+    if cond is BranchCondition.NE:
+        return ua != ub
+    if cond is BranchCondition.LT:
+        return sa < sb
+    if cond is BranchCondition.LE:
+        return sa <= sb
+    if cond is BranchCondition.GT:
+        return sa > sb
+    if cond is BranchCondition.GE:
+        return sa >= sb
+    if cond is BranchCondition.LTU:
+        return ua < ub
+    if cond is BranchCondition.GEU:
+        return ua >= ub
+    raise ValueError(f"unknown branch condition: {cond}")

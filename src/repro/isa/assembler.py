@@ -1,0 +1,267 @@
+"""A small text assembler for the synthetic ISA.
+
+The assembler exists so that ad-hoc programs (tests, examples, user
+experiments) can be written as plain text instead of through the builder
+API.  The accepted grammar, one statement per line:
+
+.. code-block:: text
+
+    ; comment                      # or '#'
+    .data table: words 1, 2, 3     # allocate & init 64-bit words
+    .data buf: space 256           # allocate zeroed bytes
+    .data msg: bytes 0x41, 0x42    # allocate raw bytes
+    loop:                          # label
+        mov   rax, 0
+        add   rbx, rbx, 8
+        add   rcx, rcx, [rdi+16]   # memory-source ALU form
+        load  rdx, [rsi+8]
+        load1 rdx, [rsi]           # 1/2/4/8-byte loads & stores
+        store rdx, [rsi+24]
+        br.lt rax, 100, loop
+        jmp   done
+        call  func
+        out   rax
+    done:
+        halt
+
+Data-segment base addresses are referenced from code with the ``@name``
+immediate syntax, e.g. ``mov rdi, @table``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import BranchCondition, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):\s*(.*)$")
+_DATA_RE = re.compile(
+    r"^\.data\s+([A-Za-z_][\w.]*)\s*:\s*(words|bytes|space)\s*(.*)$", re.IGNORECASE
+)
+_MEM_RE = re.compile(r"^\[\s*([A-Za-z][\w]*)\s*([+-]\s*\d+)?\s*\]$")
+_SIZED_RE = re.compile(r"^(load|store)([1248])$")
+
+_ALU_MNEMONICS = {
+    "mov": Opcode.MOV,
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "div": Opcode.DIV,
+    "mod": Opcode.MOD,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "sar": Opcode.SAR,
+    "slt": Opcode.SLT,
+    "sltu": Opcode.SLTU,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+    "not": Opcode.NOT,
+    "neg": Opcode.NEG,
+}
+
+_BRANCH_CONDITIONS = {cond.value: cond for cond in BranchCondition}
+
+
+class _PendingInstruction:
+    """An instruction parsed from text, waiting for data addresses to resolve."""
+
+    def __init__(self, line_no: int, mnemonic: str, operands: List[str]):
+        self.line_no = line_no
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: invalid integer {token!r}") from exc
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` objects."""
+
+    def __init__(self, name: str = "asm"):
+        self.name = name
+
+    def assemble(self, text: str) -> Program:
+        builder = ProgramBuilder(self.name)
+        pending: List[Tuple[Optional[str], _PendingInstruction]] = []
+        data_directives: List[Tuple[int, str, str, str]] = []
+
+        # First pass: collect data directives and instruction text.
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            data_match = _DATA_RE.match(line)
+            if data_match:
+                name, kind, payload = data_match.groups()
+                data_directives.append((line_no, name, kind.lower(), payload))
+                continue
+            label_match = _LABEL_RE.match(line)
+            label: Optional[str] = None
+            if label_match:
+                label, rest = label_match.groups()
+                line = rest.strip()
+                if not line:
+                    pending.append((label, _PendingInstruction(line_no, "", [])))
+                    continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            pending.append((label, _PendingInstruction(line_no, mnemonic, operands)))
+
+        # Materialise data segments first so @name references resolve.
+        for line_no, name, kind, payload in data_directives:
+            if kind == "words":
+                values = [_parse_int(tok, line_no) for tok in _split_operands(payload)]
+                builder.alloc_words(name, values)
+            elif kind == "bytes":
+                values = [_parse_int(tok, line_no) for tok in _split_operands(payload)]
+                builder.alloc_bytes(name, bytes(v & 0xFF for v in values))
+            else:  # space
+                size = _parse_int(payload.strip(), line_no)
+                builder.alloc_space(name, size)
+
+        # Second pass: emit instructions.
+        for label, instr in pending:
+            if label is not None:
+                builder.bind(label)
+            if not instr.mnemonic:
+                continue
+            self._emit(builder, instr)
+
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    def _emit(self, builder: ProgramBuilder, instr: _PendingInstruction) -> None:
+        mnemonic = instr.mnemonic
+        operands = instr.operands
+        line_no = instr.line_no
+
+        sized = _SIZED_RE.match(mnemonic)
+        size = 8
+        if sized:
+            mnemonic = sized.group(1)
+            size = int(sized.group(2))
+
+        if mnemonic.startswith("br."):
+            cond_name = mnemonic[3:]
+            if cond_name not in _BRANCH_CONDITIONS:
+                raise AssemblerError(f"line {line_no}: unknown condition {cond_name!r}")
+            if len(operands) != 3:
+                raise AssemblerError(f"line {line_no}: br needs 3 operands")
+            lhs = parse_register(operands[0])
+            rhs = self._reg_or_imm(builder, operands[1], line_no)
+            builder.br(_BRANCH_CONDITIONS[cond_name], lhs, rhs, operands[2])
+            return
+
+        if mnemonic == "jmp":
+            builder.jmp(self._expect(operands, 1, line_no)[0])
+            return
+        if mnemonic == "jmpr":
+            builder.jmpr(parse_register(self._expect(operands, 1, line_no)[0]))
+            return
+        if mnemonic == "call":
+            builder.call(self._expect(operands, 1, line_no)[0])
+            return
+        if mnemonic == "ret":
+            builder.ret()
+            return
+        if mnemonic == "out":
+            builder.out(parse_register(self._expect(operands, 1, line_no)[0]))
+            return
+        if mnemonic == "nop":
+            builder.nop()
+            return
+        if mnemonic == "halt":
+            builder.halt()
+            return
+        if mnemonic == "load":
+            dest, mem = self._expect(operands, 2, line_no)
+            base, disp = self._parse_mem(mem, line_no)
+            builder.load(parse_register(dest), base, disp, size=size)
+            return
+        if mnemonic == "store":
+            src, mem = self._expect(operands, 2, line_no)
+            base, disp = self._parse_mem(mem, line_no)
+            builder.store(parse_register(src), base, disp, size=size)
+            return
+        if mnemonic in ("mov", "not", "neg"):
+            dest, src = self._expect(operands, 2, line_no)
+            builder.unary(
+                _ALU_MNEMONICS[mnemonic],
+                parse_register(dest),
+                self._reg_or_imm(builder, src, line_no),
+            )
+            return
+        if mnemonic in _ALU_MNEMONICS:
+            dest, src1, src2 = self._expect(operands, 3, line_no)
+            opcode = _ALU_MNEMONICS[mnemonic]
+            if _MEM_RE.match(src2):
+                base, disp = self._parse_mem(src2, line_no)
+                builder.alu(opcode, parse_register(dest), parse_register(src1),
+                            (base, disp), size=size)
+            else:
+                builder.alu(
+                    opcode,
+                    parse_register(dest),
+                    parse_register(src1),
+                    self._reg_or_imm(builder, src2, line_no),
+                )
+            return
+        raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+    # ------------------------------------------------------------------
+    def _expect(self, operands: List[str], count: int, line_no: int) -> List[str]:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"line {line_no}: expected {count} operands, got {len(operands)}"
+            )
+        return operands
+
+    def _parse_mem(self, token: str, line_no: int) -> Tuple[int, int]:
+        match = _MEM_RE.match(token)
+        if not match:
+            raise AssemblerError(f"line {line_no}: invalid memory operand {token!r}")
+        base = parse_register(match.group(1))
+        disp_text = match.group(2)
+        disp = int(disp_text.replace(" ", ""), 0) if disp_text else 0
+        return base, disp
+
+    def _reg_or_imm(self, builder: ProgramBuilder, token: str, line_no: int):
+        token = token.strip()
+        if token.startswith("@"):
+            return builder.address_of(token[1:])
+        try:
+            return Reg(parse_register(token))
+        except ValueError:
+            return _parse_int(token, line_no)
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble ``text`` into a finalised :class:`Program`."""
+    return Assembler(name).assemble(text)

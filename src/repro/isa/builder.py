@@ -1,0 +1,317 @@
+"""Programmatic construction of programs.
+
+The builder is the main way workloads are written: it manages label
+resolution, data-segment allocation and provides one emitter method per
+instruction form.  Register operands accept :class:`repro.isa.registers.Reg`
+values or raw indices; the second ALU source accepts a register, an integer
+immediate, or a ``(base_register, displacement)`` tuple for the
+memory-source (load-op) instruction forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import (
+    BranchCondition,
+    Instruction,
+    Opcode,
+    Operand,
+)
+from repro.isa.memory import DATA_BASE, STACK_LOW
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import Reg
+
+#: Values accepted wherever a register is expected.
+RegLike = Union[Reg, int]
+
+#: Values accepted as the flexible second source of ALU instructions:
+#: a register, an immediate, or a (base, displacement) memory reference.
+SrcLike = Union[Reg, int, Tuple[RegLike, int]]
+
+
+def _reg_index(reg: RegLike) -> int:
+    index = int(reg)
+    if not 0 <= index < 16:
+        raise AssemblerError(f"register index out of range: {reg}")
+    return index
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self, name: str, data_base: int = DATA_BASE):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._segments: List[DataSegment] = []
+        self._next_data_address = data_base
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Data segments
+    # ------------------------------------------------------------------
+    def alloc_bytes(self, name: str, data: bytes, align: int = 8) -> int:
+        """Allocate and initialise a byte region; returns its base address."""
+        address = self._align(align)
+        if address + len(data) >= STACK_LOW:
+            raise AssemblerError("data segment collides with the stack region")
+        segment = DataSegment(name=name, address=address, data=bytes(data))
+        self._segments.append(segment)
+        self._next_data_address = address + len(data)
+        return address
+
+    def alloc_words(self, name: str, values: Sequence[int]) -> int:
+        """Allocate 64-bit words initialised from ``values``."""
+        blob = b"".join(
+            (int(v) & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little") for v in values
+        )
+        return self.alloc_bytes(name, blob, align=8)
+
+    def alloc_space(self, name: str, size: int, align: int = 8) -> int:
+        """Allocate a zero-initialised region of ``size`` bytes."""
+        return self.alloc_bytes(name, bytes(size), align=align)
+
+    def address_of(self, name: str) -> int:
+        """Return the base address of a previously allocated segment."""
+        for segment in self._segments:
+            if segment.name == name:
+                return segment.address
+        raise KeyError(f"no data segment named {name!r}")
+
+    def _align(self, align: int) -> int:
+        address = self._next_data_address
+        if address % align:
+            address += align - (address % align)
+        return address
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def label(self, name: Optional[str] = None) -> str:
+        """Define a label at the next emitted instruction; returns its name."""
+        if name is None:
+            name = f"__L{self._label_counter}"
+            self._label_counter += 1
+        if name in self._labels:
+            raise AssemblerError(f"label defined twice: {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def new_label(self) -> str:
+        """Reserve a unique label name without binding it yet."""
+        name = f"__L{self._label_counter}"
+        self._label_counter += 1
+        return name
+
+    def bind(self, name: str) -> None:
+        """Bind a previously reserved label to the next instruction."""
+        if name in self._labels:
+            raise AssemblerError(f"label defined twice: {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Emitters
+    # ------------------------------------------------------------------
+    def _emit(self, instruction: Instruction) -> Instruction:
+        instruction.rip = len(self._instructions)
+        self._instructions.append(instruction)
+        return instruction
+
+    def _flexible_source(self, src: SrcLike, size: int) -> Operand:
+        if isinstance(src, tuple):
+            base, disp = src
+            return Operand.mem(_reg_index(base), int(disp))
+        if isinstance(src, Reg):
+            return Operand.reg(int(src))
+        if isinstance(src, int):
+            return Operand.imm(src)
+        raise AssemblerError(f"unsupported source operand: {src!r}")
+
+    def _reg_or_imm(self, src: Union[Reg, int]) -> Operand:
+        if isinstance(src, Reg):
+            return Operand.reg(int(src))
+        return Operand.imm(int(src))
+
+    def alu(self, opcode: Opcode, dest: RegLike, src1: RegLike, src2: SrcLike,
+            size: int = 8) -> Instruction:
+        """Emit a binary ALU instruction (register, immediate or memory source)."""
+        return self._emit(
+            Instruction(
+                opcode,
+                dest=_reg_index(dest),
+                sources=(Operand.reg(_reg_index(src1)), self._flexible_source(src2, size)),
+                size=size,
+            )
+        )
+
+    def mov(self, dest: RegLike, src: Union[Reg, int]) -> Instruction:
+        """Emit ``MOV dest, reg|imm``."""
+        return self._emit(
+            Instruction(Opcode.MOV, dest=_reg_index(dest), sources=(self._reg_or_imm(src),))
+        )
+
+    def movi(self, dest: RegLike, value: int) -> Instruction:
+        """Emit ``MOV dest, imm`` (alias kept for readability in workloads)."""
+        return self.mov(dest, int(value))
+
+    def unary(self, opcode: Opcode, dest: RegLike, src: Union[Reg, int]) -> Instruction:
+        """Emit a unary ALU instruction (NOT/NEG/MOV)."""
+        return self._emit(
+            Instruction(opcode, dest=_reg_index(dest), sources=(self._reg_or_imm(src),))
+        )
+
+    # Convenience wrappers for the common ALU operations --------------------
+    def add(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.ADD, d, a, b)
+
+    def sub(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SUB, d, a, b)
+
+    def mul(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.MUL, d, a, b)
+
+    def div(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.DIV, d, a, b)
+
+    def mod(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.MOD, d, a, b)
+
+    def and_(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.AND, d, a, b)
+
+    def or_(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.OR, d, a, b)
+
+    def xor(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.XOR, d, a, b)
+
+    def shl(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SHL, d, a, b)
+
+    def shr(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SHR, d, a, b)
+
+    def sar(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SAR, d, a, b)
+
+    def slt(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SLT, d, a, b)
+
+    def sltu(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.SLTU, d, a, b)
+
+    def min_(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.MIN, d, a, b)
+
+    def max_(self, d: RegLike, a: RegLike, b: SrcLike) -> Instruction:
+        return self.alu(Opcode.MAX, d, a, b)
+
+    def not_(self, d: RegLike, a: Union[Reg, int]) -> Instruction:
+        return self.unary(Opcode.NOT, d, a)
+
+    def neg(self, d: RegLike, a: Union[Reg, int]) -> Instruction:
+        return self.unary(Opcode.NEG, d, a)
+
+    # Memory ---------------------------------------------------------------
+    def load(self, dest: RegLike, base: RegLike, disp: int = 0, size: int = 8) -> Instruction:
+        """Emit ``LOAD dest, [base + disp]``."""
+        return self._emit(
+            Instruction(
+                Opcode.LOAD,
+                dest=_reg_index(dest),
+                sources=(Operand.mem(_reg_index(base), disp),),
+                size=size,
+            )
+        )
+
+    def store(self, src: RegLike, base: RegLike, disp: int = 0, size: int = 8) -> Instruction:
+        """Emit ``STORE src, [base + disp]``."""
+        return self._emit(
+            Instruction(
+                Opcode.STORE,
+                sources=(Operand.reg(_reg_index(src)), Operand.mem(_reg_index(base), disp)),
+                size=size,
+            )
+        )
+
+    # Control flow -----------------------------------------------------------
+    def br(self, cond: BranchCondition, lhs: RegLike, rhs: Union[Reg, int],
+           target: str) -> Instruction:
+        """Emit a conditional branch comparing ``lhs`` with ``rhs``."""
+        return self._emit(
+            Instruction(
+                Opcode.BR,
+                sources=(
+                    Operand.reg(_reg_index(lhs)),
+                    self._reg_or_imm(rhs),
+                    Operand.label(target),
+                ),
+                condition=cond,
+            )
+        )
+
+    def beq(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.EQ, lhs, rhs, target)
+
+    def bne(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.NE, lhs, rhs, target)
+
+    def blt(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.LT, lhs, rhs, target)
+
+    def ble(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.LE, lhs, rhs, target)
+
+    def bgt(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.GT, lhs, rhs, target)
+
+    def bge(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.GE, lhs, rhs, target)
+
+    def bltu(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.LTU, lhs, rhs, target)
+
+    def bgeu(self, lhs: RegLike, rhs: Union[Reg, int], target: str) -> Instruction:
+        return self.br(BranchCondition.GEU, lhs, rhs, target)
+
+    def jmp(self, target: str) -> Instruction:
+        """Emit an unconditional direct jump."""
+        return self._emit(Instruction(Opcode.JMP, sources=(Operand.label(target),)))
+
+    def jmpr(self, reg: RegLike) -> Instruction:
+        """Emit an indirect jump through a register."""
+        return self._emit(Instruction(Opcode.JMPR, sources=(Operand.reg(_reg_index(reg)),)))
+
+    def call(self, target: str) -> Instruction:
+        """Emit a call (pushes the return address and jumps)."""
+        return self._emit(Instruction(Opcode.CALL, sources=(Operand.label(target),)))
+
+    def ret(self) -> Instruction:
+        """Emit a return (pops the return address and jumps to it)."""
+        return self._emit(Instruction(Opcode.RET))
+
+    # Miscellaneous ----------------------------------------------------------
+    def out(self, src: RegLike) -> Instruction:
+        """Emit ``OUT src`` — append a 64-bit value to the program output."""
+        return self._emit(Instruction(Opcode.OUT, sources=(Operand.reg(_reg_index(src)),)))
+
+    def nop(self) -> Instruction:
+        return self._emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> Instruction:
+        return self._emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalise the program (resolves labels, decodes micro-ops)."""
+        if not self._instructions:
+            raise AssemblerError("cannot build an empty program")
+        return Program(
+            name=self.name,
+            instructions=self._instructions,
+            labels=self._labels,
+            segments=self._segments,
+            heap_end=self._next_data_address,
+        )

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared by the ISA and the simulators."""
+
+
+class IsaError(Exception):
+    """Base class for all errors raised by the ISA layer."""
+
+
+class AssemblerError(IsaError):
+    """Raised when assembly text cannot be parsed or resolved."""
+
+
+class ProgramCrash(IsaError):
+    """The simulated program performed an unrecoverable action.
+
+    Examples: an access outside the addressable range, a division by zero,
+    a jump outside the code segment.  In the fault-effect taxonomy of the
+    paper this maps to the *Crash* category (process crash).
+    """
+
+    def __init__(self, reason: str, cycle: int = -1):
+        super().__init__(reason)
+        self.reason = reason
+        self.cycle = cycle
+
+
+class RecoverableFault(IsaError):
+    """A recoverable, architecturally visible exception.
+
+    Modelled after a demand page fault: the access is to a legal but not yet
+    initialised region.  The operating system of the paper's full-system
+    simulation would service it transparently; we count it so that runs with
+    *extra* exceptions relative to the golden run are classified as DUE.
+    """
+
+    def __init__(self, address: int):
+        super().__init__(f"recoverable fault at address {address:#x}")
+        self.address = address
+
+
+class SimulatorAssertError(IsaError):
+    """An internal consistency check of the simulator failed.
+
+    Maps to the *Assert* category of Table 2: the simulator stopped on an
+    assertion rather than the simulated program misbehaving.
+    """

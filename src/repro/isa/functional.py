@@ -1,0 +1,163 @@
+"""Functional ("atomic mode") executor for the synthetic ISA.
+
+The functional CPU executes macro-instructions architecturally, one per
+step, without modelling any microarchitecture.  It serves three purposes:
+
+* validating workloads while they are being written;
+* producing reference outputs quickly (the cycle-level golden run must agree
+  with it — this is checked by the integration tests);
+* mirroring gem5's atomic CPU, which the paper's toolchain uses for
+  fast-forwarding outside the regions of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.alu import apply_binary, apply_unary, evaluate_condition
+from repro.isa.errors import ProgramCrash
+from repro.isa.instructions import (
+    BINARY_ALU_OPCODES,
+    UNARY_ALU_OPCODES,
+    Opcode,
+    Operand,
+    OperandKind,
+)
+from repro.isa.memory import MemoryImage
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, Reg, to_unsigned
+
+
+@dataclass
+class FunctionalResult:
+    """Outcome of a functional execution."""
+
+    output: List[int]
+    instructions: int
+    exceptions: int
+    halted: bool
+    crashed: bool = False
+    crash_reason: Optional[str] = None
+    registers: List[int] = field(default_factory=list)
+    memory_hash: int = 0
+
+
+class FunctionalCpu:
+    """Architectural executor for :class:`Program` objects."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.registers = [0] * NUM_ARCH_REGS
+        self.registers[Reg.RSP] = program.initial_stack_pointer
+        self.memory: MemoryImage = program.initial_memory()
+        self.pc = program.entry
+        self.output: List[int] = []
+        self.exceptions = 0
+        self.instructions_executed = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def _read_operand(self, operand: Operand, size: int = 8) -> int:
+        if operand.kind is OperandKind.REG:
+            return self.registers[operand.value]
+        if operand.kind is OperandKind.IMM:
+            return to_unsigned(operand.value)
+        if operand.kind is OperandKind.MEM:
+            address = to_unsigned(self.registers[operand.value] + operand.disp)
+            value, demand = self.memory.checked_read(address, size)
+            if demand:
+                self.exceptions += 1
+            return value
+        raise ValueError(f"cannot read operand {operand}")
+
+    def _write_register(self, index: int, value: int) -> None:
+        self.registers[index] = to_unsigned(value)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one macro-instruction."""
+        if self.halted:
+            return
+        if not self.program.in_range(self.pc):
+            raise ProgramCrash(f"instruction fetch outside program at RIP {self.pc}")
+        instr = self.program.instruction_at(self.pc)
+        self.instructions_executed += 1
+        next_pc = self.pc + 1
+        opcode = instr.opcode
+
+        if opcode in UNARY_ALU_OPCODES:
+            value = apply_unary(opcode, self._read_operand(instr.sources[0]))
+            self._write_register(instr.dest, value)
+        elif opcode in BINARY_ALU_OPCODES:
+            lhs = self._read_operand(instr.sources[0])
+            rhs = self._read_operand(instr.sources[1], instr.size)
+            self._write_register(instr.dest, apply_binary(opcode, lhs, rhs))
+        elif opcode is Opcode.LOAD:
+            value = self._read_operand(instr.sources[0], instr.size)
+            self._write_register(instr.dest, value)
+        elif opcode is Opcode.STORE:
+            value = self._read_operand(instr.sources[0])
+            mem = instr.sources[1]
+            address = to_unsigned(self.registers[mem.value] + mem.disp)
+            if self.memory.checked_write(address, value, instr.size):
+                self.exceptions += 1
+        elif opcode is Opcode.BR:
+            lhs = self._read_operand(instr.sources[0])
+            rhs = self._read_operand(instr.sources[1])
+            if evaluate_condition(instr.condition, lhs, rhs):
+                next_pc = instr.sources[2].value
+        elif opcode is Opcode.JMP:
+            next_pc = instr.sources[0].value
+        elif opcode is Opcode.JMPR:
+            next_pc = self._read_operand(instr.sources[0])
+        elif opcode is Opcode.CALL:
+            sp = to_unsigned(self.registers[Reg.RSP] - 8)
+            self.registers[Reg.RSP] = sp
+            if self.memory.checked_write(sp, self.pc + 1, 8):
+                self.exceptions += 1
+            next_pc = instr.sources[0].value
+        elif opcode is Opcode.RET:
+            sp = self.registers[Reg.RSP]
+            value, demand = self.memory.checked_read(sp, 8)
+            if demand:
+                self.exceptions += 1
+            self.registers[Reg.RSP] = to_unsigned(sp + 8)
+            next_pc = value
+        elif opcode is Opcode.OUT:
+            self.output.append(self._read_operand(instr.sources[0]))
+        elif opcode is Opcode.NOP:
+            pass
+        elif opcode is Opcode.HALT:
+            self.halted = True
+        else:  # pragma: no cover - defensive
+            raise ProgramCrash(f"unknown opcode {opcode}")
+
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 50_000_000) -> FunctionalResult:
+        """Run the program to completion (or until the instruction budget)."""
+        crashed = False
+        crash_reason: Optional[str] = None
+        try:
+            while not self.halted and self.instructions_executed < max_instructions:
+                self.step()
+        except ProgramCrash as crash:
+            crashed = True
+            crash_reason = crash.reason
+        return FunctionalResult(
+            output=list(self.output),
+            instructions=self.instructions_executed,
+            exceptions=self.exceptions,
+            halted=self.halted,
+            crashed=crashed,
+            crash_reason=crash_reason,
+            registers=list(self.registers),
+            memory_hash=self.memory.content_hash(),
+        )
+
+
+def run_functional(program: Program, max_instructions: int = 50_000_000) -> FunctionalResult:
+    """Convenience wrapper: execute ``program`` functionally and return the result."""
+    return FunctionalCpu(program).run(max_instructions=max_instructions)

@@ -1,0 +1,221 @@
+"""Macro-instruction definitions of the synthetic ISA.
+
+A macro-instruction is what the front end fetches and what carries the RIP;
+it decodes (see :mod:`repro.isa.microops`) into one or more micro-operations
+carrying uPCs.  The instruction forms are:
+
+* register/immediate ALU operations: ``ADD rd, rs1, rs2|imm``;
+* memory-source ALU operations: ``ADD rd, rs1, [rb + disp]`` (decodes into a
+  load micro-op plus an ALU micro-op, like an x86 load-op instruction);
+* ``LOAD rd, [rb + disp]`` and ``STORE rs, [rb + disp]`` with access sizes of
+  1, 2, 4 or 8 bytes;
+* conditional branches ``BR.cc rs1, rs2|imm, label`` and unconditional
+  ``JMP label`` / ``JMPR rs``;
+* ``CALL label`` / ``RET`` which push/pop the return address on the stack;
+* ``OUT rs`` which appends a 64-bit value to the architecturally visible
+  output stream, ``NOP`` and ``HALT``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import register_name
+
+
+class Opcode(enum.Enum):
+    """Macro-instruction opcodes."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    NOT = "not"
+    NEG = "neg"
+    SLT = "slt"
+    SLTU = "sltu"
+    MIN = "min"
+    MAX = "max"
+    LOAD = "load"
+    STORE = "store"
+    BR = "br"
+    JMP = "jmp"
+    JMPR = "jmpr"
+    CALL = "call"
+    RET = "ret"
+    OUT = "out"
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: ALU opcodes that take a destination and two sources.
+BINARY_ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SAR,
+        Opcode.SLT,
+        Opcode.SLTU,
+        Opcode.MIN,
+        Opcode.MAX,
+    }
+)
+
+#: ALU opcodes that take a destination and a single source.
+UNARY_ALU_OPCODES = frozenset({Opcode.MOV, Opcode.NOT, Opcode.NEG})
+
+
+class BranchCondition(enum.Enum):
+    """Condition codes for conditional branches (signed unless noted)."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    LTU = "ltu"
+    GEU = "geu"
+
+
+class OperandKind(enum.Enum):
+    """Kinds of operands an instruction may carry."""
+
+    REG = "reg"
+    IMM = "imm"
+    MEM = "mem"
+    LABEL = "label"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A single instruction operand.
+
+    ``REG`` operands store the architectural register index in ``value``;
+    ``IMM`` operands store the immediate; ``MEM`` operands store the base
+    register in ``value`` and the displacement in ``disp``; ``LABEL``
+    operands store the label string in ``label`` until resolution and the
+    resolved RIP in ``value`` afterwards.
+    """
+
+    kind: OperandKind
+    value: int = 0
+    disp: int = 0
+    label: Optional[str] = None
+
+    @staticmethod
+    def reg(index: int) -> "Operand":
+        return Operand(OperandKind.REG, value=index)
+
+    @staticmethod
+    def imm(value: int) -> "Operand":
+        return Operand(OperandKind.IMM, value=value)
+
+    @staticmethod
+    def mem(base: int, disp: int = 0) -> "Operand":
+        return Operand(OperandKind.MEM, value=base, disp=disp)
+
+    @staticmethod
+    def label(name: str) -> "Operand":
+        return Operand(OperandKind.LABEL, label=name)
+
+    def resolved(self, rip: int) -> "Operand":
+        """Return a copy of a LABEL operand resolved to instruction ``rip``."""
+        if self.kind is not OperandKind.LABEL:
+            raise ValueError("only LABEL operands can be resolved")
+        return Operand(OperandKind.LABEL, value=rip, label=self.label)
+
+    def render(self) -> str:
+        """Return the assembly spelling of the operand."""
+        if self.kind is OperandKind.REG:
+            return register_name(self.value)
+        if self.kind is OperandKind.IMM:
+            return str(self.value)
+        if self.kind is OperandKind.MEM:
+            base = register_name(self.value)
+            if self.disp:
+                return f"[{base}{self.disp:+d}]"
+            return f"[{base}]"
+        return self.label if self.label is not None else f"@{self.value}"
+
+
+@dataclass
+class Instruction:
+    """A macro-instruction.
+
+    ``rip`` is assigned when the instruction is appended to a
+    :class:`repro.isa.program.Program`; branch/call targets are resolved at
+    program finalisation.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    sources: Tuple[Operand, ...] = field(default_factory=tuple)
+    condition: Optional[BranchCondition] = None
+    size: int = 8
+    rip: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported memory access size: {self.size}")
+
+    @property
+    def is_control(self) -> bool:
+        """True for instructions that may redirect the instruction stream."""
+        return self.opcode in (
+            Opcode.BR,
+            Opcode.JMP,
+            Opcode.JMPR,
+            Opcode.CALL,
+            Opcode.RET,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        """True for instructions that access data memory."""
+        if self.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.CALL, Opcode.RET):
+            return True
+        return any(op.kind is OperandKind.MEM for op in self.sources)
+
+    def target_operand(self) -> Optional[Operand]:
+        """Return the control-flow target operand, if any."""
+        for op in self.sources:
+            if op.kind is OperandKind.LABEL:
+                return op
+        return None
+
+    def render(self) -> str:
+        """Return a human-readable assembly spelling of the instruction."""
+        mnemonic = self.opcode.value
+        if self.opcode is Opcode.BR and self.condition is not None:
+            mnemonic = f"br.{self.condition.value}"
+        parts = []
+        if self.dest is not None:
+            parts.append(register_name(self.dest))
+        parts.extend(op.render() for op in self.sources)
+        if self.opcode in (Opcode.LOAD, Opcode.STORE) and self.size != 8:
+            mnemonic = f"{mnemonic}{self.size}"
+        if parts:
+            return f"{mnemonic} {', '.join(parts)}"
+        return mnemonic
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"{self.rip:5d}: {self.render()}"

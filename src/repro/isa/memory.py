@@ -1,0 +1,159 @@
+"""Byte-addressable memory image shared by the functional and cycle simulators.
+
+The address space is split into four regions:
+
+* ``[0, DATA_BASE)`` — reserved; any access crashes the program (null-pointer
+  style accesses land here);
+* ``[DATA_BASE, heap_end)`` — statically initialised data and heap space
+  allocated by the program builder;
+* ``[heap_end, stack_low)`` — the *demand region*: legal but unmapped.  The
+  first-touch of such an address raises a recoverable, architecturally
+  visible exception (modelled after a demand page fault); the access then
+  proceeds with zero-filled memory.  Runs that take more of these exceptions
+  than the golden run are classified as DUE by the fault-injection framework.
+* ``[stack_low, MEM_LIMIT)`` — the stack.
+
+Accesses outside ``[0, MEM_LIMIT)`` raise :class:`ProgramCrash`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Tuple
+
+from repro.isa.errors import ProgramCrash
+
+#: Total size of the simulated address space (16 MiB).
+MEM_LIMIT = 1 << 24
+
+#: Base address of the statically initialised data segment.
+DATA_BASE = 0x1000
+
+#: Size of the stack region.
+STACK_SIZE = 1 << 16
+
+#: Lowest address of the stack region.
+STACK_LOW = MEM_LIMIT - STACK_SIZE
+
+#: Initial stack pointer (leaves a small red zone at the very top).
+STACK_TOP = MEM_LIMIT - 64
+
+
+class AccessClass(enum.Enum):
+    """Classification of a memory access by target region."""
+
+    OK = "ok"
+    DEMAND = "demand"
+    CRASH = "crash"
+
+
+class MemoryImage:
+    """Little-endian byte-addressable memory backed by a word dictionary."""
+
+    def __init__(self, heap_end: int = DATA_BASE):
+        self._words: Dict[int, int] = {}
+        self.heap_end = max(heap_end, DATA_BASE)
+
+    def copy(self) -> "MemoryImage":
+        """Return an independent copy of this image."""
+        clone = MemoryImage(self.heap_end)
+        clone._words = dict(self._words)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Region classification
+    # ------------------------------------------------------------------
+    def classify_access(self, address: int, size: int) -> AccessClass:
+        """Classify an access of ``size`` bytes starting at ``address``."""
+        if address < 0 or address + size > MEM_LIMIT:
+            return AccessClass.CRASH
+        if address < DATA_BASE:
+            return AccessClass.CRASH
+        if address + size <= self.heap_end or address >= STACK_LOW:
+            return AccessClass.OK
+        return AccessClass.DEMAND
+
+    # ------------------------------------------------------------------
+    # Raw access (no region checks)
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int = 8) -> int:
+        """Read ``size`` bytes at ``address`` (little-endian, zero default)."""
+        if size == 8 and address % 8 == 0:
+            return self._words.get(address, 0)
+        value = 0
+        for i in range(size):
+            value |= self._read_byte(address + i) << (8 * i)
+        return value
+
+    def write(self, address: int, value: int, size: int = 8) -> None:
+        """Write the low ``size`` bytes of ``value`` at ``address``."""
+        if size == 8 and address % 8 == 0:
+            self._words[address] = value & 0xFFFFFFFFFFFFFFFF
+            return
+        for i in range(size):
+            self._write_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    def _read_byte(self, address: int) -> int:
+        word = self._words.get(address & ~7, 0)
+        return (word >> (8 * (address & 7))) & 0xFF
+
+    def _write_byte(self, address: int, value: int) -> None:
+        base = address & ~7
+        shift = 8 * (address & 7)
+        word = self._words.get(base, 0)
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._words[base] = word
+
+    # ------------------------------------------------------------------
+    # Checked access helpers used by the functional simulator
+    # ------------------------------------------------------------------
+    def checked_read(self, address: int, size: int = 8) -> Tuple[int, bool]:
+        """Read with region checks.
+
+        Returns ``(value, demand)`` where ``demand`` is True when the access
+        touched the demand region.  Raises :class:`ProgramCrash` for
+        out-of-range accesses.
+        """
+        klass = self.classify_access(address, size)
+        if klass is AccessClass.CRASH:
+            raise ProgramCrash(f"invalid memory read at {address:#x}")
+        return self.read(address, size), klass is AccessClass.DEMAND
+
+    def checked_write(self, address: int, value: int, size: int = 8) -> bool:
+        """Write with region checks; returns True if the demand region was hit."""
+        klass = self.classify_access(address, size)
+        if klass is AccessClass.CRASH:
+            raise ProgramCrash(f"invalid memory write at {address:#x}")
+        self.write(address, value, size)
+        return klass is AccessClass.DEMAND
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def load_bytes(self, address: int, data: bytes) -> None:
+        """Install raw bytes at ``address`` (used when materialising programs)."""
+        for offset, byte in enumerate(data):
+            self._write_byte(address + offset, byte)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes starting at ``address``."""
+        return bytes(self._read_byte(address + i) for i in range(length))
+
+    def words(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over (aligned address, 64-bit word) pairs with data."""
+        return self._words.items()
+
+    def content_hash(self) -> int:
+        """Return a deterministic hash of the memory contents."""
+        acc = 1469598103934665603
+        for address in sorted(self._words):
+            word = self._words[address]
+            if word == 0:
+                continue
+            acc ^= address
+            acc *= 1099511628211
+            acc &= 0xFFFFFFFFFFFFFFFF
+            acc ^= word
+            acc *= 1099511628211
+            acc &= 0xFFFFFFFFFFFFFFFF
+        return acc

@@ -1,0 +1,349 @@
+"""Decoding of macro-instructions into micro-operations.
+
+Every macro-instruction decodes into a fixed sequence of micro-operations;
+the position of a micro-operation in that sequence is its micro program
+counter (uPC).  MeRLiN's first grouping step keys on the (RIP, uPC) pair of
+the micro-operation that reads a structure entry at the end of a vulnerable
+interval, so the decoder deliberately produces multi-uop sequences for
+memory-operand ALU forms, stores, CALL and RET — exactly the x86-64
+behaviour the paper describes (Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.instructions import (
+    BINARY_ALU_OPCODES,
+    UNARY_ALU_OPCODES,
+    BranchCondition,
+    Instruction,
+    Opcode,
+    Operand,
+    OperandKind,
+)
+from repro.isa.registers import Reg
+
+
+class MicroOpKind(enum.Enum):
+    """Functional classes of micro-operations."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE_ADDR = "store_addr"
+    STORE_DATA = "store_data"
+    BRANCH = "branch"
+    JUMP = "jump"
+    OUT = "out"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class RefKind(enum.Enum):
+    """Kinds of values a micro-operation may reference."""
+
+    REG = "reg"
+    TMP = "tmp"
+    IMM = "imm"
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """Reference to an architectural register, a temporary, or an immediate."""
+
+    kind: RefKind
+    value: int
+
+    @staticmethod
+    def reg(index: int) -> "ValueRef":
+        return ValueRef(RefKind.REG, index)
+
+    @staticmethod
+    def tmp(index: int) -> "ValueRef":
+        return ValueRef(RefKind.TMP, index)
+
+    @staticmethod
+    def imm(value: int) -> "ValueRef":
+        return ValueRef(RefKind.IMM, value)
+
+    @property
+    def is_reg(self) -> bool:
+        return self.kind is RefKind.REG
+
+    @property
+    def is_tmp(self) -> bool:
+        return self.kind is RefKind.TMP
+
+    @property
+    def is_imm(self) -> bool:
+        return self.kind is RefKind.IMM
+
+
+@dataclass
+class MicroOp:
+    """A single micro-operation.
+
+    ``alu_op`` carries the macro opcode for ALU micro-ops, ``condition`` the
+    branch condition for conditional branches.  ``mem_base``/``mem_disp``/
+    ``mem_size`` describe the memory access of LOAD and STORE_ADDR
+    micro-ops.  ``target`` is the statically known control-flow target
+    (instruction RIP) of direct branches and jumps; indirect jumps read the
+    target from ``src1`` at execute time.
+    """
+
+    kind: MicroOpKind
+    rip: int
+    upc: int
+    alu_op: Optional[Opcode] = None
+    condition: Optional[BranchCondition] = None
+    dest: Optional[ValueRef] = None
+    src1: Optional[ValueRef] = None
+    src2: Optional[ValueRef] = None
+    mem_base: Optional[ValueRef] = None
+    mem_disp: int = 0
+    mem_size: int = 8
+    target: Optional[int] = None
+    is_indirect: bool = False
+    is_last: bool = False
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (MicroOpKind.BRANCH, MicroOpKind.JUMP)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (
+            MicroOpKind.LOAD,
+            MicroOpKind.STORE_ADDR,
+            MicroOpKind.STORE_DATA,
+        )
+
+    def register_sources(self) -> List[ValueRef]:
+        """Return the REG/TMP sources this micro-op reads."""
+        refs = []
+        for ref in (self.src1, self.src2, self.mem_base):
+            if ref is not None and not ref.is_imm:
+                refs.append(ref)
+        return refs
+
+    def describe(self) -> str:
+        """Return a compact human-readable description."""
+        bits = [f"{self.kind.value}@{self.rip}.{self.upc}"]
+        if self.alu_op is not None:
+            bits.append(self.alu_op.value)
+        if self.condition is not None:
+            bits.append(self.condition.value)
+        return " ".join(bits)
+
+
+def _operand_ref(operand: Operand) -> ValueRef:
+    """Convert a REG or IMM instruction operand into a micro-op reference."""
+    if operand.kind is OperandKind.REG:
+        return ValueRef.reg(operand.value)
+    if operand.kind is OperandKind.IMM:
+        return ValueRef.imm(operand.value)
+    raise ValueError(f"operand cannot be referenced directly: {operand}")
+
+
+def decode_instruction(instr: Instruction) -> List[MicroOp]:
+    """Decode a macro-instruction into its micro-operation sequence."""
+    rip = instr.rip
+    uops: List[MicroOp] = []
+
+    def add(uop: MicroOp) -> MicroOp:
+        uop.upc = len(uops)
+        uops.append(uop)
+        return uop
+
+    opcode = instr.opcode
+
+    if opcode in UNARY_ALU_OPCODES:
+        add(
+            MicroOp(
+                MicroOpKind.ALU,
+                rip,
+                0,
+                alu_op=opcode,
+                dest=ValueRef.reg(instr.dest),
+                src1=_operand_ref(instr.sources[0]),
+            )
+        )
+    elif opcode in BINARY_ALU_OPCODES:
+        src_a, src_b = instr.sources
+        if src_b.kind is OperandKind.MEM:
+            # Load-op form: a load micro-op feeding an ALU micro-op, as in
+            # an x86 instruction with a memory source operand.
+            add(
+                MicroOp(
+                    MicroOpKind.LOAD,
+                    rip,
+                    0,
+                    dest=ValueRef.tmp(0),
+                    mem_base=ValueRef.reg(src_b.value),
+                    mem_disp=src_b.disp,
+                    mem_size=instr.size,
+                )
+            )
+            add(
+                MicroOp(
+                    MicroOpKind.ALU,
+                    rip,
+                    1,
+                    alu_op=opcode,
+                    dest=ValueRef.reg(instr.dest),
+                    src1=_operand_ref(src_a),
+                    src2=ValueRef.tmp(0),
+                )
+            )
+        else:
+            add(
+                MicroOp(
+                    MicroOpKind.ALU,
+                    rip,
+                    0,
+                    alu_op=opcode,
+                    dest=ValueRef.reg(instr.dest),
+                    src1=_operand_ref(src_a),
+                    src2=_operand_ref(src_b),
+                )
+            )
+    elif opcode is Opcode.LOAD:
+        mem = instr.sources[0]
+        add(
+            MicroOp(
+                MicroOpKind.LOAD,
+                rip,
+                0,
+                dest=ValueRef.reg(instr.dest),
+                mem_base=ValueRef.reg(mem.value),
+                mem_disp=mem.disp,
+                mem_size=instr.size,
+            )
+        )
+    elif opcode is Opcode.STORE:
+        value, mem = instr.sources
+        add(
+            MicroOp(
+                MicroOpKind.STORE_ADDR,
+                rip,
+                0,
+                mem_base=ValueRef.reg(mem.value),
+                mem_disp=mem.disp,
+                mem_size=instr.size,
+            )
+        )
+        add(
+            MicroOp(
+                MicroOpKind.STORE_DATA,
+                rip,
+                1,
+                src1=_operand_ref(value),
+                mem_size=instr.size,
+            )
+        )
+    elif opcode is Opcode.BR:
+        lhs, rhs, label = instr.sources
+        add(
+            MicroOp(
+                MicroOpKind.BRANCH,
+                rip,
+                0,
+                condition=instr.condition,
+                src1=_operand_ref(lhs),
+                src2=_operand_ref(rhs),
+                target=label.value,
+            )
+        )
+    elif opcode is Opcode.JMP:
+        label = instr.sources[0]
+        add(MicroOp(MicroOpKind.JUMP, rip, 0, target=label.value))
+    elif opcode is Opcode.JMPR:
+        add(
+            MicroOp(
+                MicroOpKind.JUMP,
+                rip,
+                0,
+                src1=_operand_ref(instr.sources[0]),
+                is_indirect=True,
+            )
+        )
+    elif opcode is Opcode.CALL:
+        label = instr.sources[0]
+        # Push the return address (RIP + 1) and jump, like x86 CALL.
+        add(
+            MicroOp(
+                MicroOpKind.ALU,
+                rip,
+                0,
+                alu_op=Opcode.SUB,
+                dest=ValueRef.reg(Reg.RSP),
+                src1=ValueRef.reg(Reg.RSP),
+                src2=ValueRef.imm(8),
+            )
+        )
+        add(
+            MicroOp(
+                MicroOpKind.STORE_ADDR,
+                rip,
+                1,
+                mem_base=ValueRef.reg(Reg.RSP),
+                mem_disp=0,
+                mem_size=8,
+            )
+        )
+        add(
+            MicroOp(
+                MicroOpKind.STORE_DATA,
+                rip,
+                2,
+                src1=ValueRef.imm(rip + 1),
+                mem_size=8,
+            )
+        )
+        add(MicroOp(MicroOpKind.JUMP, rip, 3, target=label.value))
+    elif opcode is Opcode.RET:
+        # Pop the return address and jump to it, like x86 RET.
+        add(
+            MicroOp(
+                MicroOpKind.LOAD,
+                rip,
+                0,
+                dest=ValueRef.tmp(0),
+                mem_base=ValueRef.reg(Reg.RSP),
+                mem_disp=0,
+                mem_size=8,
+            )
+        )
+        add(
+            MicroOp(
+                MicroOpKind.ALU,
+                rip,
+                1,
+                alu_op=Opcode.ADD,
+                dest=ValueRef.reg(Reg.RSP),
+                src1=ValueRef.reg(Reg.RSP),
+                src2=ValueRef.imm(8),
+            )
+        )
+        add(
+            MicroOp(
+                MicroOpKind.JUMP,
+                rip,
+                2,
+                src1=ValueRef.tmp(0),
+                is_indirect=True,
+            )
+        )
+    elif opcode is Opcode.OUT:
+        add(MicroOp(MicroOpKind.OUT, rip, 0, src1=_operand_ref(instr.sources[0])))
+    elif opcode is Opcode.NOP:
+        add(MicroOp(MicroOpKind.NOP, rip, 0))
+    elif opcode is Opcode.HALT:
+        add(MicroOp(MicroOpKind.HALT, rip, 0))
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"cannot decode opcode {opcode}")
+
+    uops[-1].is_last = True
+    return uops

@@ -1,0 +1,166 @@
+"""Program container: instructions, labels, data segments and decode cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import Instruction, Opcode, Operand, OperandKind
+from repro.isa.memory import DATA_BASE, MemoryImage, STACK_TOP
+from repro.isa.microops import MicroOp, decode_instruction
+
+
+@dataclass
+class DataSegment:
+    """A named chunk of statically initialised memory."""
+
+    name: str
+    address: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.address + len(self.data)
+
+
+class Program:
+    """A finalised program: code, labels and initial data image.
+
+    Instruction RIPs are simply the instruction indices; the cycle-level
+    front end multiplies them by four to obtain byte addresses for the
+    instruction cache.  ``uops(rip)`` returns the cached micro-op decoding of
+    the instruction at ``rip``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instruction],
+        labels: Dict[str, int],
+        segments: Sequence[DataSegment],
+        heap_end: Optional[int] = None,
+        entry: int = 0,
+    ):
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels = dict(labels)
+        self.segments: List[DataSegment] = list(segments)
+        self.entry = entry
+        if heap_end is None:
+            heap_end = max((seg.end for seg in self.segments), default=DATA_BASE)
+        self.heap_end = heap_end
+        self._resolve_labels()
+        self._uop_cache: List[List[MicroOp]] = [
+            decode_instruction(instr) for instr in self.instructions
+        ]
+
+    # ------------------------------------------------------------------
+    def _resolve_labels(self) -> None:
+        for index, instr in enumerate(self.instructions):
+            instr.rip = index
+        for instr in self.instructions:
+            resolved = []
+            for operand in instr.sources:
+                if operand.kind is OperandKind.LABEL and operand.label is not None:
+                    if operand.label not in self.labels:
+                        raise AssemblerError(
+                            f"undefined label {operand.label!r} in {instr.render()}"
+                        )
+                    resolved.append(operand.resolved(self.labels[operand.label]))
+                else:
+                    resolved.append(operand)
+            instr.sources = tuple(resolved)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    def instruction_at(self, rip: int) -> Instruction:
+        """Return the instruction at ``rip``; raises IndexError when outside."""
+        if rip < 0 or rip >= len(self.instructions):
+            raise IndexError(f"RIP outside program: {rip}")
+        return self.instructions[rip]
+
+    def uops(self, rip: int) -> List[MicroOp]:
+        """Return the cached micro-op decoding of the instruction at ``rip``."""
+        return self._uop_cache[rip]
+
+    def in_range(self, rip: int) -> bool:
+        """True when ``rip`` addresses an instruction of this program."""
+        return 0 <= rip < len(self.instructions)
+
+    def label_address(self, name: str) -> int:
+        """Return the RIP a label resolves to."""
+        return self.labels[name]
+
+    def segment(self, name: str) -> DataSegment:
+        """Return the data segment registered under ``name``."""
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no data segment named {name!r}")
+
+    def initial_memory(self) -> MemoryImage:
+        """Materialise the initial memory image for a fresh run."""
+        image = MemoryImage(heap_end=self.heap_end)
+        for seg in self.segments:
+            image.load_bytes(seg.address, seg.data)
+        return image
+
+    @property
+    def initial_stack_pointer(self) -> int:
+        return STACK_TOP
+
+    # ------------------------------------------------------------------
+    def static_branch_rips(self) -> List[int]:
+        """Return the RIPs of all control-flow instructions."""
+        return [i.rip for i in self.instructions if i.is_control]
+
+    def basic_block_leaders(self) -> List[int]:
+        """Return the RIPs that start basic blocks (for control-flow analysis)."""
+        leaders = {0}
+        for instr in self.instructions:
+            if not instr.is_control:
+                continue
+            target = instr.target_operand()
+            if target is not None:
+                leaders.add(target.value)
+            if instr.rip + 1 < len(self.instructions):
+                leaders.add(instr.rip + 1)
+        return sorted(leaders)
+
+    def basic_block_of(self) -> Dict[int, int]:
+        """Map every RIP to the RIP of the leader of its basic block."""
+        leaders = self.basic_block_leaders()
+        mapping: Dict[int, int] = {}
+        current = 0
+        leader_set = set(leaders)
+        for rip in range(len(self.instructions)):
+            if rip in leader_set:
+                current = rip
+            mapping[rip] = current
+        return mapping
+
+    def listing(self) -> str:
+        """Return a printable assembly listing."""
+        lines = []
+        rip_to_labels: Dict[int, List[str]] = {}
+        for label, rip in self.labels.items():
+            rip_to_labels.setdefault(rip, []).append(label)
+        for instr in self.instructions:
+            for label in sorted(rip_to_labels.get(instr.rip, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr.rip:5d}: {instr.render()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"Program(name={self.name!r}, instructions={len(self.instructions)}, "
+            f"segments={len(self.segments)})"
+        )

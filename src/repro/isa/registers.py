@@ -1,0 +1,89 @@
+"""Architectural integer registers of the synthetic ISA.
+
+The ISA exposes sixteen 64-bit integer registers, mirroring x86-64's general
+purpose register count.  They are referred to either by index (``r0`` ..
+``r15``) or by their x86-64-flavoured aliases (``rax``, ``rbx``, ...).  The
+stack pointer is ``rsp`` (= ``r14``); by convention workloads use ``rbp``
+(= ``r15``) as a frame/base pointer but nothing in the ISA enforces this.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of architectural integer registers.
+NUM_ARCH_REGS = 16
+
+#: Width of an integer register in bits.
+REGISTER_WIDTH_BITS = 64
+
+#: Mask for 64-bit wrap-around arithmetic.
+WORD_MASK = (1 << REGISTER_WIDTH_BITS) - 1
+
+
+class Reg(enum.IntEnum):
+    """Architectural register identifiers."""
+
+    RAX = 0
+    RBX = 1
+    RCX = 2
+    RDX = 3
+    RSI = 4
+    RDI = 5
+    R8 = 6
+    R9 = 7
+    R10 = 8
+    R11 = 9
+    R12 = 10
+    R13 = 11
+    R14 = 12
+    R15 = 13
+    RSP = 14
+    RBP = 15
+
+
+#: Canonical alias names, indexed by register number.
+_CANONICAL_NAMES = [
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    "rsp", "rbp",
+]
+
+#: Accepted spellings for each register (generic rN plus the alias).
+_NAME_TO_INDEX = {}
+for _idx, _alias in enumerate(_CANONICAL_NAMES):
+    _NAME_TO_INDEX[_alias] = _idx
+for _idx in range(NUM_ARCH_REGS):
+    # Generic numeric spelling always maps to the same index; note that the
+    # alias "r8".."r15" spellings above intentionally take precedence, so a
+    # program using the generic spelling sees a consistent mapping with the
+    # alias spelling used elsewhere.
+    _NAME_TO_INDEX.setdefault(f"reg{_idx}", _idx)
+
+
+def register_name(index: int) -> str:
+    """Return the canonical printable name of register ``index``."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return _CANONICAL_NAMES[index]
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name (alias or ``regN`` spelling) to its index."""
+    key = name.strip().lower()
+    if key in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[key]
+    raise ValueError(f"unknown register name: {name!r}")
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as a signed two's-complement int."""
+    value &= WORD_MASK
+    if value >= 1 << (REGISTER_WIDTH_BITS - 1):
+        return value - (1 << REGISTER_WIDTH_BITS)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an arbitrary Python int into the 64-bit unsigned domain."""
+    return value & WORD_MASK

@@ -1,0 +1,38 @@
+"""Cycle-level out-of-order microarchitecture model (the gem5/GeFIN substitute).
+
+The model implements the baseline configuration of Table 1 of the paper:
+an out-of-order pipeline with register renaming over a physical integer
+register file, a 32-entry issue queue, a 100-entry ROB, a load/store queue,
+a tournament branch predictor with a BTB, and a write-back cache hierarchy.
+
+Three structures are modelled at bit granularity as fault targets:
+
+* the physical integer register file (``TargetStructure.RF``),
+* the data field of the store queue (``TargetStructure.SQ``),
+* the data array of the L1 data cache (``TargetStructure.L1D``).
+
+The :class:`repro.uarch.pipeline.OutOfOrderCpu` exposes a structure access
+tracer used by MeRLiN's ACE-like analysis and a fault plan hook used by the
+injection framework.
+"""
+
+from repro.uarch.config import MicroarchConfig, FunctionalUnitPool
+from repro.uarch.structures import TargetStructure, structure_geometry
+from repro.uarch.stats import SimStats
+from repro.uarch.trace import AccessEvent, AccessKind, AccessTracer, WRITEBACK_RIP
+from repro.uarch.pipeline import OutOfOrderCpu, SimulationResult, TerminationKind
+
+__all__ = [
+    "MicroarchConfig",
+    "FunctionalUnitPool",
+    "TargetStructure",
+    "structure_geometry",
+    "SimStats",
+    "AccessEvent",
+    "AccessKind",
+    "AccessTracer",
+    "WRITEBACK_RIP",
+    "OutOfOrderCpu",
+    "SimulationResult",
+    "TerminationKind",
+]

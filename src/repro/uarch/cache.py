@@ -1,0 +1,288 @@
+"""Write-back cache hierarchy.
+
+The L1 data cache is fully data-holding: resident lines carry the actual
+bytes, loads read from them, committed stores write into them, dirty
+evictions copy the line back to memory.  This matters for fault injection —
+a bit flipped in the L1D data array propagates to the program exactly the
+way it would in hardware (through a later load or through a write-back).
+
+The L1 instruction cache and the unified L2 are modelled tag-only: they only
+contribute hit/miss latencies (the L2 never needs to hold data because L1D
+write-backs go straight to memory, which is the point of visibility for the
+reliability analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.memory import MemoryImage
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.stats import SimStats
+from repro.uarch.structures import WORDS_PER_LINE
+from repro.uarch.trace import AccessKind, AccessTracer, WRITEBACK_RIP
+
+
+class CacheLine:
+    """A single cache line with persistent data storage.
+
+    The data array exists physically whether or not the line is valid, which
+    is why ``data`` is allocated once and never replaced: faults injected
+    into an invalid line's data array are possible (and harmless until the
+    line is refilled), exactly as in hardware.
+    """
+
+    __slots__ = ("tag", "valid", "dirty", "data", "last_use")
+
+    def __init__(self, line_bytes: int):
+        self.tag: Optional[int] = None
+        self.valid = False
+        self.dirty = False
+        self.data = bytearray(line_bytes)
+        self.last_use = 0
+
+
+class TagOnlyCache:
+    """Set-associative tag store used for the L1I and the L2."""
+
+    def __init__(self, size_kb: int, assoc: int, line_bytes: int):
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_kb * 1024 // (line_bytes * assoc)
+        self._tags: List[List[Optional[int]]] = [
+            [None] * assoc for _ in range(self.num_sets)
+        ]
+        self._lru: List[List[int]] = [[0] * assoc for _ in range(self.num_sets)]
+        self._tick = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        block = address // self.line_bytes
+        return block % self.num_sets, block // self.num_sets
+
+    def access(self, address: int, allocate: bool = True) -> bool:
+        """Probe the cache; returns True on hit. Misses allocate by default."""
+        self._tick += 1
+        set_index, tag = self._locate(address)
+        tags = self._tags[set_index]
+        lru = self._lru[set_index]
+        for way, existing in enumerate(tags):
+            if existing == tag:
+                lru[way] = self._tick
+                return True
+        if allocate:
+            victim = min(range(self.assoc), key=lambda way: lru[way])
+            tags[victim] = tag
+            lru[victim] = self._tick
+        return False
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of an L1D access."""
+
+    value: int
+    latency: int
+    hit: bool
+    touched_entries: List[int]
+
+
+class DataCache:
+    """The L1 data cache: set-associative, write-back, write-allocate, LRU."""
+
+    def __init__(
+        self,
+        config: MicroarchConfig,
+        memory: MemoryImage,
+        stats: SimStats,
+        tracer: Optional[AccessTracer] = None,
+    ):
+        self.config = config
+        self.memory = memory
+        self.stats = stats
+        self.tracer = tracer
+        self.line_bytes = config.cache_line_bytes
+        self.assoc = config.l1d_assoc
+        self.num_sets = config.l1d_num_sets
+        self.lines: List[List[CacheLine]] = [
+            [CacheLine(self.line_bytes) for _ in range(self.assoc)]
+            for _ in range(self.num_sets)
+        ]
+        self.l2 = TagOnlyCache(config.l2_size_kb, config.l2_assoc, config.cache_line_bytes)
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int, int]:
+        """Return (set_index, tag, offset) for a byte address."""
+        offset = address % self.line_bytes
+        block = address // self.line_bytes
+        return block % self.num_sets, block // self.num_sets, offset
+
+    def entry_index(self, set_index: int, way: int, word: int) -> int:
+        """Flatten (set, way, word) into a fault-target entry index."""
+        return (set_index * self.assoc + way) * WORDS_PER_LINE + word
+
+    def entry_location(self, entry: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`entry_index`."""
+        line_index, word = divmod(entry, WORDS_PER_LINE)
+        set_index, way = divmod(line_index, self.assoc)
+        return set_index, way, word
+
+    @property
+    def num_entries(self) -> int:
+        return self.num_sets * self.assoc * WORDS_PER_LINE
+
+    # ------------------------------------------------------------------
+    # Fault injection hook
+    # ------------------------------------------------------------------
+    def flip_bit(self, entry: int, bit: int) -> None:
+        """Flip one bit of the data array (used by the fault injector)."""
+        set_index, way, word = self.entry_location(entry)
+        line = self.lines[set_index][way]
+        byte_index = word * 8 + bit // 8
+        line.data[byte_index] ^= 1 << (bit % 8)
+
+    # ------------------------------------------------------------------
+    # Line management
+    # ------------------------------------------------------------------
+    def _touched_words(self, offset: int, size: int) -> List[int]:
+        first = offset // 8
+        last = (offset + size - 1) // 8
+        return list(range(first, last + 1))
+
+    def _find_way(self, set_index: int, tag: int) -> Optional[int]:
+        for way, line in enumerate(self.lines[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def _line_base_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.num_sets + set_index) * self.line_bytes
+
+    def _evict(self, set_index: int, way: int, cycle: int) -> None:
+        line = self.lines[set_index][way]
+        if not line.valid:
+            return
+        if line.dirty:
+            base = self._line_base_address(set_index, line.tag)
+            self.memory.load_bytes(base, bytes(line.data))
+            self.stats.l1d_writebacks += 1
+            self.l2.access(base)
+            if self.tracer is not None and self.tracer.enabled:
+                # A dirty write-back reads every word of the line on behalf of
+                # no committed instruction (sentinel RIP), see DESIGN.md.
+                for word in range(WORDS_PER_LINE):
+                    self.tracer.record_l1d(
+                        self.entry_index(set_index, way, word),
+                        cycle,
+                        AccessKind.READ,
+                        WRITEBACK_RIP,
+                        0,
+                    )
+        line.valid = False
+        line.dirty = False
+        line.tag = None
+
+    def _fill(self, set_index: int, tag: int, cycle: int) -> Tuple[int, int]:
+        """Bring the line (set, tag) into the cache; returns (way, extra latency)."""
+        lru_way = 0
+        lru_tick = None
+        for way, line in enumerate(self.lines[set_index]):
+            if not line.valid:
+                lru_way = way
+                break
+            if lru_tick is None or line.last_use < lru_tick:
+                lru_tick = line.last_use
+                lru_way = way
+        else:
+            self._evict(set_index, lru_way, cycle)
+
+        base = self._line_base_address(set_index, tag)
+        latency = self.config.l2_hit_latency if self.l2.access(base) else self.config.memory_latency
+        if latency == self.config.l2_hit_latency:
+            self.stats.l2_hits += 1
+        else:
+            self.stats.l2_misses += 1
+
+        line = self.lines[set_index][lru_way]
+        line.data[:] = self.memory.read_bytes(base, self.line_bytes)
+        line.tag = tag
+        line.valid = True
+        line.dirty = False
+        if self.tracer is not None and self.tracer.enabled:
+            for word in range(WORDS_PER_LINE):
+                self.tracer.record_l1d(
+                    self.entry_index(set_index, lru_way, word),
+                    cycle,
+                    AccessKind.WRITE,
+                    WRITEBACK_RIP,
+                    0,
+                )
+        return lru_way, latency
+
+    def _access_line(self, address: int, cycle: int) -> Tuple[int, int, int, int, bool]:
+        """Return (set_index, way, offset, latency, hit) with the line resident."""
+        self._tick += 1
+        set_index, tag, offset = self._locate(address)
+        way = self._find_way(set_index, tag)
+        hit = way is not None
+        latency = self.config.l1_hit_latency
+        if hit:
+            self.stats.l1d_hits += 1
+        else:
+            self.stats.l1d_misses += 1
+            way, extra = self._fill(set_index, tag, cycle)
+            latency += extra
+        line = self.lines[set_index][way]
+        line.last_use = self._tick
+        return set_index, way, offset, latency, hit
+
+    # ------------------------------------------------------------------
+    # Public access API (used by the pipeline)
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int, cycle: int) -> CacheAccessResult:
+        """Read ``size`` bytes; the value comes from the (possibly faulty) line."""
+        set_index, way, offset, latency, hit = self._access_line(address, cycle)
+        line = self.lines[set_index][way]
+        raw = bytes(line.data[offset:offset + size])
+        value = int.from_bytes(raw, "little")
+        touched = [self.entry_index(set_index, way, w) for w in self._touched_words(offset, size)]
+        return CacheAccessResult(value=value, latency=latency, hit=hit, touched_entries=touched)
+
+    def write(self, address: int, value: int, size: int, cycle: int) -> CacheAccessResult:
+        """Write ``size`` bytes (write-allocate); marks the line dirty."""
+        set_index, way, offset, latency, hit = self._access_line(address, cycle)
+        line = self.lines[set_index][way]
+        line.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        line.dirty = True
+        touched = [self.entry_index(set_index, way, w) for w in self._touched_words(offset, size)]
+        return CacheAccessResult(value=value, latency=latency, hit=hit, touched_entries=touched)
+
+    def flush_dirty_to_memory(self) -> None:
+        """Write every dirty line back to memory (used at end of simulation)."""
+        for set_index in range(self.num_sets):
+            for way, line in enumerate(self.lines[set_index]):
+                if line.valid and line.dirty:
+                    base = self._line_base_address(set_index, line.tag)
+                    self.memory.load_bytes(base, bytes(line.data))
+                    line.dirty = False
+
+
+class InstructionCache:
+    """Tag-only L1 instruction cache: contributes fetch latency only."""
+
+    def __init__(self, config: MicroarchConfig, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        self._cache = TagOnlyCache(config.l1i_size_kb, config.l1i_assoc, config.cache_line_bytes)
+
+    def fetch_latency(self, rip: int) -> int:
+        """Return the latency of fetching the instruction at ``rip``."""
+        address = rip * 4
+        if self._cache.access(address):
+            self.stats.l1i_hits += 1
+            return 0
+        self.stats.l1i_misses += 1
+        return self.config.l2_hit_latency

@@ -1,0 +1,162 @@
+"""Microarchitectural configuration (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FunctionalUnitPool:
+    """Per-class functional unit counts (Table 1, "Functional units")."""
+
+    int_alu: int = 6
+    int_complex: int = 2
+    load_ports: int = 2
+    store_ports: int = 2
+    branch_units: int = 2
+
+    def issue_capacity(self) -> Dict[str, int]:
+        """Return the per-cycle issue capacity per functional unit class."""
+        return {
+            "alu": self.int_alu,
+            "complex": self.int_complex,
+            "load": self.load_ports,
+            "store": self.store_ports,
+            "branch": self.branch_units,
+        }
+
+
+@dataclass(frozen=True)
+class MicroarchConfig:
+    """Baseline out-of-order x86-64-style configuration.
+
+    Default values follow Table 1: 256/128/64 physical integer registers,
+    a 32-entry issue queue, a 100-entry ROB, 64/32/16-entry load and store
+    queues and a 16/32/64 KB L1 data cache, 4-way, with 64-byte lines.
+    """
+
+    # Pipeline widths (macro-instructions for fetch, micro-ops elsewhere).
+    fetch_width: int = 4
+    rename_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+
+    # Structure sizes (Table 1).
+    num_phys_int_regs: int = 256
+    issue_queue_entries: int = 32
+    rob_entries: int = 100
+    load_queue_entries: int = 64
+    store_queue_entries: int = 64
+
+    # Functional units.
+    functional_units: FunctionalUnitPool = field(default_factory=FunctionalUnitPool)
+
+    # Caches.
+    l1i_size_kb: int = 32
+    l1i_assoc: int = 4
+    l1d_size_kb: int = 32
+    l1d_assoc: int = 4
+    l2_size_kb: int = 1024
+    l2_assoc: int = 16
+    cache_line_bytes: int = 64
+
+    # Latencies (cycles).
+    l1_hit_latency: int = 2
+    l2_hit_latency: int = 12
+    memory_latency: int = 60
+    mispredict_penalty: int = 8
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+
+    # Branch prediction (Table 1: tournament predictor, 4K-entry BTB).
+    btb_entries: int = 4096
+    local_predictor_entries: int = 2048
+    global_predictor_entries: int = 8192
+    chooser_entries: int = 8192
+    global_history_bits: int = 12
+
+    # Simulation safety nets.
+    deadlock_cycles: int = 20_000
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.num_phys_int_regs <= 20:
+            raise ValueError("physical register file too small to rename 16 arch regs")
+        if self.l1d_size_kb * 1024 % (self.cache_line_bytes * self.l1d_assoc):
+            raise ValueError("L1D size must be a multiple of line size times associativity")
+
+    # Named variants used throughout the evaluation -----------------------
+    def with_register_file(self, num_regs: int) -> "MicroarchConfig":
+        """Return a copy with ``num_regs`` physical integer registers."""
+        return replace(self, num_phys_int_regs=num_regs)
+
+    def with_store_queue(self, entries: int) -> "MicroarchConfig":
+        """Return a copy with ``entries`` load and ``entries`` store queue slots."""
+        return replace(self, load_queue_entries=entries, store_queue_entries=entries)
+
+    def with_l1d(self, size_kb: int) -> "MicroarchConfig":
+        """Return a copy with a ``size_kb`` KB L1 data cache."""
+        return replace(self, l1d_size_kb=size_kb)
+
+    # Derived geometry ----------------------------------------------------
+    @property
+    def l1d_num_lines(self) -> int:
+        return self.l1d_size_kb * 1024 // self.cache_line_bytes
+
+    @property
+    def l1d_num_sets(self) -> int:
+        return self.l1d_num_lines // self.l1d_assoc
+
+    @property
+    def l1i_num_sets(self) -> int:
+        return self.l1i_size_kb * 1024 // (self.cache_line_bytes * self.l1i_assoc)
+
+    @property
+    def l2_num_sets(self) -> int:
+        return self.l2_size_kb * 1024 // (self.cache_line_bytes * self.l2_assoc)
+
+    def describe(self) -> Dict[str, str]:
+        """Return the Table 1 style parameter dictionary for reporting."""
+        fu = self.functional_units
+        return {
+            "Pipeline": "OoO",
+            "Physical register file": f"{self.num_phys_int_regs} int",
+            "Issue Queue entries": str(self.issue_queue_entries),
+            "Load/Store Queue": (
+                f"{self.load_queue_entries} load & {self.store_queue_entries} store entries"
+            ),
+            "ROB entries": str(self.rob_entries),
+            "Functional units": (
+                f"{fu.int_alu} int ALUs; {fu.int_complex} complex int ALUs; "
+                f"{fu.load_ports} load ports; {fu.store_ports} store ports"
+            ),
+            "L1 Instruction Cache": (
+                f"{self.l1i_size_kb}KB,{self.cache_line_bytes}B line,"
+                f"{self.l1i_num_sets} sets,{self.l1i_assoc}-way,write back"
+            ),
+            "L1 Data Cache": (
+                f"{self.l1d_size_kb}KB,{self.cache_line_bytes}B line,"
+                f"{self.l1d_num_sets} sets,{self.l1d_assoc}-way,write back"
+            ),
+            "L2 Cache": (
+                f"{self.l2_size_kb // 1024}MB,{self.cache_line_bytes}B line,"
+                f"{self.l2_num_sets} sets,{self.l2_assoc}-way,write back"
+            ),
+            "Branch Predictor": "Tournament predictor",
+            "Branch Target Buffer": f"direct-mapped, {self.btb_entries} entries",
+        }
+
+
+#: The register-file sizes evaluated in the paper (Figure 8).
+REGISTER_FILE_SIZES = (256, 128, 64)
+
+#: The store-queue sizes evaluated in the paper (Figure 9).
+STORE_QUEUE_SIZES = (64, 32, 16)
+
+#: The L1 data cache sizes (KB) evaluated in the paper (Figure 10).
+L1D_SIZES_KB = (64, 32, 16)
+
+#: Configuration used for the SPEC CPU2006 experiments (Section 4.4.2.3).
+SPEC_CONFIG = MicroarchConfig().with_register_file(128).with_store_queue(16).with_l1d(32)

@@ -1,0 +1,214 @@
+"""Load and store queues.
+
+The store queue models the *data field* targeted by the paper's fault
+injection: each slot owns a persistent 64-bit data latch that keeps its
+value when the slot is deallocated (faults in free slots are possible and
+naturally masked when the slot is refilled).
+
+Store-to-load forwarding follows a conservative but correct policy: a load
+may only issue once every older store knows its address; a load that
+overlaps an older store either forwards from it (full coverage, data ready)
+or replays until the store has drained to the L1D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.errors import SimulatorAssertError
+
+
+@dataclass
+class StoreQueueSlot:
+    """One store-queue slot."""
+
+    index: int
+    valid: bool = False
+    seq: int = -1
+    address: int = 0
+    size: int = 8
+    addr_ready: bool = False
+    data: int = 0
+    data_ready: bool = False
+    committed: bool = False
+    rip: int = -1
+    upc: int = 0
+    demand: bool = False
+    crash: Optional[str] = None
+
+    def reset(self) -> None:
+        """Deallocate the slot; the data latch intentionally keeps its value."""
+        self.valid = False
+        self.seq = -1
+        self.addr_ready = False
+        self.data_ready = False
+        self.committed = False
+        self.demand = False
+        self.crash = None
+
+    def overlaps(self, address: int, size: int) -> bool:
+        """True when this store's byte range intersects [address, address+size)."""
+        if not self.addr_ready:
+            return False
+        return not (address + size <= self.address or self.address + self.size <= address)
+
+    def covers(self, address: int, size: int) -> bool:
+        """True when this store's byte range fully covers the load's range."""
+        if not self.addr_ready:
+            return False
+        return self.address <= address and address + size <= self.address + self.size
+
+    def forward_value(self, address: int, size: int) -> int:
+        """Extract the loaded bytes out of this store's data."""
+        offset = address - self.address
+        return (self.data >> (8 * offset)) & ((1 << (8 * size)) - 1)
+
+
+class StoreQueue:
+    """Circular store queue with persistent per-slot data latches."""
+
+    def __init__(self, num_entries: int):
+        self.num_entries = num_entries
+        self.slots: List[StoreQueueSlot] = [StoreQueueSlot(i) for i in range(num_entries)]
+        self.head = 0
+        self.tail = 0
+        self.occupancy = 0
+
+    # ------------------------------------------------------------------
+    def has_free(self) -> bool:
+        return self.occupancy < self.num_entries
+
+    def allocate(self, seq: int, rip: int, upc: int, size: int) -> int:
+        """Allocate the slot at the tail for the store with sequence ``seq``."""
+        if not self.has_free():
+            raise SimulatorAssertError("store queue overflow")
+        slot = self.slots[self.tail]
+        if slot.valid:
+            raise SimulatorAssertError("store queue tail slot still valid")
+        slot.valid = True
+        slot.seq = seq
+        slot.rip = rip
+        slot.upc = upc
+        slot.size = size
+        slot.addr_ready = False
+        slot.data_ready = False
+        slot.committed = False
+        slot.demand = False
+        slot.crash = None
+        index = self.tail
+        self.tail = (self.tail + 1) % self.num_entries
+        self.occupancy += 1
+        return index
+
+    def set_address(self, index: int, address: int, demand: bool, crash: Optional[str]) -> None:
+        slot = self.slots[index]
+        slot.address = address
+        slot.addr_ready = True
+        slot.demand = demand
+        slot.crash = crash
+
+    def set_data(self, index: int, value: int) -> None:
+        slot = self.slots[index]
+        slot.data = value & 0xFFFFFFFFFFFFFFFF
+        slot.data_ready = True
+
+    def mark_committed(self, index: int) -> None:
+        self.slots[index].committed = True
+
+    # ------------------------------------------------------------------
+    def older_stores(self, seq: int) -> List[StoreQueueSlot]:
+        """Return valid slots holding stores older than ``seq`` (oldest first)."""
+        result = [slot for slot in self.slots if slot.valid and slot.seq < seq]
+        result.sort(key=lambda slot: slot.seq)
+        return result
+
+    def all_older_addresses_known(self, seq: int) -> bool:
+        """Conservative disambiguation: all older stores must know their address."""
+        return all(slot.addr_ready for slot in self.slots if slot.valid and slot.seq < seq)
+
+    def forwarding_source(self, seq: int, address: int, size: int) -> Tuple[str, Optional[StoreQueueSlot]]:
+        """Find the forwarding source for a load.
+
+        Returns one of ``("forward", slot)``, ``("stall", slot)`` or
+        ``("none", None)``.
+        """
+        best: Optional[StoreQueueSlot] = None
+        for slot in self.slots:
+            if not slot.valid or slot.seq >= seq:
+                continue
+            if not slot.overlaps(address, size):
+                continue
+            if best is None or slot.seq > best.seq:
+                best = slot
+        if best is None:
+            return "none", None
+        if best.covers(address, size) and best.data_ready:
+            return "forward", best
+        return "stall", best
+
+    # ------------------------------------------------------------------
+    def head_slot(self) -> Optional[StoreQueueSlot]:
+        """Return the oldest valid slot, or None when the queue is empty."""
+        if self.occupancy == 0:
+            return None
+        slot = self.slots[self.head]
+        if not slot.valid:
+            raise SimulatorAssertError("store queue head slot not valid")
+        return slot
+
+    def release_head(self) -> None:
+        """Free the head slot after its store has drained to the cache."""
+        if self.occupancy == 0:
+            raise SimulatorAssertError("store queue underflow on release")
+        self.slots[self.head].reset()
+        self.head = (self.head + 1) % self.num_entries
+        self.occupancy -= 1
+
+    def squash_younger(self, seq: int) -> None:
+        """Deallocate every store younger than ``seq`` and rewind the tail."""
+        while self.occupancy > 0:
+            last = (self.tail - 1) % self.num_entries
+            slot = self.slots[last]
+            if slot.valid and slot.seq > seq and not slot.committed:
+                slot.reset()
+                self.tail = last
+                self.occupancy -= 1
+            else:
+                break
+
+    # ------------------------------------------------------------------
+    def flip_bit(self, entry: int, bit: int) -> None:
+        """Flip one bit of a slot's data latch (fault-injection hook)."""
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit out of range: {bit}")
+        self.slots[entry].data ^= 1 << bit
+
+
+class LoadQueue:
+    """Load queue modelled for occupancy only (no data field in gem5 either)."""
+
+    def __init__(self, num_entries: int):
+        self.num_entries = num_entries
+        self._seqs: List[int] = []
+
+    def has_free(self) -> bool:
+        return len(self._seqs) < self.num_entries
+
+    def allocate(self, seq: int) -> None:
+        if not self.has_free():
+            raise SimulatorAssertError("load queue overflow")
+        self._seqs.append(seq)
+
+    def release(self, seq: int) -> None:
+        try:
+            self._seqs.remove(seq)
+        except ValueError:
+            raise SimulatorAssertError("load queue release of unknown load") from None
+
+    def squash_younger(self, seq: int) -> None:
+        self._seqs = [s for s in self._seqs if s <= seq]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._seqs)

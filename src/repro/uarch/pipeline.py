@@ -1,0 +1,799 @@
+"""Cycle-level out-of-order pipeline.
+
+The pipeline implements the classical physical-register-file out-of-order
+organisation of Table 1: fetch with a tournament predictor and BTB, decode
+into micro-ops, rename onto a physical integer register file, dispatch into
+a unified issue queue and the load/store queue, out-of-order issue and
+execution, in-order commit from the ROB, and post-commit store drain into a
+write-back L1 data cache.
+
+Everything the fault-injection framework and the ACE-like analysis need is
+exposed here:
+
+* a *fault plan* (cycle -> list of bit flips) applied at the start of the
+  target cycle to the physical register file, the store-queue data latches
+  or the L1D data array;
+* an :class:`repro.uarch.trace.AccessTracer` that records physical writes
+  and committed reads of those structures, with the (RIP, uPC) of the
+  reading micro-operation;
+* precise architectural observation: program output, the number of
+  recoverable ("demand") exceptions, crashes and timeouts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.isa.alu import apply_binary, apply_unary, evaluate_condition
+from repro.isa.errors import ProgramCrash, SimulatorAssertError
+from repro.isa.instructions import Opcode
+from repro.isa.memory import AccessClass, MemoryImage
+from repro.isa.microops import MicroOp, MicroOpKind, RefKind, ValueRef
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, Reg, to_unsigned
+from repro.uarch.branch import BranchUnit
+from repro.uarch.cache import DataCache, InstructionCache
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.lsq import LoadQueue, StoreQueue
+from repro.uarch.regfile import FreeList, PhysicalRegisterFile
+from repro.uarch.stats import SimStats
+from repro.uarch.structures import TargetStructure
+from repro.uarch.trace import AccessKind, AccessTracer
+
+
+class TerminationKind(enum.Enum):
+    """How a simulation run ended."""
+
+    HALTED = "halted"
+    INTERVAL_END = "interval_end"
+    TIMEOUT = "timeout"
+    DEADLOCK = "deadlock"
+    CRASH = "crash"
+    ASSERT = "assert"
+
+
+@dataclass
+class SimulationResult:
+    """Architecturally visible outcome of a pipeline run."""
+
+    termination: TerminationKind
+    output: List[int]
+    cycles: int
+    committed_instructions: int
+    committed_uops: int
+    exceptions: int
+    crash_reason: Optional[str] = None
+    stats: SimStats = field(default_factory=SimStats)
+    memory_hash: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.termination is TerminationKind.HALTED
+
+
+class _MacroContext:
+    """Dynamic state shared by the micro-ops of one fetched macro-instruction."""
+
+    __slots__ = (
+        "rip",
+        "predicted_next",
+        "predicted_taken",
+        "history_snapshot",
+        "is_conditional",
+        "temp_map",
+        "temp_allocs",
+        "sq_index",
+        "uops",
+    )
+
+    def __init__(self, rip: int, predicted_next: int, predicted_taken: bool,
+                 history_snapshot: int, is_conditional: bool):
+        self.rip = rip
+        self.predicted_next = predicted_next
+        self.predicted_taken = predicted_taken
+        self.history_snapshot = history_snapshot
+        self.is_conditional = is_conditional
+        self.temp_map: Dict[int, int] = {}
+        self.temp_allocs: List[int] = []
+        self.sq_index: Optional[int] = None
+        self.uops: List[MicroOp] = []
+
+
+class _InFlightUop:
+    """A renamed micro-op flowing through the back end."""
+
+    __slots__ = (
+        "uop",
+        "macro",
+        "seq",
+        "phys_dest",
+        "prev_phys",
+        "src_phys",
+        "src_imm",
+        "issued",
+        "complete",
+        "squashed",
+        "result",
+        "latency",
+        "demand",
+        "crash_reason",
+        "rf_reads",
+        "sq_reads",
+        "l1d_reads",
+        "actual_next",
+        "actual_taken",
+        "mem_address",
+        "lq_allocated",
+    )
+
+    def __init__(self, uop: MicroOp, macro: _MacroContext, seq: int):
+        self.uop = uop
+        self.macro = macro
+        self.seq = seq
+        self.phys_dest: Optional[int] = None
+        self.prev_phys: Optional[int] = None
+        # Parallel lists: physical source registers and immediate operands in
+        # positional order (src1, src2, mem_base).
+        self.src_phys: List[Optional[int]] = []
+        self.src_imm: List[Optional[int]] = []
+        self.issued = False
+        self.complete = False
+        self.squashed = False
+        self.result: int = 0
+        self.latency: int = 1
+        self.demand = False
+        self.crash_reason: Optional[str] = None
+        self.rf_reads: List[Tuple[int, int]] = []
+        self.sq_reads: List[Tuple[int, int]] = []
+        self.l1d_reads: List[Tuple[int, int]] = []
+        self.actual_next: Optional[int] = None
+        self.actual_taken: bool = False
+        self.mem_address: Optional[int] = None
+        self.lq_allocated = False
+
+    @property
+    def rip(self) -> int:
+        return self.uop.rip
+
+    @property
+    def upc(self) -> int:
+        return self.uop.upc
+
+
+#: Functional unit class per micro-op kind (MUL/DIV overridden to "complex").
+_FU_CLASS = {
+    MicroOpKind.ALU: "alu",
+    MicroOpKind.LOAD: "load",
+    MicroOpKind.STORE_ADDR: "store",
+    MicroOpKind.STORE_DATA: "store",
+    MicroOpKind.BRANCH: "branch",
+    MicroOpKind.JUMP: "branch",
+    MicroOpKind.OUT: "alu",
+    MicroOpKind.NOP: "alu",
+    MicroOpKind.HALT: "alu",
+}
+
+
+class OutOfOrderCpu:
+    """The out-of-order core."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[MicroarchConfig] = None,
+        tracer: Optional[AccessTracer] = None,
+        fault_plan: Optional[Dict[int, List[Tuple[TargetStructure, int, int]]]] = None,
+    ):
+        self.program = program
+        self.config = config or MicroarchConfig()
+        self.tracer = tracer or AccessTracer(enabled=False)
+        self.fault_plan = fault_plan or {}
+        self.stats = SimStats()
+
+        self.memory: MemoryImage = program.initial_memory()
+        self.icache = InstructionCache(self.config, self.stats)
+        self.dcache = DataCache(self.config, self.memory, self.stats, self.tracer)
+        self.branch_unit = BranchUnit(self.config)
+        self.prf = PhysicalRegisterFile(self.config.num_phys_int_regs)
+        self.free_list = FreeList(self.config.num_phys_int_regs)
+        self.store_queue = StoreQueue(self.config.store_queue_entries)
+        self.load_queue = LoadQueue(self.config.load_queue_entries)
+
+        # Identity-map architectural registers onto the first 16 physical
+        # registers; give RSP its reset value.
+        self.rename_map: List[int] = list(range(NUM_ARCH_REGS))
+        self.retirement_map: List[int] = list(range(NUM_ARCH_REGS))
+        for arch in range(NUM_ARCH_REGS):
+            self.prf.write(arch, 0)
+        self.prf.write(int(Reg.RSP), program.initial_stack_pointer)
+        if self.tracer.enabled:
+            for arch in range(NUM_ARCH_REGS):
+                self.tracer.record_rf(arch, 0, AccessKind.WRITE)
+
+        self.cycle = 0
+        self._seq = 0
+        self.fetch_pc = program.entry
+        self.fetch_stall_until = 0
+        self.decode_queue: Deque[_MacroContext] = deque()
+        self.rob: Deque[_InFlightUop] = deque()
+        self.issue_queue: List[_InFlightUop] = []
+        self._completions: Dict[int, List[_InFlightUop]] = {}
+
+        self.output: List[int] = []
+        self.exceptions = 0
+        self.halted = False
+        self._last_commit_cycle = 0
+        # Committed macro-instruction log (rip, commit cycle), recorded only
+        # during profiling runs; used by the Relyzer control-equivalence
+        # baseline of Section 4.4.4.
+        self.commit_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 2_000_000,
+            max_instructions: Optional[int] = None) -> SimulationResult:
+        """Run until HALT commits, a crash/assert occurs or ``max_cycles`` pass.
+
+        When ``max_instructions`` is given the run additionally stops once
+        that many macro-instructions have committed (``INTERVAL_END``
+        termination) — this models terminating a fault-injection run at the
+        end of a SimPoint interval, as in Section 4.4.3.4 of the paper.
+        """
+        termination = TerminationKind.TIMEOUT
+        crash_reason: Optional[str] = None
+        try:
+            while self.cycle < max_cycles:
+                self._step()
+                if self.halted:
+                    termination = TerminationKind.HALTED
+                    break
+                if (max_instructions is not None
+                        and self.stats.committed_instructions >= max_instructions):
+                    termination = TerminationKind.INTERVAL_END
+                    break
+                if self.cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+                    termination = TerminationKind.DEADLOCK
+                    break
+        except ProgramCrash as crash:
+            termination = TerminationKind.CRASH
+            crash_reason = crash.reason
+        except SimulatorAssertError as failure:
+            termination = TerminationKind.ASSERT
+            crash_reason = str(failure)
+
+        self.stats.cycles = self.cycle
+        self._drain_remaining_stores()
+        self.dcache.flush_dirty_to_memory()
+        return SimulationResult(
+            termination=termination,
+            output=list(self.output),
+            cycles=self.cycle,
+            committed_instructions=self.stats.committed_instructions,
+            committed_uops=self.stats.committed_uops,
+            exceptions=self.exceptions,
+            crash_reason=crash_reason,
+            stats=self.stats,
+            memory_hash=self.memory.content_hash(),
+        )
+
+    def _drain_remaining_stores(self) -> None:
+        """Drain committed stores left in the SQ when the run stops.
+
+        This keeps the final memory image architecturally consistent so that
+        end-of-run state comparisons (used by the SimPoint-interval
+        classification) are meaningful.
+        """
+        while True:
+            slot = self.store_queue.head_slot()
+            if slot is None or not slot.committed:
+                break
+            if slot.addr_ready and slot.data_ready:
+                self.dcache.write(slot.address, slot.data, slot.size, self.cycle)
+            self.store_queue.release_head()
+
+    # ------------------------------------------------------------------
+    # Per-cycle machinery
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        self._apply_faults()
+        self._commit()
+        if self.halted:
+            self.cycle += 1
+            return
+        self._drain_store()
+        self._writeback()
+        self._issue()
+        self._rename()
+        self._fetch()
+        self._check_wild_fetch()
+        self.cycle += 1
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _apply_faults(self) -> None:
+        flips = self.fault_plan.get(self.cycle)
+        if not flips:
+            return
+        for structure, entry, bit in flips:
+            if structure is TargetStructure.RF:
+                self.prf.flip_bit(entry, bit)
+            elif structure is TargetStructure.SQ:
+                self.store_queue.flip_bit(entry, bit)
+            elif structure is TargetStructure.L1D:
+                self.dcache.flip_bit(entry, bit)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown fault target {structure}")
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        committed = 0
+        while self.rob and committed < self.config.commit_width:
+            entry = self.rob[0]
+            if not entry.complete:
+                break
+            self.rob.popleft()
+            committed += 1
+            self._last_commit_cycle = self.cycle
+            self.stats.committed_uops += 1
+
+            if entry.crash_reason is not None:
+                raise ProgramCrash(entry.crash_reason, cycle=self.cycle)
+            if entry.demand:
+                self.exceptions += 1
+                self.stats.demand_exceptions += 1
+
+            if self.tracer.enabled:
+                for phys, cycle in entry.rf_reads:
+                    self.tracer.record_rf(phys, cycle, AccessKind.READ, entry.rip, entry.upc)
+                for slot, cycle in entry.sq_reads:
+                    self.tracer.record_sq(slot, cycle, AccessKind.READ, entry.rip, entry.upc)
+                for word, cycle in entry.l1d_reads:
+                    self.tracer.record_l1d(word, cycle, AccessKind.READ, entry.rip, entry.upc)
+
+            uop = entry.uop
+            dest = uop.dest
+            if dest is not None and dest.is_reg and entry.phys_dest is not None:
+                self.retirement_map[dest.value] = entry.phys_dest
+                if entry.prev_phys is not None:
+                    self.free_list.release(entry.prev_phys)
+
+            if uop.kind is MicroOpKind.STORE_DATA and entry.macro.sq_index is not None:
+                self.store_queue.mark_committed(entry.macro.sq_index)
+            elif uop.kind is MicroOpKind.LOAD and entry.lq_allocated:
+                self.load_queue.release(entry.seq)
+            elif uop.kind is MicroOpKind.OUT:
+                self.output.append(entry.result)
+            elif uop.kind is MicroOpKind.HALT:
+                self.halted = True
+
+            if uop.is_last:
+                self.stats.committed_instructions += 1
+                if self.tracer.enabled:
+                    self.commit_log.append((entry.rip, self.cycle))
+                for phys in entry.macro.temp_allocs:
+                    self.free_list.release(phys)
+                entry.macro.temp_allocs = []
+                if uop.kind is MicroOpKind.HALT:
+                    return
+
+    # ------------------------------------------------------------------
+    # Store drain (post-commit)
+    # ------------------------------------------------------------------
+    def _drain_store(self) -> None:
+        slot = self.store_queue.head_slot()
+        if slot is None or not slot.committed:
+            return
+        if not (slot.addr_ready and slot.data_ready):
+            raise SimulatorAssertError("committed store drained without address or data")
+        result = self.dcache.write(slot.address, slot.data, slot.size, self.cycle)
+        self.stats.stores_committed += 1
+        if self.tracer.enabled:
+            self.tracer.record_sq(slot.index, self.cycle, AccessKind.READ, slot.rip, slot.upc)
+            for word in result.touched_entries:
+                self.tracer.record_l1d(word, self.cycle, AccessKind.WRITE, slot.rip, slot.upc)
+        self.store_queue.release_head()
+
+    # ------------------------------------------------------------------
+    # Writeback / branch resolution
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        finishing = self._completions.pop(self.cycle, [])
+        for entry in finishing:
+            if entry.squashed:
+                continue
+            entry.complete = True
+            dest = entry.uop.dest
+            if dest is not None and entry.phys_dest is not None:
+                self.prf.write(entry.phys_dest, entry.result)
+                if self.tracer.enabled:
+                    self.tracer.record_rf(entry.phys_dest, self.cycle, AccessKind.WRITE)
+            if entry.uop.is_control:
+                self._resolve_control(entry)
+
+    def _resolve_control(self, entry: _InFlightUop) -> None:
+        macro = entry.macro
+        uop = entry.uop
+        actual_next = entry.actual_next
+        if actual_next is None:
+            raise SimulatorAssertError("control micro-op completed without a target")
+
+        if uop.kind is MicroOpKind.BRANCH:
+            self.stats.branches += 1
+            self.branch_unit.predictor.update(
+                uop.rip, entry.actual_taken, macro.history_snapshot
+            )
+        elif uop.is_indirect:
+            self.branch_unit.btb.update(uop.rip, actual_next)
+
+        if actual_next != macro.predicted_next:
+            self.stats.branch_mispredicts += 1
+            self._squash_after(entry.seq)
+            self.branch_unit.predictor.restore_history(macro.history_snapshot)
+            if uop.kind is MicroOpKind.BRANCH:
+                self.branch_unit.predictor.speculative_update_history(entry.actual_taken)
+            self.fetch_pc = actual_next
+            self.fetch_stall_until = max(
+                self.fetch_stall_until, self.cycle + self.config.mispredict_penalty
+            )
+
+    def _squash_after(self, seq: int) -> None:
+        self.stats.squashes += 1
+        survivors: Deque[_InFlightUop] = deque()
+        squashed_count = 0
+        for entry in self.rob:
+            if entry.seq > seq:
+                entry.squashed = True
+                squashed_count += 1
+            else:
+                survivors.append(entry)
+        self.rob = survivors
+        self.stats.squashed_uops += squashed_count
+        self.issue_queue = [e for e in self.issue_queue if e.seq <= seq]
+        self.decode_queue.clear()
+        self.store_queue.squash_younger(seq)
+        self.load_queue.squash_younger(seq)
+
+        # Rebuild the speculative rename map: start from the committed map and
+        # replay the surviving (older, uncommitted) destinations in order.
+        self.rename_map = list(self.retirement_map)
+        for entry in self.rob:
+            dest = entry.uop.dest
+            if dest is not None and dest.is_reg and entry.phys_dest is not None:
+                self.rename_map[dest.value] = entry.phys_dest
+
+        # Rebuild the free list from the set of live physical registers.
+        in_use = set(self.retirement_map)
+        for entry in self.rob:
+            if entry.phys_dest is not None:
+                in_use.add(entry.phys_dest)
+            if entry.prev_phys is not None:
+                in_use.add(entry.prev_phys)
+            for phys in entry.macro.temp_allocs:
+                in_use.add(phys)
+        self.free_list.rebuild(in_use)
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        if not self.issue_queue:
+            return
+        capacity = dict(self.config.functional_units.issue_capacity())
+        issued_total = 0
+        issued_entries: List[_InFlightUop] = []
+        for entry in sorted(self.issue_queue, key=lambda e: e.seq):
+            if issued_total >= self.config.issue_width:
+                break
+            fu_class = self._fu_class(entry)
+            if capacity.get(fu_class, 0) <= 0:
+                continue
+            if not self._sources_ready(entry):
+                continue
+            if entry.uop.kind is MicroOpKind.LOAD and not self._load_may_issue(entry):
+                continue
+            executed = self._execute(entry)
+            if not executed:
+                # Load replay: leave the micro-op in the issue queue.
+                self.stats.load_replays += 1
+                continue
+            capacity[fu_class] -= 1
+            issued_total += 1
+            issued_entries.append(entry)
+            entry.issued = True
+            finish = self.cycle + max(1, entry.latency)
+            self._completions.setdefault(finish, []).append(entry)
+        if issued_entries:
+            issued_set = {id(e) for e in issued_entries}
+            self.issue_queue = [e for e in self.issue_queue if id(e) not in issued_set]
+
+    def _fu_class(self, entry: _InFlightUop) -> str:
+        uop = entry.uop
+        if uop.kind is MicroOpKind.ALU and uop.alu_op in (Opcode.MUL, Opcode.DIV, Opcode.MOD):
+            return "complex"
+        return _FU_CLASS[uop.kind]
+
+    def _sources_ready(self, entry: _InFlightUop) -> bool:
+        for phys in entry.src_phys:
+            if phys is not None and not self.prf.is_ready(phys):
+                return False
+        return True
+
+    def _load_may_issue(self, entry: _InFlightUop) -> bool:
+        return self.store_queue.all_older_addresses_known(entry.seq)
+
+    def _source_value(self, entry: _InFlightUop, position: int) -> int:
+        phys = entry.src_phys[position]
+        if phys is not None:
+            entry.rf_reads.append((phys, self.cycle))
+            return self.prf.read(phys)
+        imm = entry.src_imm[position]
+        return to_unsigned(imm if imm is not None else 0)
+
+    def _execute(self, entry: _InFlightUop) -> bool:
+        """Execute ``entry``; returns False when a load must replay."""
+        uop = entry.uop
+        kind = uop.kind
+        entry.latency = self.config.alu_latency
+
+        if kind is MicroOpKind.ALU:
+            self._execute_alu(entry)
+        elif kind is MicroOpKind.LOAD:
+            return self._execute_load(entry)
+        elif kind is MicroOpKind.STORE_ADDR:
+            self._execute_store_addr(entry)
+        elif kind is MicroOpKind.STORE_DATA:
+            self._execute_store_data(entry)
+        elif kind is MicroOpKind.BRANCH:
+            lhs = self._source_value(entry, 0)
+            rhs = self._source_value(entry, 1)
+            entry.actual_taken = evaluate_condition(uop.condition, lhs, rhs)
+            entry.actual_next = uop.target if entry.actual_taken else uop.rip + 1
+        elif kind is MicroOpKind.JUMP:
+            if uop.is_indirect:
+                entry.actual_next = self._source_value(entry, 0)
+            else:
+                entry.actual_next = uop.target
+            entry.actual_taken = True
+        elif kind is MicroOpKind.OUT:
+            entry.result = self._source_value(entry, 0)
+        elif kind in (MicroOpKind.NOP, MicroOpKind.HALT):
+            pass
+        else:  # pragma: no cover - defensive
+            raise SimulatorAssertError(f"cannot execute micro-op kind {kind}")
+        return True
+
+    def _execute_alu(self, entry: _InFlightUop) -> None:
+        uop = entry.uop
+        op = uop.alu_op
+        if op in (Opcode.MOV, Opcode.NOT, Opcode.NEG):
+            value = self._source_value(entry, 0)
+            try:
+                entry.result = apply_unary(op, value)
+            except ProgramCrash as crash:  # pragma: no cover - unary ops cannot crash
+                entry.crash_reason = crash.reason
+            return
+        lhs = self._source_value(entry, 0)
+        rhs = self._source_value(entry, 1)
+        if op is Opcode.MUL:
+            entry.latency = self.config.mul_latency
+        elif op in (Opcode.DIV, Opcode.MOD):
+            entry.latency = self.config.div_latency
+        try:
+            entry.result = apply_binary(op, lhs, rhs)
+        except ProgramCrash as crash:
+            entry.crash_reason = crash.reason
+            entry.result = 0
+
+    def _memory_address(self, entry: _InFlightUop) -> int:
+        base = self._source_value(entry, 2)
+        return to_unsigned(base + entry.uop.mem_disp)
+
+    def _execute_load(self, entry: _InFlightUop) -> bool:
+        uop = entry.uop
+        address = self._memory_address(entry)
+        entry.mem_address = address
+        size = uop.mem_size
+        klass = self.memory.classify_access(address, size)
+        if klass is AccessClass.CRASH:
+            entry.crash_reason = f"invalid memory read at {address:#x}"
+            entry.result = 0
+            return True
+        entry.demand = klass is AccessClass.DEMAND
+
+        action, slot = self.store_queue.forwarding_source(entry.seq, address, size)
+        if action == "stall":
+            # Overlapping older store that cannot forward: replay next cycle.
+            entry.rf_reads.clear()
+            entry.demand = False
+            return False
+        if action == "forward":
+            entry.result = slot.forward_value(address, size)
+            entry.sq_reads.append((slot.index, self.cycle))
+            entry.latency = self.config.l1_hit_latency
+            self.stats.store_forwards += 1
+            self.stats.loads_executed += 1
+            return True
+
+        result = self.dcache.read(address, size, self.cycle)
+        entry.result = result.value
+        entry.latency = result.latency
+        entry.l1d_reads.extend((word, self.cycle) for word in result.touched_entries)
+        self.stats.loads_executed += 1
+        return True
+
+    def _execute_store_addr(self, entry: _InFlightUop) -> None:
+        uop = entry.uop
+        address = self._memory_address(entry)
+        entry.mem_address = address
+        klass = self.memory.classify_access(address, uop.mem_size)
+        crash = None
+        demand = False
+        if klass is AccessClass.CRASH:
+            crash = f"invalid memory write at {address:#x}"
+            entry.crash_reason = crash
+        elif klass is AccessClass.DEMAND:
+            demand = True
+            entry.demand = True
+        if entry.macro.sq_index is None:
+            raise SimulatorAssertError("store address executed without a store-queue slot")
+        self.store_queue.set_address(entry.macro.sq_index, address, demand, crash)
+
+    def _execute_store_data(self, entry: _InFlightUop) -> None:
+        value = self._source_value(entry, 0)
+        entry.result = value
+        if entry.macro.sq_index is None:
+            raise SimulatorAssertError("store data executed without a store-queue slot")
+        self.store_queue.set_data(entry.macro.sq_index, value)
+        if self.tracer.enabled:
+            self.tracer.record_sq(entry.macro.sq_index, self.cycle, AccessKind.WRITE)
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+    def _rename(self) -> None:
+        budget = self.config.rename_width
+        while self.decode_queue and budget > 0:
+            macro = self.decode_queue[0]
+            uops = macro.uops
+            if len(uops) > budget:
+                break
+            if not self._resources_available(macro):
+                self.stats.rename_stalls += 1
+                break
+            self.decode_queue.popleft()
+            for uop in uops:
+                self._rename_uop(uop, macro)
+            budget -= len(uops)
+
+    def _resources_available(self, macro: _MacroContext) -> bool:
+        uops = macro.uops
+        if len(self.rob) + len(uops) > self.config.rob_entries:
+            return False
+        if len(self.issue_queue) + len(uops) > self.config.issue_queue_entries:
+            return False
+        dest_count = sum(1 for uop in uops if uop.dest is not None)
+        if not self.free_list.has_free(dest_count):
+            return False
+        if any(uop.kind is MicroOpKind.STORE_ADDR for uop in uops) and not self.store_queue.has_free():
+            return False
+        if any(uop.kind is MicroOpKind.LOAD for uop in uops) and not self.load_queue.has_free():
+            return False
+        return True
+
+    def _rename_uop(self, uop: MicroOp, macro: _MacroContext) -> None:
+        entry = _InFlightUop(uop, macro, self._next_seq())
+
+        for ref in (uop.src1, uop.src2, uop.mem_base):
+            self._rename_source(entry, ref, macro)
+
+        dest = uop.dest
+        if dest is not None:
+            phys = self.free_list.allocate()
+            self.prf.mark_not_ready(phys)
+            entry.phys_dest = phys
+            if dest.is_reg:
+                entry.prev_phys = self.rename_map[dest.value]
+                self.rename_map[dest.value] = phys
+            else:
+                macro.temp_map[dest.value] = phys
+                macro.temp_allocs.append(phys)
+
+        if uop.kind is MicroOpKind.STORE_ADDR:
+            macro.sq_index = self.store_queue.allocate(
+                entry.seq, uop.rip, uop.upc + 1, uop.mem_size
+            )
+        elif uop.kind is MicroOpKind.LOAD:
+            self.load_queue.allocate(entry.seq)
+            entry.lq_allocated = True
+
+        self.rob.append(entry)
+        self.issue_queue.append(entry)
+
+    def _rename_source(self, entry: _InFlightUop, ref: Optional[ValueRef],
+                       macro: _MacroContext) -> None:
+        if ref is None:
+            entry.src_phys.append(None)
+            entry.src_imm.append(None)
+            return
+        if ref.kind is RefKind.REG:
+            entry.src_phys.append(self.rename_map[ref.value])
+            entry.src_imm.append(None)
+        elif ref.kind is RefKind.TMP:
+            if ref.value not in macro.temp_map:
+                raise SimulatorAssertError("temporary read before being written")
+            entry.src_phys.append(macro.temp_map[ref.value])
+            entry.src_imm.append(None)
+        else:
+            entry.src_phys.append(None)
+            entry.src_imm.append(ref.value)
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        if self.cycle < self.fetch_stall_until:
+            self.stats.fetch_stall_cycles += 1
+            return
+        if len(self.decode_queue) >= 2 * self.config.fetch_width:
+            return
+        fetched = 0
+        while fetched < self.config.fetch_width:
+            if not self.program.in_range(self.fetch_pc):
+                return
+            rip = self.fetch_pc
+            latency = self.icache.fetch_latency(rip)
+            instr = self.program.instruction_at(rip)
+            uops = self.program.uops(rip)
+            self.stats.fetched_instructions += 1
+            fetched += 1
+
+            predicted_next = rip + 1
+            predicted_taken = False
+            history = self.branch_unit.predictor.snapshot_history()
+            if instr.is_control:
+                target_operand = instr.target_operand()
+                static_target = target_operand.value if target_operand is not None else None
+                is_conditional = instr.opcode is Opcode.BR
+                is_indirect = instr.opcode in (Opcode.JMPR, Opcode.RET)
+                predicted_next, predicted_taken, history = self.branch_unit.predict_next(
+                    rip, is_conditional, static_target, is_indirect
+                )
+
+            macro = _MacroContext(
+                rip=rip,
+                predicted_next=predicted_next,
+                predicted_taken=predicted_taken,
+                history_snapshot=history,
+                is_conditional=instr.opcode is Opcode.BR,
+            )
+            macro.uops = uops
+            self.decode_queue.append(macro)
+            self.fetch_pc = predicted_next
+
+            if latency > 0:
+                self.fetch_stall_until = self.cycle + latency
+                return
+            if instr.is_control and predicted_taken:
+                return
+
+    def _check_wild_fetch(self) -> None:
+        """Crash when the correct path has left the program and nothing is in flight."""
+        if self.halted:
+            return
+        if self.program.in_range(self.fetch_pc):
+            return
+        if self.rob or self.decode_queue:
+            return
+        raise ProgramCrash(f"instruction fetch outside program at RIP {self.fetch_pc}",
+                           cycle=self.cycle)

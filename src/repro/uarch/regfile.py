@@ -1,0 +1,73 @@
+"""Physical integer register file."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.isa.errors import SimulatorAssertError
+from repro.isa.registers import NUM_ARCH_REGS, WORD_MASK
+
+
+class PhysicalRegisterFile:
+    """Bit-addressable physical register storage with ready bits.
+
+    The value array is persistent: registers on the free list still hold
+    their last value, so faults injected into free registers behave exactly
+    as in hardware (they are overwritten when the register is reallocated
+    and written back).
+    """
+
+    def __init__(self, num_regs: int):
+        if num_regs <= NUM_ARCH_REGS:
+            raise ValueError("need more physical than architectural registers")
+        self.num_regs = num_regs
+        self.values: List[int] = [0] * num_regs
+        self.ready: List[bool] = [False] * num_regs
+
+    def read(self, index: int) -> int:
+        return self.values[index]
+
+    def write(self, index: int, value: int) -> None:
+        self.values[index] = value & WORD_MASK
+        self.ready[index] = True
+
+    def mark_not_ready(self, index: int) -> None:
+        self.ready[index] = False
+
+    def is_ready(self, index: int) -> bool:
+        return self.ready[index]
+
+    def flip_bit(self, index: int, bit: int) -> None:
+        """Flip one bit of a physical register (fault-injection hook)."""
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit out of range: {bit}")
+        self.values[index] ^= 1 << bit
+
+
+class FreeList:
+    """Free list of physical registers with underflow checking."""
+
+    def __init__(self, num_regs: int, reserved: int = NUM_ARCH_REGS):
+        self._free: Deque[int] = deque(range(reserved, num_regs))
+        self.num_regs = num_regs
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> int:
+        if not self._free:
+            raise SimulatorAssertError("physical register free list underflow")
+        return self._free.popleft()
+
+    def release(self, index: int) -> None:
+        self._free.append(index)
+
+    def has_free(self, count: int = 1) -> bool:
+        return len(self._free) >= count
+
+    def rebuild(self, in_use: set) -> None:
+        """Rebuild the free list after a squash from the set of live registers."""
+        self._free = deque(
+            reg for reg in range(self.num_regs) if reg not in in_use
+        )

@@ -1,0 +1,76 @@
+"""Simulation statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated by the out-of-order pipeline."""
+
+    cycles: int = 0
+    committed_instructions: int = 0
+    committed_uops: int = 0
+    fetched_instructions: int = 0
+    squashed_uops: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    squashes: int = 0
+    loads_executed: int = 0
+    stores_committed: int = 0
+    store_forwards: int = 0
+    load_replays: int = 0
+    l1i_hits: int = 0
+    l1i_misses: int = 0
+    l1d_hits: int = 0
+    l1d_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l1d_writebacks: int = 0
+    demand_exceptions: int = 0
+    rename_stalls: int = 0
+    fetch_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed macro-instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredicts / self.branches
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        accesses = self.l1d_hits + self.l1d_misses
+        if accesses == 0:
+            return 0.0
+        return self.l1d_misses / accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat dictionary of all counters and derived rates."""
+        data: Dict[str, float] = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        data["ipc"] = self.ipc
+        data["branch_mispredict_rate"] = self.branch_mispredict_rate
+        data["l1d_miss_rate"] = self.l1d_miss_rate
+        return data
+
+    def summary(self) -> str:
+        """Return a short multi-line human-readable summary."""
+        return (
+            f"cycles={self.cycles} instructions={self.committed_instructions} "
+            f"ipc={self.ipc:.2f}\n"
+            f"branches={self.branches} mispredicts={self.branch_mispredicts} "
+            f"({self.branch_mispredict_rate:.1%})\n"
+            f"L1D hits={self.l1d_hits} misses={self.l1d_misses} "
+            f"({self.l1d_miss_rate:.1%}) writebacks={self.l1d_writebacks}\n"
+            f"store-forwards={self.store_forwards} load-replays={self.load_replays}"
+        )

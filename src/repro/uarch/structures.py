@@ -1,0 +1,86 @@
+"""Fault-target structure identifiers and geometry helpers.
+
+All three structures expose 64-bit entries to the fault model:
+
+* ``RF`` — one entry per physical integer register;
+* ``SQ`` — one entry per store-queue slot (its 64-bit data field);
+* ``L1D`` — one entry per 64-bit word of the L1 data cache data array
+  (a 64-byte line therefore contributes eight entries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.uarch.config import MicroarchConfig
+
+#: Width of a fault-target entry in bits (all structures use 64-bit entries).
+ENTRY_BITS = 64
+
+#: Bytes per entry.
+ENTRY_BYTES = ENTRY_BITS // 8
+
+#: Number of 64-bit words per cache line.
+WORDS_PER_LINE = 8
+
+
+class TargetStructure(enum.Enum):
+    """Hardware structures targeted by fault injection in the paper."""
+
+    RF = "register_file"
+    SQ = "store_queue"
+    L1D = "l1_data_cache"
+
+    @property
+    def short_name(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StructureGeometry:
+    """Entry count and bit geometry of a fault-target structure."""
+
+    structure: TargetStructure
+    num_entries: int
+    bits_per_entry: int = ENTRY_BITS
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_entries * self.bits_per_entry
+
+    def flatten(self, entry: int, bit: int) -> int:
+        """Flatten an (entry, bit) pair into a global bit index."""
+        if not 0 <= entry < self.num_entries:
+            raise ValueError(f"entry out of range: {entry}")
+        if not 0 <= bit < self.bits_per_entry:
+            raise ValueError(f"bit out of range: {bit}")
+        return entry * self.bits_per_entry + bit
+
+    def unflatten(self, bit_index: int) -> tuple:
+        """Inverse of :meth:`flatten`."""
+        if not 0 <= bit_index < self.total_bits:
+            raise ValueError(f"bit index out of range: {bit_index}")
+        return divmod(bit_index, self.bits_per_entry)
+
+
+def structure_geometry(structure: TargetStructure, config: MicroarchConfig) -> StructureGeometry:
+    """Return the geometry of ``structure`` under ``config``."""
+    if structure is TargetStructure.RF:
+        return StructureGeometry(structure, config.num_phys_int_regs)
+    if structure is TargetStructure.SQ:
+        return StructureGeometry(structure, config.store_queue_entries)
+    if structure is TargetStructure.L1D:
+        return StructureGeometry(structure, config.l1d_num_lines * WORDS_PER_LINE)
+    raise ValueError(f"unknown structure {structure}")
+
+
+def structure_config_label(structure: TargetStructure, config: MicroarchConfig) -> str:
+    """Human-readable configuration label used in the paper's figures."""
+    if structure is TargetStructure.RF:
+        return f"{config.num_phys_int_regs}regs"
+    if structure is TargetStructure.SQ:
+        return f"{config.store_queue_entries}entries"
+    if structure is TargetStructure.L1D:
+        return f"{config.l1d_size_kb}KB"
+    raise ValueError(f"unknown structure {structure}")

@@ -1,0 +1,126 @@
+"""Structure access tracing for the ACE-like analysis.
+
+During the profiling (golden) run the pipeline records every *physical*
+write and every *committed* read of the three fault-target structures.  The
+trace is later turned into vulnerable intervals by
+:mod:`repro.core.intervals`.
+
+Each event carries the cycle of the access and — for reads — the RIP and uPC
+of the micro-operation that performed it, which is MeRLiN's grouping key.
+Dirty L1D write-backs read a line on behalf of no instruction; they carry
+the sentinel RIP :data:`WRITEBACK_RIP`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.uarch.structures import TargetStructure
+
+#: Sentinel RIP used for reads performed by dirty cache write-backs.
+WRITEBACK_RIP = -1
+
+
+class AccessKind(enum.Enum):
+    """Kind of a structure access."""
+
+    WRITE = "write"
+    READ = "read"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """A single access to an entry of a fault-target structure."""
+
+    structure: TargetStructure
+    entry: int
+    cycle: int
+    kind: AccessKind
+    rip: int = WRITEBACK_RIP
+    upc: int = 0
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is AccessKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+
+class AccessTracer:
+    """Collects structure access events during a profiling run.
+
+    The tracer is disabled by default (injection runs do not pay the tracing
+    cost); the golden profiling run enables it.  Events are stored per
+    structure and per entry, already sorted by insertion order, which is
+    chronological for writes and commit-ordered for reads — the interval
+    builder re-sorts by cycle to be safe.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._events: Dict[TargetStructure, List[AccessEvent]] = {
+            structure: [] for structure in TargetStructure
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, event: AccessEvent) -> None:
+        """Record an arbitrary event (used by tests and generic callers)."""
+        if not self.enabled:
+            return
+        self._events[event.structure].append(event)
+
+    def record_rf(self, entry: int, cycle: int, kind: AccessKind, rip: int = WRITEBACK_RIP,
+                  upc: int = 0) -> None:
+        if not self.enabled:
+            return
+        self._events[TargetStructure.RF].append(
+            AccessEvent(TargetStructure.RF, entry, cycle, kind, rip, upc)
+        )
+
+    def record_sq(self, entry: int, cycle: int, kind: AccessKind, rip: int = WRITEBACK_RIP,
+                  upc: int = 0) -> None:
+        if not self.enabled:
+            return
+        self._events[TargetStructure.SQ].append(
+            AccessEvent(TargetStructure.SQ, entry, cycle, kind, rip, upc)
+        )
+
+    def record_l1d(self, entry: int, cycle: int, kind: AccessKind, rip: int = WRITEBACK_RIP,
+                   upc: int = 0) -> None:
+        if not self.enabled:
+            return
+        self._events[TargetStructure.L1D].append(
+            AccessEvent(TargetStructure.L1D, entry, cycle, kind, rip, upc)
+        )
+
+    # ------------------------------------------------------------------
+    def events(self, structure: TargetStructure) -> List[AccessEvent]:
+        """Return all recorded events of ``structure`` (insertion order)."""
+        return self._events[structure]
+
+    def events_by_entry(self, structure: TargetStructure) -> Dict[int, List[AccessEvent]]:
+        """Group the events of ``structure`` by entry, sorted by cycle."""
+        grouped: Dict[int, List[AccessEvent]] = {}
+        for event in self._events[structure]:
+            grouped.setdefault(event.entry, []).append(event)
+        for events in grouped.values():
+            events.sort(key=lambda e: e.cycle)
+        return grouped
+
+    def counts(self) -> Dict[TargetStructure, Tuple[int, int]]:
+        """Return (writes, reads) counts per structure."""
+        result = {}
+        for structure, events in self._events.items():
+            writes = sum(1 for e in events if e.is_write)
+            reads = len(events) - writes
+            result[structure] = (writes, reads)
+        return result
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        for events in self._events.values():
+            events.clear()

@@ -1,0 +1,37 @@
+"""Workloads: synthetic MiBench-like and SPEC-CPU2006-like kernels.
+
+The paper evaluates MeRLiN with 10 MiBench programs run to completion and
+10 SPEC CPU2006 SimPoint samples.  Neither suite can be compiled for the
+synthetic ISA, so each benchmark is replaced by a kernel with the same
+algorithmic character (see DESIGN.md for the substitution argument): the
+susan corner/smoothing/edge filters, string search, JPEG-style forward and
+inverse DCT codecs, SHA-style hashing, an integer FFT, quicksort and an
+AES-style cipher for MiBench; compression, expression interpretation,
+network optimisation, game tree/board evaluation, sequence-profile dynamic
+programming, chess-style move scanning, quantum gate simulation, motion
+estimation, discrete-event simulation and grid path search for SPEC.
+
+All kernels are deterministic, parameterised by a ``scale`` knob, and emit
+checksums through ``OUT`` so that silent data corruptions are observable.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import (
+    MIBENCH_NAMES,
+    SPEC_NAMES,
+    all_names,
+    build_program,
+    get_workload,
+)
+from repro.workloads.simpoint import SimpointInterval, select_simpoint
+
+__all__ = [
+    "WorkloadSpec",
+    "MIBENCH_NAMES",
+    "SPEC_NAMES",
+    "all_names",
+    "build_program",
+    "get_workload",
+    "SimpointInterval",
+    "select_simpoint",
+]

@@ -1,0 +1,31 @@
+"""Common workload infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, scalable benchmark kernel.
+
+    ``build(scale)`` returns a finalised program; larger scales run longer.
+    ``default_scale`` targets experiment runs (a few thousand cycles on the
+    cycle-level model), ``test_scale`` keeps unit tests fast.
+    """
+
+    name: str
+    suite: str
+    description: str
+    build: Callable[[int], Program]
+    default_scale: int
+    test_scale: int
+
+    def build_default(self) -> Program:
+        return self.build(self.default_scale)
+
+    def build_for_test(self) -> Program:
+        return self.build(self.test_scale)

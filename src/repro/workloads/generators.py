@@ -1,0 +1,66 @@
+"""Deterministic input-data generators shared by the workload kernels.
+
+All generators are plain Python (no numpy) so that the data baked into a
+program's data segments is bit-for-bit reproducible across platforms and
+versions, which the golden-run comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+_MASK_64 = (1 << 64) - 1
+
+
+class DeterministicStream:
+    """A 64-bit linear congruential generator with a fixed, seedable state."""
+
+    def __init__(self, seed: int):
+        self._state = (seed * 2654435761 + 1) & _MASK_64
+
+    def next_u64(self) -> int:
+        self._state = (self._state * _LCG_MULTIPLIER + _LCG_INCREMENT) & _MASK_64
+        return self._state
+
+    def next_below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+
+def word_array(count: int, seed: int, bound: int = 1 << 16) -> List[int]:
+    """``count`` pseudo-random words below ``bound``."""
+    stream = DeterministicStream(seed)
+    return [stream.next_below(bound) for _ in range(count)]
+
+
+def byte_array(count: int, seed: int) -> bytes:
+    """``count`` pseudo-random bytes."""
+    stream = DeterministicStream(seed)
+    return bytes(stream.next_below(256) for _ in range(count))
+
+
+def text_bytes(count: int, seed: int) -> bytes:
+    """Lower-case ASCII text with spaces, for string processing kernels."""
+    alphabet = b"abcdefghijklmnopqrstuvwxyz      "
+    stream = DeterministicStream(seed)
+    return bytes(alphabet[stream.next_below(len(alphabet))] for _ in range(count))
+
+
+def image_matrix(width: int, height: int, seed: int, max_value: int = 255) -> List[int]:
+    """A synthetic image with smooth gradients plus noise (row-major words)."""
+    stream = DeterministicStream(seed)
+    pixels: List[int] = []
+    for y in range(height):
+        for x in range(width):
+            base = (x * 7 + y * 13) % (max_value + 1)
+            noise = stream.next_below(32)
+            pixels.append(min(max_value, base + noise))
+    return pixels
+
+
+def sorted_ramp(count: int, step: int = 3) -> List[int]:
+    """A monotonically increasing ramp (worst case for some sorts)."""
+    return [i * step for i in range(count)]

@@ -1,0 +1,24 @@
+"""MiBench-like kernels (paper Section 4.3, Figures 6-11)."""
+
+from repro.workloads.mibench.susan import SUSAN_C, SUSAN_E, SUSAN_S
+from repro.workloads.mibench.stringsearch import STRINGSEARCH
+from repro.workloads.mibench.jpeg import CJPEG, DJPEG
+from repro.workloads.mibench.sha import SHA
+from repro.workloads.mibench.fft import FFT
+from repro.workloads.mibench.qsort import QSORT
+from repro.workloads.mibench.aes import CAES
+
+MIBENCH_WORKLOADS = (
+    SUSAN_C,
+    SUSAN_S,
+    SUSAN_E,
+    STRINGSEARCH,
+    DJPEG,
+    SHA,
+    FFT,
+    QSORT,
+    CJPEG,
+    CAES,
+)
+
+__all__ = ["MIBENCH_WORKLOADS"]

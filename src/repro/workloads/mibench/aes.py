@@ -1,0 +1,111 @@
+"""AES-style block cipher kernel (MiBench ``caes`` / rijndael).
+
+Encrypts a sequence of 16-byte blocks with a substitution-permutation
+network: key mixing, an S-box substitution through a 256-entry table, a
+byte rotation and a neighbour-xor diffusion layer, repeated for several
+rounds — the table-lookup-dominated profile of the MiBench rijndael run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import byte_array
+
+BLOCK_BYTES = 16
+NUM_ROUNDS = 6
+
+
+def _sbox() -> bytes:
+    """A bijective 256-entry substitution box (affine-ish permutation)."""
+    table = [(x * 7 + 99) % 256 for x in range(256)]
+    # (7, 256) are coprime so the table is a permutation.
+    return bytes(table)
+
+
+def build_caes(scale: int) -> Program:
+    """Encrypt ``scale`` blocks and emit a ciphertext checksum."""
+    blocks = max(1, scale)
+    b = ProgramBuilder("caes")
+    state = b.alloc_bytes("state", byte_array(blocks * BLOCK_BYTES, seed=211))
+    key = b.alloc_bytes("key", byte_array(BLOCK_BYTES, seed=212))
+    sbox = b.alloc_bytes("sbox", _sbox())
+
+    b.movi(R.RDI, state)
+    b.movi(R.RSI, key)
+    b.movi(R.R12, sbox)
+    b.movi(R.RAX, 0)               # ciphertext checksum
+    b.movi(R.RBP, 0)               # block index
+
+    b.label("block_loop")
+    b.mul(R.R13, R.RBP, BLOCK_BYTES)
+    b.add(R.R13, R.R13, R.RDI)     # base address of the current block
+
+    b.movi(R.R11, 0)               # round index
+    b.label("round_loop")
+
+    # SubBytes + AddRoundKey: state[i] = sbox[state[i] xor key[i]].
+    b.movi(R.RCX, 0)
+    b.label("sub_loop")
+    b.add(R.R8, R.R13, R.RCX)
+    b.load(R.R9, R.R8, 0, size=1)
+    b.add(R.R10, R.RSI, R.RCX)
+    b.load(R.R10, R.R10, 0, size=1)
+    b.xor(R.R9, R.R9, R.R10)
+    b.xor(R.R9, R.R9, R.R11)       # round constant
+    b.and_(R.R9, R.R9, 0xFF)
+    b.add(R.R9, R.R9, R.R12)
+    b.load(R.R9, R.R9, 0, size=1)
+    b.store(R.R9, R.R8, 0, size=1)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BLOCK_BYTES, "sub_loop")
+
+    # Diffusion: state[i] ^= state[(i + 1) mod 16] rotated by the round.
+    b.movi(R.RCX, 0)
+    b.label("mix_loop")
+    b.add(R.R8, R.R13, R.RCX)
+    b.load(R.R9, R.R8, 0, size=1)
+    b.add(R.R10, R.RCX, 1)
+    b.mod(R.R10, R.R10, BLOCK_BYTES)
+    b.add(R.R10, R.R10, R.R13)
+    b.load(R.R10, R.R10, 0, size=1)
+    b.shl(R.R10, R.R10, 1)
+    b.or_(R.R10, R.R10, R.R9)
+    b.and_(R.R10, R.R10, 0xFF)
+    b.xor(R.R9, R.R9, R.R10)
+    b.store(R.R9, R.R8, 0, size=1)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BLOCK_BYTES, "mix_loop")
+
+    b.add(R.R11, R.R11, 1)
+    b.blt(R.R11, NUM_ROUNDS, "round_loop")
+
+    # Fold the ciphertext block into the checksum.
+    b.movi(R.RCX, 0)
+    b.label("sum_loop")
+    b.add(R.R8, R.R13, R.RCX)
+    b.load(R.R9, R.R8, 0, size=1)
+    b.mul(R.RAX, R.RAX, 33)
+    b.add(R.RAX, R.RAX, R.R9)
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BLOCK_BYTES, "sum_loop")
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, blocks, "block_loop")
+
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+CAES = WorkloadSpec(
+    name="caes",
+    suite="mibench",
+    description="AES-style substitution-permutation cipher (table lookups)",
+    build=build_caes,
+    default_scale=2,
+    test_scale=1,
+)

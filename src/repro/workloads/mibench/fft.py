@@ -1,0 +1,103 @@
+"""Integer FFT-style butterfly kernel (MiBench ``fft``).
+
+Performs the log2(N) stages of a decimation-in-time transform on a
+fixed-point sample array.  Twiddle factors are small integers applied with
+multiply-and-shift, which keeps the kernel integer-only while preserving
+the stride-varying memory access pattern and the butterfly data flow of the
+original benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+#: Fixed-point twiddle factors (scaled by 16); indexed by stage.
+TWIDDLES = [16, 15, 13, 11, 9, 7, 5, 3]
+
+#: Fixed-point scale shift.
+FIXED_SHIFT = 4
+
+
+def build_fft(scale: int) -> Program:
+    """Transform a ``2**scale``-sample array and emit a spectrum checksum."""
+    log_n = max(3, min(scale, 8))
+    n = 1 << log_n
+    b = ProgramBuilder("fft")
+    samples = b.alloc_words("samples", word_array(n, seed=151, bound=1 << 12))
+    twiddles = b.alloc_words("twiddles", TWIDDLES)
+
+    b.movi(R.RDI, samples)
+    b.movi(R.RSI, twiddles)
+    b.movi(R.RBP, 0)                    # stage index
+
+    b.label("stage_loop")
+    # half = 1 << stage ; span = half * 2
+    b.movi(R.R12, 1)
+    b.shl(R.R12, R.R12, R.RBP)          # half
+    b.shl(R.R13, R.R12, 1)              # span
+    # twiddle for this stage
+    b.mul(R.R11, R.RBP, 8)
+    b.add(R.R11, R.R11, R.RSI)
+    b.load(R.R11, R.R11, 0)
+
+    b.movi(R.RCX, 0)                    # group base
+    b.label("group_loop")
+    b.movi(R.RDX, 0)                    # butterfly index within the group
+    b.label("bfly_loop")
+    # R8 = &samples[base + j], R9 = &samples[base + j + half]
+    b.add(R.R8, R.RCX, R.RDX)
+    b.shl(R.R8, R.R8, 3)
+    b.add(R.R8, R.R8, R.RDI)
+    b.mov(R.R9, R.R12)
+    b.shl(R.R9, R.R9, 3)
+    b.add(R.R9, R.R9, R.R8)
+    b.load(R.RAX, R.R8, 0)
+    b.load(R.RBX, R.R9, 0)
+    # b' = (b * twiddle) >> FIXED_SHIFT
+    b.mul(R.RBX, R.RBX, R.R11)
+    b.sar(R.RBX, R.RBX, FIXED_SHIFT)
+    # butterfly
+    b.add(R.R10, R.RAX, R.RBX)
+    b.sub(R.RAX, R.RAX, R.RBX)
+    b.store(R.R10, R.R8, 0)
+    b.store(R.RAX, R.R9, 0)
+    b.add(R.RDX, R.RDX, 1)
+    b.blt(R.RDX, R.R12, "bfly_loop")
+    b.add(R.RCX, R.RCX, R.R13)
+    b.blt(R.RCX, n, "group_loop")
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, log_n, "stage_loop")
+
+    # Spectrum checksum: sum of |X[k]| masked to 48 bits.
+    b.movi(R.RAX, 0)
+    b.movi(R.RCX, 0)
+    b.label("sum_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.R9, R.R8, 0)
+    non_negative = b.new_label()
+    b.bge(R.R9, 0, non_negative)
+    b.neg(R.R9, R.R9)
+    b.bind(non_negative)
+    b.add(R.RAX, R.RAX, R.R9)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, n, "sum_loop")
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+FFT = WorkloadSpec(
+    name="fft",
+    suite="mibench",
+    description="Integer decimation-in-time butterfly transform",
+    build=build_fft,
+    default_scale=5,
+    test_scale=4,
+)

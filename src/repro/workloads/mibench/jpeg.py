@@ -1,0 +1,125 @@
+"""JPEG-style codec kernels (MiBench ``cjpeg`` / ``djpeg``).
+
+``cjpeg`` applies a separable integer butterfly transform (a simplified DCT)
+to 8x8 pixel blocks and quantises the coefficients; ``djpeg`` dequantises
+coefficient blocks and applies the inverse transform with clamping.  Both
+work block by block, exactly the access pattern that dominates the MiBench
+JPEG codecs.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+#: Quantisation table (one entry per coefficient column of a block row).
+QUANT_TABLE = [16, 11, 10, 16, 24, 40, 51, 61]
+
+BLOCK_DIM = 8
+BLOCK_WORDS = BLOCK_DIM * BLOCK_DIM
+
+
+def _emit_row_butterfly(b: ProgramBuilder, forward: bool) -> None:
+    """Emit a 4-stage butterfly over the 8 words at R8 (row base address).
+
+    The forward direction produces sum/difference coefficients; the inverse
+    reconstructs sample pairs from them.  RBX/RDX are used as scratch.
+    """
+    pairs = [(0, 7), (1, 6), (2, 5), (3, 4)] if forward else [(0, 4), (1, 5), (2, 6), (3, 7)]
+    for low, high in pairs:
+        b.load(R.RBX, R.R8, low * 8)
+        b.load(R.RDX, R.R8, high * 8)
+        b.add(R.R9, R.RBX, R.RDX)
+        b.sub(R.R10, R.RBX, R.RDX)
+        if forward:
+            b.sar(R.R10, R.R10, 1)
+        else:
+            b.sar(R.R9, R.R9, 1)
+        b.store(R.R9, R.R8, low * 8)
+        b.store(R.R10, R.R8, high * 8)
+
+
+def _build_codec(name: str, scale: int, forward: bool) -> Program:
+    blocks = max(1, scale)
+    b = ProgramBuilder(name)
+    samples = b.alloc_words(
+        "samples", word_array(blocks * BLOCK_WORDS, seed=71 if forward else 73, bound=256)
+    )
+    quant = b.alloc_words("quant", QUANT_TABLE)
+    b.movi(R.RDI, samples)
+    b.movi(R.RSI, quant)
+    b.movi(R.RAX, 0)          # coefficient checksum
+    b.movi(R.RBP, 0)          # block index
+
+    b.label("block_loop")
+    # R13 = base address of the current block.
+    b.mul(R.R13, R.RBP, BLOCK_WORDS * 8)
+    b.add(R.R13, R.R13, R.RDI)
+
+    # Row pass: butterfly every row of the block.
+    b.movi(R.RCX, 0)
+    b.label("row_loop")
+    b.mul(R.R8, R.RCX, BLOCK_DIM * 8)
+    b.add(R.R8, R.R8, R.R13)
+    _emit_row_butterfly(b, forward)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BLOCK_DIM, "row_loop")
+
+    # Quantisation (forward) or dequantisation (inverse) plus checksum.
+    b.movi(R.RCX, 0)
+    b.label("quant_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.R13)
+    b.load(R.R9, R.R8, 0)
+    b.mod(R.R10, R.RCX, BLOCK_DIM)
+    b.mul(R.R10, R.R10, 8)
+    b.add(R.R10, R.R10, R.RSI)
+    b.load(R.R10, R.R10, 0)
+    if forward:
+        b.div(R.R9, R.R9, R.R10)
+    else:
+        b.mul(R.R9, R.R9, R.R10)
+        b.and_(R.R9, R.R9, 0xFFFF)
+    b.store(R.R9, R.R8, 0)
+    b.add(R.RAX, R.RAX, R.R9)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BLOCK_WORDS, "quant_loop")
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, blocks, "block_loop")
+
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+def build_cjpeg(scale: int) -> Program:
+    """Forward transform + quantisation (compression path)."""
+    return _build_codec("cjpeg", scale, forward=True)
+
+
+def build_djpeg(scale: int) -> Program:
+    """Dequantisation + inverse transform (decompression path)."""
+    return _build_codec("djpeg", scale, forward=False)
+
+
+CJPEG = WorkloadSpec(
+    name="cjpeg",
+    suite="mibench",
+    description="JPEG-style forward block transform and quantisation",
+    build=build_cjpeg,
+    default_scale=4,
+    test_scale=1,
+)
+
+DJPEG = WorkloadSpec(
+    name="djpeg",
+    suite="mibench",
+    description="JPEG-style dequantisation and inverse block transform",
+    build=build_djpeg,
+    default_scale=4,
+    test_scale=1,
+)

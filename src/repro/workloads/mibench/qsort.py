@@ -1,0 +1,123 @@
+"""Quicksort kernel (MiBench ``qsort``).
+
+Sorts a pseudo-random word array with an iterative quicksort: an explicit
+range stack drives the outer loop and the Lomuto partition step is a called
+subroutine (CALL/RET), so the kernel exercises the store queue both through
+data stores and through return-address pushes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+
+def build_qsort(scale: int) -> Program:
+    """Sort ``scale * 8`` words, then verify order and emit checksums."""
+    count = max(8, scale * 8)
+    b = ProgramBuilder("qsort")
+    data = b.alloc_words("data", word_array(count, seed=191, bound=10_000))
+    # Range stack: enough for worst-case quicksort depth (2 words per frame).
+    stack = b.alloc_space("range_stack", 8 * 4 * count)
+
+    b.movi(R.RDI, data)
+    b.movi(R.R13, stack)      # range-stack pointer (grows upward)
+    # Push the initial range [0, count-1].
+    b.movi(R.R8, 0)
+    b.store(R.R8, R.R13, 0)
+    b.movi(R.R8, count - 1)
+    b.store(R.R8, R.R13, 8)
+    b.add(R.R13, R.R13, 16)
+
+    b.label("sort_loop")
+    b.beq(R.R13, stack, "verify")
+    # Pop a range into RSI (lo) and RDX (hi).
+    b.sub(R.R13, R.R13, 16)
+    b.load(R.RSI, R.R13, 0)
+    b.load(R.RDX, R.R13, 8)
+    b.bge(R.RSI, R.RDX, "sort_loop")
+    b.call("partition")
+    # Partition returns the pivot index in RAX; push [lo, p-1] and [p+1, hi].
+    b.mov(R.R9, R.RAX)
+    b.sub(R.R9, R.R9, 1)
+    b.store(R.RSI, R.R13, 0)
+    b.store(R.R9, R.R13, 8)
+    b.add(R.R13, R.R13, 16)
+    b.mov(R.R9, R.RAX)
+    b.add(R.R9, R.R9, 1)
+    b.store(R.R9, R.R13, 0)
+    b.store(R.RDX, R.R13, 8)
+    b.add(R.R13, R.R13, 16)
+    b.jmp("sort_loop")
+
+    # ------------------------------------------------------------------
+    # Verification pass: the array must be non-decreasing.
+    b.label("verify")
+    b.movi(R.RAX, 0)          # checksum
+    b.movi(R.RBX, 1)          # sortedness flag
+    b.movi(R.RCX, 1)
+    b.label("verify_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.R9, R.R8, 0)
+    b.load(R.R10, R.R8, -8)
+    b.ble(R.R10, R.R9, "ordered")
+    b.movi(R.RBX, 0)
+    b.label("ordered")
+    b.mul(R.RAX, R.RAX, 17)
+    b.add(R.RAX, R.RAX, R.R9)
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, count, "verify_loop")
+    b.out(R.RBX)
+    b.out(R.RAX)
+    b.halt()
+
+    # ------------------------------------------------------------------
+    # Lomuto partition of data[RSI..RDX]; pivot index returned in RAX.
+    # Clobbers R8-R12 and RBP; preserves RSI/RDX/RDI/R13.
+    b.label("partition")
+    b.mul(R.R8, R.RDX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.RBP, R.R8, 0)    # pivot value = data[hi]
+    b.mov(R.RAX, R.RSI)       # store index i
+    b.mov(R.RCX, R.RSI)       # scan index j
+    b.label("part_loop")
+    b.bge(R.RCX, R.RDX, "part_done")
+    b.mul(R.R9, R.RCX, 8)
+    b.add(R.R9, R.R9, R.RDI)
+    b.load(R.R10, R.R9, 0)
+    b.bgt(R.R10, R.RBP, "part_next")
+    # swap data[i] and data[j]
+    b.mul(R.R11, R.RAX, 8)
+    b.add(R.R11, R.R11, R.RDI)
+    b.load(R.R12, R.R11, 0)
+    b.store(R.R10, R.R11, 0)
+    b.store(R.R12, R.R9, 0)
+    b.add(R.RAX, R.RAX, 1)
+    b.label("part_next")
+    b.add(R.RCX, R.RCX, 1)
+    b.jmp("part_loop")
+    b.label("part_done")
+    # swap data[i] and data[hi]
+    b.mul(R.R11, R.RAX, 8)
+    b.add(R.R11, R.R11, R.RDI)
+    b.load(R.R12, R.R11, 0)
+    b.load(R.R10, R.R8, 0)
+    b.store(R.R10, R.R11, 0)
+    b.store(R.R12, R.R8, 0)
+    b.ret()
+    return b.build()
+
+
+QSORT = WorkloadSpec(
+    name="qsort",
+    suite="mibench",
+    description="Iterative quicksort with a called partition subroutine",
+    build=build_qsort,
+    default_scale=4,
+    test_scale=2,
+)

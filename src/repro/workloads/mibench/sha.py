@@ -1,0 +1,125 @@
+"""SHA-style hashing kernel (MiBench ``sha``).
+
+Processes 16-word message blocks with rotate/xor/add rounds over five
+32-bit state words, mirroring the arithmetic mix (shifts, xors, modular
+adds) of the MiBench SHA-1 implementation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+MASK_32 = 0xFFFFFFFF
+ROUNDS_PER_BLOCK = 20
+WORDS_PER_BLOCK = 16
+
+#: SHA-1 initial state.
+INITIAL_STATE = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+
+#: Round constant (single constant keeps the kernel compact).
+ROUND_CONSTANT = 0x5A827999
+
+
+def _rotate_left(b: ProgramBuilder, dest: R, src: R, amount: int, scratch: R) -> None:
+    """dest = rotl32(src, amount) using shifts and a 32-bit mask."""
+    b.shl(dest, src, amount)
+    b.shr(scratch, src, 32 - amount)
+    b.or_(dest, dest, scratch)
+    b.and_(dest, dest, MASK_32)
+
+
+def build_sha(scale: int) -> Program:
+    """Hash ``scale`` message blocks and emit the five state words."""
+    blocks = max(1, scale)
+    b = ProgramBuilder("sha")
+    message = b.alloc_words(
+        "message", word_array(blocks * WORDS_PER_BLOCK, seed=131, bound=1 << 32)
+    )
+    state = b.alloc_words("state", INITIAL_STATE)
+
+    b.movi(R.RDI, message)
+    b.movi(R.RSI, state)
+    b.movi(R.RBP, 0)               # block index
+
+    b.label("block_loop")
+    # Load the five state words into registers: RAX RBX RCX RDX R8.
+    b.load(R.RAX, R.RSI, 0)
+    b.load(R.RBX, R.RSI, 8)
+    b.load(R.RCX, R.RSI, 16)
+    b.load(R.RDX, R.RSI, 24)
+    b.load(R.R8, R.RSI, 32)
+
+    b.movi(R.R13, 0)               # round index
+    b.label("round_loop")
+    # R9 = message word for this round: message[block * 16 + (round mod 16)].
+    b.mod(R.R9, R.R13, WORDS_PER_BLOCK)
+    b.mul(R.R10, R.RBP, WORDS_PER_BLOCK)
+    b.add(R.R9, R.R9, R.R10)
+    b.shl(R.R9, R.R9, 3)
+    b.add(R.R9, R.R9, R.RDI)
+    b.load(R.R9, R.R9, 0)
+
+    # F = (B and C) or ((not B) and D)  -- the SHA-1 Ch function.
+    b.and_(R.R10, R.RBX, R.RCX)
+    b.not_(R.R11, R.RBX)
+    b.and_(R.R11, R.R11, R.RDX)
+    b.or_(R.R10, R.R10, R.R11)
+
+    # temp = rotl5(A) + F + E + W + K  (mod 2^32)
+    _rotate_left(b, R.R11, R.RAX, 5, R.R12)
+    b.add(R.R11, R.R11, R.R10)
+    b.add(R.R11, R.R11, R.R8)
+    b.add(R.R11, R.R11, R.R9)
+    b.add(R.R11, R.R11, ROUND_CONSTANT)
+    b.and_(R.R11, R.R11, MASK_32)
+
+    # Rotate the state: E=D, D=C, C=rotl30(B), B=A, A=temp.
+    b.mov(R.R8, R.RDX)
+    b.mov(R.RDX, R.RCX)
+    _rotate_left(b, R.RCX, R.RBX, 30, R.R12)
+    b.mov(R.RBX, R.RAX)
+    b.mov(R.RAX, R.R11)
+
+    b.add(R.R13, R.R13, 1)
+    b.blt(R.R13, ROUNDS_PER_BLOCK, "round_loop")
+
+    # Fold the round output back into the persistent state.
+    b.add(R.RAX, R.RAX, (R.RSI, 0))
+    b.and_(R.RAX, R.RAX, MASK_32)
+    b.store(R.RAX, R.RSI, 0)
+    b.add(R.RBX, R.RBX, (R.RSI, 8))
+    b.and_(R.RBX, R.RBX, MASK_32)
+    b.store(R.RBX, R.RSI, 8)
+    b.add(R.RCX, R.RCX, (R.RSI, 16))
+    b.and_(R.RCX, R.RCX, MASK_32)
+    b.store(R.RCX, R.RSI, 16)
+    b.add(R.RDX, R.RDX, (R.RSI, 24))
+    b.and_(R.RDX, R.RDX, MASK_32)
+    b.store(R.RDX, R.RSI, 24)
+    b.add(R.R8, R.R8, (R.RSI, 32))
+    b.and_(R.R8, R.R8, MASK_32)
+    b.store(R.R8, R.RSI, 32)
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, blocks, "block_loop")
+
+    # Emit the final digest.
+    for offset in range(0, 40, 8):
+        b.load(R.R9, R.RSI, offset)
+        b.out(R.R9)
+    b.halt()
+    return b.build()
+
+
+SHA = WorkloadSpec(
+    name="sha",
+    suite="mibench",
+    description="SHA-1-style block hashing (rotates, xors, modular adds)",
+    build=build_sha,
+    default_scale=3,
+    test_scale=1,
+)

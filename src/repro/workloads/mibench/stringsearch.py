@@ -1,0 +1,120 @@
+"""String search kernel (MiBench ``stringsearch``).
+
+Searches several short patterns in a synthetic lower-case text using a
+first-character skip loop followed by byte-wise comparison — the same
+memory-access character (byte loads, data-dependent branches) as the
+original Pratt-Boyer-Moore search.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import text_bytes
+
+#: Patterns searched in the text (kept short so matches actually occur).
+PATTERNS = (b"ab", b"the", b"qu", b"zz")
+
+
+def build_stringsearch(scale: int) -> Program:
+    """Search every pattern in a ``scale * 16``-byte text; report match counts."""
+    text_length = max(32, scale * 16)
+    text = bytearray(text_bytes(text_length, seed=101))
+    # Splice known pattern occurrences into the text so every pattern finds
+    # matches (the MiBench input likewise guarantees hits).
+    for index, pattern in enumerate(PATTERNS):
+        position = 5 + 13 * index
+        while position + len(pattern) < text_length:
+            text[position:position + len(pattern)] = pattern
+            position += 29 + 7 * index
+    text = bytes(text)
+    b = ProgramBuilder("stringsearch")
+    text_base = b.alloc_bytes("text", text)
+    patterns_base = b.alloc_bytes(
+        "patterns", b"".join(p + b"\0" * (8 - len(p)) for p in PATTERNS)
+    )
+    lengths_base = b.alloc_words("pattern_lengths", [len(p) for p in PATTERNS])
+    matches_base = b.alloc_space("match_positions", 8 * len(PATTERNS) * (text_length + 8))
+
+    b.movi(R.RAX, 0)            # total matches
+    b.movi(R.RBP, 0)            # sum of match positions (order-sensitive checksum)
+    b.movi(R.R13, 0)            # pattern index
+
+    b.label("pattern_loop")
+    # R11 = &pattern, R12 = len(pattern)
+    b.mul(R.R11, R.R13, 8)
+    b.add(R.R11, R.R11, patterns_base)
+    b.mul(R.R12, R.R13, 8)
+    b.add(R.R12, R.R12, lengths_base)
+    b.load(R.R12, R.R12, 0)
+    b.load(R.RBX, R.R11, 0, size=1)      # first pattern byte
+
+    b.movi(R.RCX, 0)            # text position
+    b.movi(R.R10, text_length)
+    b.sub(R.R10, R.R10, R.R12)  # last valid start position
+
+    b.label("scan_loop")
+    b.bgt(R.RCX, R.R10, "next_pattern")
+    b.mov(R.R8, R.RCX)
+    b.add(R.R8, R.R8, text_base)
+    b.load(R.R9, R.R8, 0, size=1)
+    b.bne(R.R9, R.RBX, "advance")
+    # First byte matches: compare the remaining bytes.
+    b.movi(R.RDX, 1)
+    b.label("cmp_loop")
+    b.bge(R.RDX, R.R12, "found")
+    b.mov(R.RSI, R.R8)
+    b.add(R.RSI, R.RSI, R.RDX)
+    b.load(R.R9, R.RSI, 0, size=1)
+    b.mov(R.RDI, R.R11)
+    b.add(R.RDI, R.RDI, R.RDX)
+    b.load(R.RDI, R.RDI, 0, size=1)
+    b.bne(R.R9, R.RDI, "advance")
+    b.add(R.RDX, R.RDX, 1)
+    b.jmp("cmp_loop")
+    b.label("found")
+    # Record the match position in the match log before counting it.
+    b.mul(R.R9, R.RAX, 8)
+    b.add(R.R9, R.R9, matches_base)
+    b.store(R.RCX, R.R9, 0)
+    b.add(R.RAX, R.RAX, 1)
+    b.add(R.RBP, R.RBP, R.RCX)
+    b.label("advance")
+    b.add(R.RCX, R.RCX, 1)
+    b.jmp("scan_loop")
+
+    b.label("next_pattern")
+    b.add(R.R13, R.R13, 1)
+    b.blt(R.R13, len(PATTERNS), "pattern_loop")
+
+    # Fold the recorded match positions into an order-sensitive signature.
+    b.movi(R.RBX, 0)
+    b.movi(R.RCX, 0)
+    b.label("fold_matches")
+    b.bge(R.RCX, R.RAX, "fold_done")
+    b.mul(R.R9, R.RCX, 8)
+    b.add(R.R9, R.R9, matches_base)
+    b.mul(R.RBX, R.RBX, 31)
+    b.add(R.RBX, R.RBX, (R.R9, 0))
+    b.and_(R.RBX, R.RBX, 0xFFFFFFFF)
+    b.add(R.RCX, R.RCX, 1)
+    b.jmp("fold_matches")
+    b.label("fold_done")
+
+    b.out(R.RAX)
+    b.out(R.RBP)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+STRINGSEARCH = WorkloadSpec(
+    name="stringsearch",
+    suite="mibench",
+    description="Multi-pattern substring search over synthetic text (byte loads)",
+    build=build_stringsearch,
+    default_scale=10,
+    test_scale=3,
+)

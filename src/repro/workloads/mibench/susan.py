@@ -1,0 +1,232 @@
+"""SUSAN image filters: corner detection, smoothing and edge detection.
+
+The three kernels mirror the susan_c / susan_s / susan_e configurations of
+MiBench: all scan the interior pixels of a synthetic grey-scale image and
+apply a 3x3 neighbourhood operator — a USAN similarity count for corners, a
+box average for smoothing and a gradient magnitude for edges.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import image_matrix
+
+#: Image width shared by the three kernels; the scale parameter sets the height.
+IMAGE_WIDTH = 10
+
+#: Brightness-similarity threshold of the USAN operator.
+USAN_THRESHOLD = 20
+
+#: USAN count below which a pixel is declared a corner.
+CORNER_THRESHOLD = 4
+
+
+def _pixel_address(b: ProgramBuilder, width: int) -> None:
+    """Compute &image[y * width + x] into R8 (y in RCX, x in RDX, base in RDI)."""
+    b.mul(R.R8, R.RCX, width)
+    b.add(R.R8, R.R8, R.RDX)
+    b.shl(R.R8, R.R8, 3)
+    b.add(R.R8, R.R8, R.RDI)
+
+
+def _interior_scan(b: ProgramBuilder, width: int, height: int, body) -> None:
+    """Emit a y/x loop over the interior pixels, calling ``body`` per pixel."""
+    b.movi(R.RCX, 1)
+    b.label("yloop")
+    b.movi(R.RDX, 1)
+    b.label("xloop")
+    _pixel_address(b, width)
+    body()
+    b.add(R.RDX, R.RDX, 1)
+    b.blt(R.RDX, width - 1, "xloop")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, height - 1, "yloop")
+
+
+def _neighbour_offsets(width: int):
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dy == 0 and dx == 0:
+                continue
+            yield (dy * width + dx) * 8
+
+
+def build_susan_c(scale: int) -> Program:
+    """Corner detection: count pixels whose USAN area is small."""
+    width, height = IMAGE_WIDTH, max(4, scale)
+    b = ProgramBuilder("susan_c")
+    image = b.alloc_words("image", image_matrix(width, height, seed=11))
+    response = b.alloc_space("response", 8 * width * height)
+    b.movi(R.RDI, image)
+    b.movi(R.RSI, response)
+    b.movi(R.RAX, 0)   # corner count
+    b.movi(R.RBP, 0)   # USAN response checksum
+
+    def body() -> None:
+        b.load(R.RBX, R.R8, 0)
+        b.movi(R.R10, 0)
+        for offset in _neighbour_offsets(width):
+            b.load(R.R9, R.R8, offset)
+            b.sub(R.R9, R.R9, R.RBX)
+            non_negative = b.new_label()
+            b.bge(R.R9, 0, non_negative)
+            b.neg(R.R9, R.R9)
+            b.bind(non_negative)
+            too_far = b.new_label()
+            b.bgt(R.R9, USAN_THRESHOLD, too_far)
+            b.add(R.R10, R.R10, 1)
+            b.bind(too_far)
+        not_corner = b.new_label()
+        b.bge(R.R10, CORNER_THRESHOLD, not_corner)
+        b.add(R.RAX, R.RAX, 1)
+        b.bind(not_corner)
+        # Store the USAN response into the response map (read back at the end).
+        b.sub(R.R9, R.R8, R.RDI)
+        b.add(R.R9, R.R9, R.RSI)
+        b.store(R.R10, R.R9, 0)
+        b.add(R.RBP, R.RBP, R.R10)
+
+    _interior_scan(b, width, height, body)
+    # Fold the response map into a second signature (reads the stored values).
+    b.movi(R.RBX, 0)
+    b.movi(R.RCX, 0)
+    b.movi(R.R9, width * height)
+    b.label("fold_response")
+    b.mul(R.RBX, R.RBX, 17)
+    b.add(R.RBX, R.RBX, (R.RSI, 0))
+    b.and_(R.RBX, R.RBX, 0xFFFFFFFF)
+    b.add(R.RSI, R.RSI, 8)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, R.R9, "fold_response")
+    b.out(R.RAX)
+    b.out(R.RBP)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+def build_susan_s(scale: int) -> Program:
+    """Smoothing: 3x3 box filter written to an output image."""
+    width, height = IMAGE_WIDTH, max(4, scale)
+    b = ProgramBuilder("susan_s")
+    image = b.alloc_words("image", image_matrix(width, height, seed=23))
+    smoothed = b.alloc_space("smoothed", 8 * width * height)
+    b.movi(R.RDI, image)
+    b.movi(R.RSI, smoothed)
+    b.movi(R.RAX, 0)   # checksum of the smoothed image
+
+    def body() -> None:
+        b.load(R.R10, R.R8, 0)
+        for offset in _neighbour_offsets(width):
+            b.add(R.R10, R.R10, (R.R8, offset))
+        b.div(R.R10, R.R10, 9)
+        # Store at the same linear index in the output image.
+        b.sub(R.R9, R.R8, R.RDI)
+        b.add(R.R9, R.R9, R.RSI)
+        b.store(R.R10, R.R9, 0)
+        b.add(R.RAX, R.RAX, R.R10)
+
+    _interior_scan(b, width, height, body)
+    # Second pass: fold the smoothed image into a rolling signature.
+    b.movi(R.RBX, 0)
+    b.movi(R.RCX, 0)
+    b.movi(R.R9, width * height)
+    b.label("fold")
+    b.mul(R.RBX, R.RBX, 31)
+    b.add(R.RBX, R.RBX, (R.RSI, 0))
+    b.and_(R.RBX, R.RBX, 0xFFFFFFFF)
+    b.add(R.RSI, R.RSI, 8)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, R.R9, "fold")
+    b.out(R.RAX)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+def build_susan_e(scale: int) -> Program:
+    """Edge detection: thresholded gradient magnitude."""
+    width, height = IMAGE_WIDTH, max(4, scale)
+    b = ProgramBuilder("susan_e")
+    image = b.alloc_words("image", image_matrix(width, height, seed=37))
+    edges = b.alloc_space("edges", 8 * width * height)
+    b.movi(R.RDI, image)
+    b.movi(R.RSI, edges)
+    b.movi(R.RAX, 0)   # edge count
+    b.movi(R.RBP, 0)   # gradient checksum
+
+    def body() -> None:
+        # Horizontal gradient |p[x+1] - p[x-1]|.
+        b.load(R.R9, R.R8, 8)
+        b.sub(R.R9, R.R9, (R.R8, -8))
+        positive_h = b.new_label()
+        b.bge(R.R9, 0, positive_h)
+        b.neg(R.R9, R.R9)
+        b.bind(positive_h)
+        # Vertical gradient |p[y+1] - p[y-1]|.
+        b.load(R.R10, R.R8, 8 * width)
+        b.sub(R.R10, R.R10, (R.R8, -8 * width))
+        positive_v = b.new_label()
+        b.bge(R.R10, 0, positive_v)
+        b.neg(R.R10, R.R10)
+        b.bind(positive_v)
+        b.add(R.R9, R.R9, R.R10)
+        b.add(R.RBP, R.RBP, R.R9)
+        # Write the gradient magnitude into the edge map.
+        b.sub(R.R10, R.R8, R.RDI)
+        b.add(R.R10, R.R10, R.RSI)
+        b.store(R.R9, R.R10, 0)
+        weak = b.new_label()
+        b.ble(R.R9, USAN_THRESHOLD, weak)
+        b.add(R.RAX, R.RAX, 1)
+        b.bind(weak)
+
+    _interior_scan(b, width, height, body)
+    # Second pass over the edge map: count strong edges from stored values.
+    b.movi(R.RBX, 0)
+    b.movi(R.RCX, 0)
+    b.movi(R.R9, width * height)
+    b.label("strong_scan")
+    b.load(R.R10, R.RSI, 0)
+    b.ble(R.R10, 2 * USAN_THRESHOLD, "not_strong")
+    b.add(R.RBX, R.RBX, 1)
+    b.label("not_strong")
+    b.add(R.RSI, R.RSI, 8)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, R.R9, "strong_scan")
+    b.out(R.RAX)
+    b.out(R.RBP)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+SUSAN_C = WorkloadSpec(
+    name="susan_c",
+    suite="mibench",
+    description="SUSAN corner detection over a synthetic grey-scale image",
+    build=build_susan_c,
+    default_scale=12,
+    test_scale=5,
+)
+
+SUSAN_S = WorkloadSpec(
+    name="susan_s",
+    suite="mibench",
+    description="SUSAN 3x3 smoothing filter with an output-image signature",
+    build=build_susan_s,
+    default_scale=12,
+    test_scale=5,
+)
+
+SUSAN_E = WorkloadSpec(
+    name="susan_e",
+    suite="mibench",
+    description="SUSAN edge detection (thresholded gradient magnitude)",
+    build=build_susan_e,
+    default_scale=14,
+    test_scale=5,
+)

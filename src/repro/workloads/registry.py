@@ -1,0 +1,41 @@
+"""Workload registry: name-based lookup of every benchmark kernel."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.mibench import MIBENCH_WORKLOADS
+from repro.workloads.spec import SPEC_WORKLOADS
+
+#: All workloads keyed by name.
+_REGISTRY: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (*MIBENCH_WORKLOADS, *SPEC_WORKLOADS)
+}
+
+#: MiBench benchmark names in the order used by the paper's figures.
+MIBENCH_NAMES: Tuple[str, ...] = tuple(spec.name for spec in MIBENCH_WORKLOADS)
+
+#: SPEC CPU2006 benchmark names in the order used by Figure 12.
+SPEC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in SPEC_WORKLOADS)
+
+
+def all_names() -> List[str]:
+    """Every registered workload name (MiBench first, then SPEC)."""
+    return list(MIBENCH_NAMES) + list(SPEC_NAMES)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a workload up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from None
+
+
+def build_program(name: str, scale: Optional[int] = None) -> Program:
+    """Build the named workload at ``scale`` (default: its default scale)."""
+    spec = get_workload(name)
+    return spec.build(scale if scale is not None else spec.default_scale)

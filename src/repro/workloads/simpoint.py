@@ -1,0 +1,106 @@
+"""SimPoint-style interval selection.
+
+The paper runs SPEC benchmarks as the single SimPoint interval with the
+largest weight (Section 4.3).  This module reproduces the selection step:
+the committed-instruction stream is split into fixed-size intervals, each
+interval is summarised by its basic-block vector (BBV), the BBVs are
+clustered with k-means, and the interval closest to the centroid of the
+most populous cluster is returned as the representative SimPoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class SimpointInterval:
+    """The selected representative interval of a program's execution."""
+
+    start_instruction: int
+    length: int
+    weight: float
+    cluster_size: int
+    num_intervals: int
+
+    @property
+    def end_instruction(self) -> int:
+        return self.start_instruction + self.length
+
+
+def basic_block_vectors(program: Program, committed_rips: Sequence[int],
+                        interval_length: int) -> Tuple[np.ndarray, List[int]]:
+    """Split a committed-RIP stream into per-interval basic-block vectors."""
+    if interval_length <= 0:
+        raise ValueError("interval_length must be positive")
+    block_of = program.basic_block_of()
+    leaders = sorted(set(block_of.values()))
+    leader_index = {leader: i for i, leader in enumerate(leaders)}
+    vectors: List[np.ndarray] = []
+    starts: List[int] = []
+    for start in range(0, len(committed_rips), interval_length):
+        chunk = committed_rips[start:start + interval_length]
+        if not chunk:
+            continue
+        vector = np.zeros(len(leaders), dtype=float)
+        for rip in chunk:
+            vector[leader_index[block_of[rip]]] += 1.0
+        total = vector.sum()
+        if total > 0:
+            vector /= total
+        vectors.append(vector)
+        starts.append(start)
+    if not vectors:
+        raise ValueError("no committed instructions to build BBVs from")
+    return np.stack(vectors), starts
+
+
+def _kmeans(vectors: np.ndarray, k: int, seed: int, iterations: int = 25) -> np.ndarray:
+    """Tiny k-means returning the cluster assignment of each vector."""
+    rng = np.random.default_rng(seed)
+    count = vectors.shape[0]
+    k = max(1, min(k, count))
+    centroid_indices = rng.choice(count, size=k, replace=False)
+    centroids = vectors[centroid_indices].copy()
+    assignment = np.zeros(count, dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(vectors[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for cluster in range(k):
+            members = vectors[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return assignment
+
+
+def select_simpoint(program: Program, committed_rips: Sequence[int],
+                    interval_length: int = 2000, max_clusters: int = 4,
+                    seed: int = 0) -> SimpointInterval:
+    """Select the highest-weight SimPoint interval of an execution."""
+    vectors, starts = basic_block_vectors(program, committed_rips, interval_length)
+    assignment = _kmeans(vectors, max_clusters, seed)
+    counts: Dict[int, int] = {}
+    for cluster in assignment:
+        counts[int(cluster)] = counts.get(int(cluster), 0) + 1
+    best_cluster = max(counts, key=lambda c: counts[c])
+    members = np.flatnonzero(assignment == best_cluster)
+    centroid = vectors[members].mean(axis=0)
+    distances = np.linalg.norm(vectors[members] - centroid, axis=1)
+    representative = int(members[int(distances.argmin())])
+    weight = counts[best_cluster] / len(vectors)
+    length = min(interval_length, len(committed_rips) - starts[representative])
+    return SimpointInterval(
+        start_instruction=starts[representative],
+        length=length,
+        weight=weight,
+        cluster_size=counts[best_cluster],
+        num_intervals=len(vectors),
+    )

@@ -1,0 +1,27 @@
+"""SPEC-CPU2006-like kernels (paper Section 4.3, Figure 12, Table 4)."""
+
+from repro.workloads.spec.bzip2 import BZIP2
+from repro.workloads.spec.gcc import GCC
+from repro.workloads.spec.mcf import MCF
+from repro.workloads.spec.gobmk import GOBMK
+from repro.workloads.spec.hmmer import HMMER
+from repro.workloads.spec.sjeng import SJENG
+from repro.workloads.spec.libquantum import LIBQUANTUM
+from repro.workloads.spec.h264ref import H264REF
+from repro.workloads.spec.omnetpp import OMNETPP
+from repro.workloads.spec.astar import ASTAR
+
+SPEC_WORKLOADS = (
+    BZIP2,
+    GCC,
+    MCF,
+    GOBMK,
+    HMMER,
+    SJENG,
+    LIBQUANTUM,
+    H264REF,
+    OMNETPP,
+    ASTAR,
+)
+
+__all__ = ["SPEC_WORKLOADS"]

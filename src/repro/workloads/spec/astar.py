@@ -1,0 +1,116 @@
+"""astar-like kernel: grid path-finding with a cost-frontier expansion.
+
+astar path-finds over terrain grids.  The kernel runs a Dijkstra-style
+expansion over a weighted grid: it repeatedly selects the unvisited cell
+with the smallest tentative cost (linear scan, as the reference
+implementation does for small open lists) and relaxes its four neighbours,
+then reports the cost of the goal corner and a visit-order checksum.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import DeterministicStream
+
+GRID_DIM = 8
+INFINITY = 1 << 28
+
+
+def _terrain(seed: int) -> list:
+    stream = DeterministicStream(seed)
+    return [1 + stream.next_below(9) for _ in range(GRID_DIM * GRID_DIM)]
+
+
+def build_astar(scale: int) -> Program:
+    """Expand up to ``scale * 16`` cells; emit the goal cost and a checksum."""
+    expansions = max(8, min(scale * 16, GRID_DIM * GRID_DIM))
+    cells = GRID_DIM * GRID_DIM
+    b = ProgramBuilder("astar")
+    terrain = b.alloc_words("terrain", _terrain(seed=471))
+    cost = b.alloc_words("cost", [0] + [INFINITY] * (cells - 1))
+    visited = b.alloc_space("visited", 8 * cells)
+
+    b.movi(R.RDI, terrain)
+    b.movi(R.RSI, cost)
+    b.movi(R.R13, visited)
+    b.movi(R.RAX, 0)                  # visit-order checksum
+    b.movi(R.RBP, 0)                  # expansion counter
+
+    b.label("expand_loop")
+    b.bge(R.RBP, expansions, "report")
+    # Select the unvisited cell with the smallest tentative cost.
+    b.movi(R.RBX, INFINITY + 1)       # best cost
+    b.movi(R.RDX, cells)              # best index (sentinel = none)
+    b.movi(R.RCX, 0)
+    b.label("select_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R9, R.R8, R.R13)
+    b.load(R.R9, R.R9, 0)
+    b.bne(R.R9, 0, "select_next")     # already visited
+    b.add(R.R9, R.R8, R.RSI)
+    b.load(R.R9, R.R9, 0)
+    b.bge(R.R9, R.RBX, "select_next")
+    b.mov(R.RBX, R.R9)
+    b.mov(R.RDX, R.RCX)
+    b.label("select_next")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, cells, "select_loop")
+    b.beq(R.RDX, cells, "report")     # frontier empty
+
+    # Mark the selected cell visited and fold it into the checksum.
+    b.mul(R.R8, R.RDX, 8)
+    b.add(R.R8, R.R8, R.R13)
+    b.movi(R.R9, 1)
+    b.store(R.R9, R.R8, 0)
+    b.mul(R.RAX, R.RAX, 31)
+    b.add(R.RAX, R.RAX, R.RDX)
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+
+    # Relax the four neighbours of the selected cell (RDX, cost RBX).
+    for step, guard in ((1, "right"), (-1, "left"), (GRID_DIM, "down"), (-GRID_DIM, "up")):
+        skip = b.new_label()
+        if step == 1:
+            b.mod(R.R9, R.RDX, GRID_DIM)
+            b.beq(R.R9, GRID_DIM - 1, skip)
+        elif step == -1:
+            b.mod(R.R9, R.RDX, GRID_DIM)
+            b.beq(R.R9, 0, skip)
+        b.add(R.R10, R.RDX, step)
+        b.blt(R.R10, 0, skip)
+        b.bge(R.R10, cells, skip)
+        # candidate = cost[selected] + terrain[neighbour]
+        b.mul(R.R11, R.R10, 8)
+        b.add(R.R12, R.R11, R.RDI)
+        b.load(R.R12, R.R12, 0)
+        b.add(R.R12, R.R12, R.RBX)
+        b.add(R.R11, R.R11, R.RSI)
+        b.load(R.R9, R.R11, 0)
+        b.bge(R.R12, R.R9, skip)
+        b.store(R.R12, R.R11, 0)
+        b.bind(skip)
+
+    b.add(R.RBP, R.RBP, 1)
+    b.jmp("expand_loop")
+
+    b.label("report")
+    # Goal cost: the opposite corner of the grid.
+    b.movi(R.R8, (cells - 1) * 8)
+    b.add(R.R8, R.R8, R.RSI)
+    b.load(R.R9, R.R8, 0)
+    b.out(R.R9)
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+ASTAR = WorkloadSpec(
+    name="astar",
+    suite="spec",
+    description="Dijkstra-style grid expansion with neighbour relaxation",
+    build=build_astar,
+    default_scale=2,
+    test_scale=1,
+)

@@ -1,0 +1,114 @@
+"""bzip2-like kernel: run-length encoding followed by a move-to-front transform."""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import DeterministicStream
+
+
+def _compressible_bytes(count: int, seed: int) -> bytes:
+    """Bytes with runs (so RLE has work to do) over a small alphabet."""
+    stream = DeterministicStream(seed)
+    data = []
+    while len(data) < count:
+        value = stream.next_below(16)
+        run = 1 + stream.next_below(6)
+        data.extend([value] * run)
+    return bytes(data[:count])
+
+
+def build_bzip2(scale: int) -> Program:
+    """RLE-encode then MTF-transform a compressible buffer; emit sizes and checksum."""
+    length = max(32, scale * 32)
+    b = ProgramBuilder("bzip2")
+    source = b.alloc_bytes("source", _compressible_bytes(length, seed=301))
+    encoded = b.alloc_space("encoded", 2 * length + 16)
+    mtf_table = b.alloc_words("mtf_table", list(range(16)))
+
+    # ------------------------------------------------------------------
+    # Pass 1: run-length encode (value, run) byte pairs into `encoded`.
+    b.movi(R.RDI, source)
+    b.movi(R.RSI, encoded)
+    b.movi(R.RCX, 0)          # input index
+    b.movi(R.RBX, 0)          # output length (bytes)
+    b.label("rle_loop")
+    b.bge(R.RCX, length, "rle_done")
+    b.add(R.R8, R.RDI, R.RCX)
+    b.load(R.R9, R.R8, 0, size=1)      # current value
+    b.movi(R.R10, 1)                   # run length
+    b.label("run_loop")
+    b.add(R.R11, R.RCX, R.R10)
+    b.bge(R.R11, length, "run_done")
+    b.bge(R.R10, 255, "run_done")
+    b.add(R.R12, R.RDI, R.R11)
+    b.load(R.R12, R.R12, 0, size=1)
+    b.bne(R.R12, R.R9, "run_done")
+    b.add(R.R10, R.R10, 1)
+    b.jmp("run_loop")
+    b.label("run_done")
+    b.add(R.R13, R.RSI, R.RBX)
+    b.store(R.R9, R.R13, 0, size=1)
+    b.store(R.R10, R.R13, 1, size=1)
+    b.add(R.RBX, R.RBX, 2)
+    b.add(R.RCX, R.RCX, R.R10)
+    b.jmp("rle_loop")
+    b.label("rle_done")
+
+    # ------------------------------------------------------------------
+    # Pass 2: move-to-front transform of the encoded values; rolling hash.
+    b.movi(R.RAX, 0)          # MTF checksum
+    b.movi(R.RCX, 0)          # index into encoded
+    b.movi(R.RBP, mtf_table)
+    b.label("mtf_loop")
+    b.bge(R.RCX, R.RBX, "mtf_done")
+    b.add(R.R8, R.RSI, R.RCX)
+    b.load(R.R9, R.R8, 0, size=1)      # symbol (< 16)
+    b.and_(R.R9, R.R9, 0xF)
+    # Find the symbol's rank in the MTF table.
+    b.movi(R.R10, 0)
+    b.label("find_loop")
+    b.mul(R.R11, R.R10, 8)
+    b.add(R.R11, R.R11, R.RBP)
+    b.load(R.R12, R.R11, 0)
+    b.beq(R.R12, R.R9, "found_rank")
+    b.add(R.R10, R.R10, 1)
+    b.blt(R.R10, 16, "find_loop")
+    b.movi(R.R10, 15)
+    b.label("found_rank")
+    # Shift table entries [0, rank) up by one and put the symbol in front.
+    b.mov(R.R13, R.R10)
+    b.label("shift_loop")
+    b.ble(R.R13, 0, "shift_done")
+    b.mul(R.R11, R.R13, 8)
+    b.add(R.R11, R.R11, R.RBP)
+    b.load(R.R12, R.R11, -8)
+    b.store(R.R12, R.R11, 0)
+    b.sub(R.R13, R.R13, 1)
+    b.jmp("shift_loop")
+    b.label("shift_done")
+    b.store(R.R9, R.RBP, 0)
+    # Fold the rank into the checksum.
+    b.mul(R.RAX, R.RAX, 31)
+    b.add(R.RAX, R.RAX, R.R10)
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.add(R.RCX, R.RCX, 2)
+    b.jmp("mtf_loop")
+    b.label("mtf_done")
+
+    b.out(R.RBX)              # encoded size
+    b.out(R.RAX)              # MTF checksum
+    b.halt()
+    return b.build()
+
+
+BZIP2 = WorkloadSpec(
+    name="bzip2",
+    suite="spec",
+    description="Run-length encoding plus move-to-front transform (compression)",
+    build=build_bzip2,
+    default_scale=4,
+    test_scale=1,
+)

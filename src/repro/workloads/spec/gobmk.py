@@ -1,0 +1,103 @@
+"""gobmk-like kernel: Go board influence propagation.
+
+gobmk spends its time in board-scanning pattern evaluation.  The kernel
+fills a Go-like board with stones and iteratively propagates an influence
+value from each stone to its four neighbours, then scores the board.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import DeterministicStream
+
+BOARD_DIM = 9
+PASSES = 3
+
+
+def _board_words(seed: int) -> list:
+    stream = DeterministicStream(seed)
+    cells = []
+    for _ in range(BOARD_DIM * BOARD_DIM):
+        roll = stream.next_below(10)
+        # ~30% black stones (+8), ~30% white stones (-8 encoded as 0), rest empty.
+        if roll < 3:
+            cells.append(8)
+        elif roll < 6:
+            cells.append(1)
+        else:
+            cells.append(4)
+    return cells
+
+
+def build_gobmk(scale: int) -> Program:
+    """Propagate influence for ``PASSES * scale`` passes; emit the board score."""
+    passes = max(1, PASSES * scale)
+    b = ProgramBuilder("gobmk")
+    board = b.alloc_words("board", _board_words(seed=401))
+    influence = b.alloc_space("influence", 8 * BOARD_DIM * BOARD_DIM)
+
+    b.movi(R.RDI, board)
+    b.movi(R.RSI, influence)
+    b.movi(R.RBP, 0)                     # pass index
+
+    b.label("pass_loop")
+    b.movi(R.RCX, 1)                     # y
+    b.label("yloop")
+    b.movi(R.RDX, 1)                     # x
+    b.label("xloop")
+    # R8 = linear index, R9 = &board[idx], R10 = &influence[idx]
+    b.mul(R.R8, R.RCX, BOARD_DIM)
+    b.add(R.R8, R.R8, R.RDX)
+    b.shl(R.R8, R.R8, 3)
+    b.add(R.R9, R.R8, R.RDI)
+    b.add(R.R10, R.R8, R.RSI)
+    # New influence = own stone weight * 4 + neighbours' stone weights.
+    b.load(R.R11, R.R9, 0)
+    b.shl(R.R11, R.R11, 2)
+    b.add(R.R11, R.R11, (R.R9, 8))
+    b.add(R.R11, R.R11, (R.R9, -8))
+    b.add(R.R11, R.R11, (R.R9, 8 * BOARD_DIM))
+    b.add(R.R11, R.R11, (R.R9, -8 * BOARD_DIM))
+    # Blend with the previous influence (exponential decay).
+    b.load(R.R12, R.R10, 0)
+    b.sar(R.R12, R.R12, 1)
+    b.add(R.R11, R.R11, R.R12)
+    b.store(R.R11, R.R10, 0)
+    b.add(R.RDX, R.RDX, 1)
+    b.blt(R.RDX, BOARD_DIM - 1, "xloop")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BOARD_DIM - 1, "yloop")
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, passes, "pass_loop")
+
+    # Board score: sum of influence, plus count of strong points.
+    b.movi(R.RAX, 0)
+    b.movi(R.RBX, 0)
+    b.movi(R.RCX, 0)
+    b.label("score_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RSI)
+    b.load(R.R9, R.R8, 0)
+    b.add(R.RAX, R.RAX, R.R9)
+    b.ble(R.R9, 200, "weak")
+    b.add(R.RBX, R.RBX, 1)
+    b.label("weak")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BOARD_DIM * BOARD_DIM, "score_loop")
+    b.out(R.RAX)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+GOBMK = WorkloadSpec(
+    name="gobmk",
+    suite="spec",
+    description="Go board influence propagation and scoring",
+    build=build_gobmk,
+    default_scale=2,
+    test_scale=1,
+)

@@ -1,0 +1,97 @@
+"""h264ref-like kernel: sum-of-absolute-differences motion estimation.
+
+h264ref's encoder spends most of its SimPoint in block-matching motion
+estimation.  The kernel searches a reference frame window for the offset
+that minimises the SAD against a current 4x4 block — the same
+absolute-difference reduction and window scan as the original.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import image_matrix
+
+BLOCK = 4
+FRAME_WIDTH = 16
+
+
+def build_h264ref(scale: int) -> Program:
+    """Search a ``scale``-row window for the best matching block; emit SAD/offset."""
+    frame_height = max(BLOCK + 2, scale * 4)
+    b = ProgramBuilder("h264ref")
+    reference = b.alloc_words(
+        "reference", image_matrix(FRAME_WIDTH, frame_height, seed=451)
+    )
+    current = b.alloc_words("current", image_matrix(BLOCK, BLOCK, seed=457))
+
+    search_rows = frame_height - BLOCK
+    search_cols = FRAME_WIDTH - BLOCK
+
+    b.movi(R.RDI, reference)
+    b.movi(R.RSI, current)
+    b.movi(R.RAX, 1 << 30)        # best SAD
+    b.movi(R.RBX, 0)              # best offset (row * width + col)
+    b.movi(R.RCX, 0)              # candidate row
+
+    b.label("row_loop")
+    b.movi(R.RDX, 0)              # candidate column
+    b.label("col_loop")
+    # Accumulate the SAD of the 4x4 block at (row, col).
+    b.movi(R.R13, 0)              # SAD accumulator
+    b.movi(R.R10, 0)              # block y
+    b.label("by_loop")
+    b.movi(R.R11, 0)              # block x
+    b.label("bx_loop")
+    # reference pixel at (row + by, col + bx)
+    b.add(R.R8, R.RCX, R.R10)
+    b.mul(R.R8, R.R8, FRAME_WIDTH)
+    b.add(R.R8, R.R8, R.RDX)
+    b.add(R.R8, R.R8, R.R11)
+    b.shl(R.R8, R.R8, 3)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.R8, R.R8, 0)
+    # current pixel at (by, bx)
+    b.mul(R.R9, R.R10, BLOCK)
+    b.add(R.R9, R.R9, R.R11)
+    b.shl(R.R9, R.R9, 3)
+    b.add(R.R9, R.R9, R.RSI)
+    b.load(R.R9, R.R9, 0)
+    b.sub(R.R8, R.R8, R.R9)
+    non_negative = b.new_label()
+    b.bge(R.R8, 0, non_negative)
+    b.neg(R.R8, R.R8)
+    b.bind(non_negative)
+    b.add(R.R13, R.R13, R.R8)
+    b.add(R.R11, R.R11, 1)
+    b.blt(R.R11, BLOCK, "bx_loop")
+    b.add(R.R10, R.R10, 1)
+    b.blt(R.R10, BLOCK, "by_loop")
+    # Keep the best (SAD, offset) pair.
+    not_better = b.new_label()
+    b.bge(R.R13, R.RAX, not_better)
+    b.mov(R.RAX, R.R13)
+    b.mul(R.RBX, R.RCX, FRAME_WIDTH)
+    b.add(R.RBX, R.RBX, R.RDX)
+    b.bind(not_better)
+    b.add(R.RDX, R.RDX, 1)
+    b.blt(R.RDX, search_cols, "col_loop")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, search_rows, "row_loop")
+
+    b.out(R.RAX)
+    b.out(R.RBX)
+    b.halt()
+    return b.build()
+
+
+H264REF = WorkloadSpec(
+    name="h264ref",
+    suite="spec",
+    description="Block-matching motion estimation (SAD minimisation)",
+    build=build_h264ref,
+    default_scale=2,
+    test_scale=2,
+)

@@ -1,0 +1,110 @@
+"""hmmer-like kernel: profile-HMM Viterbi dynamic programming.
+
+hmmer's hot loop fills dynamic-programming matrices with max/add
+recurrences over a sequence and a profile.  The kernel computes a Viterbi
+score over a synthetic emission/transition profile with exactly that
+recurrence structure.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+NUM_STATES = 8
+NEG_INFINITY = 0  # scores are kept non-negative; zero is the floor
+
+
+def build_hmmer(scale: int) -> Program:
+    """Run Viterbi over a ``scale * 12``-symbol sequence; emit the best score."""
+    sequence_length = max(6, scale * 12)
+    b = ProgramBuilder("hmmer")
+    emissions = b.alloc_words(
+        "emissions", word_array(NUM_STATES * 4, seed=421, bound=32)
+    )
+    transitions = b.alloc_words(
+        "transitions", word_array(NUM_STATES * NUM_STATES, seed=423, bound=16)
+    )
+    sequence = b.alloc_words("sequence", word_array(sequence_length, seed=425, bound=4))
+    current = b.alloc_words("dp_current", [0] * NUM_STATES)
+    previous = b.alloc_words("dp_previous", [0] * NUM_STATES)
+
+    b.movi(R.RBP, 0)                      # sequence position
+
+    b.label("seq_loop")
+    # R13 = observed symbol at this position.
+    b.mul(R.R8, R.RBP, 8)
+    b.add(R.R8, R.R8, sequence)
+    b.load(R.R13, R.R8, 0)
+
+    b.movi(R.RCX, 0)                      # destination state j
+    b.label("state_loop")
+    b.movi(R.R12, 0)                      # best incoming score
+    b.movi(R.RDX, 0)                      # source state i
+    b.label("src_loop")
+    # candidate = previous[i] + transitions[i][j]
+    b.mul(R.R8, R.RDX, 8)
+    b.add(R.R8, R.R8, previous)
+    b.load(R.R9, R.R8, 0)
+    b.mul(R.R10, R.RDX, NUM_STATES)
+    b.add(R.R10, R.R10, R.RCX)
+    b.shl(R.R10, R.R10, 3)
+    b.add(R.R10, R.R10, transitions)
+    b.load(R.R10, R.R10, 0)
+    b.add(R.R9, R.R9, R.R10)
+    b.max_(R.R12, R.R12, R.R9)
+    b.add(R.RDX, R.RDX, 1)
+    b.blt(R.RDX, NUM_STATES, "src_loop")
+    # current[j] = best + emissions[j][symbol]
+    b.mul(R.R10, R.RCX, 4)
+    b.add(R.R10, R.R10, R.R13)
+    b.shl(R.R10, R.R10, 3)
+    b.add(R.R10, R.R10, emissions)
+    b.load(R.R10, R.R10, 0)
+    b.add(R.R12, R.R12, R.R10)
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, current)
+    b.store(R.R12, R.R8, 0)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, NUM_STATES, "state_loop")
+
+    # Copy current -> previous for the next position.
+    b.movi(R.RCX, 0)
+    b.label("copy_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R9, R.R8, current)
+    b.load(R.R10, R.R9, 0)
+    b.add(R.R9, R.R8, previous)
+    b.store(R.R10, R.R9, 0)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, NUM_STATES, "copy_loop")
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, sequence_length, "seq_loop")
+
+    # Best final score across states.
+    b.movi(R.RAX, 0)
+    b.movi(R.RCX, 0)
+    b.label("final_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, current)
+    b.load(R.R9, R.R8, 0)
+    b.max_(R.RAX, R.RAX, R.R9)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, NUM_STATES, "final_loop")
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+HMMER = WorkloadSpec(
+    name="hmmer",
+    suite="spec",
+    description="Profile-HMM Viterbi dynamic programming (max/add recurrence)",
+    build=build_hmmer,
+    default_scale=2,
+    test_scale=1,
+)

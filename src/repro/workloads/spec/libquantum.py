@@ -1,0 +1,106 @@
+"""libquantum-like kernel: quantum register gate simulation.
+
+libquantum simulates quantum gates by streaming over a register's amplitude
+array and permuting/flipping entries whose basis-state index matches a bit
+pattern.  The kernel applies a sequence of NOT, CNOT and Toffoli gates to an
+integer amplitude array with exactly that gather/scatter pattern.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+NUM_QUBITS = 6
+NUM_STATES = 1 << NUM_QUBITS
+
+#: Gate list: (control_mask, target_bit).  A zero mask is an unconditional NOT.
+GATES = (
+    (0, 0),
+    (0b000010, 2),
+    (0b000101, 3),
+    (0, 4),
+    (0b011000, 1),
+    (0b000001, 5),
+    (0b100100, 0),
+)
+
+
+def build_libquantum(scale: int) -> Program:
+    """Apply the gate sequence ``scale`` times; emit the amplitude checksum."""
+    repetitions = max(1, scale)
+    b = ProgramBuilder("libquantum")
+    amplitudes = b.alloc_words(
+        "amplitudes", word_array(NUM_STATES, seed=441, bound=1 << 16)
+    )
+    control_masks = b.alloc_words("control_masks", [g[0] for g in GATES])
+    target_bits = b.alloc_words("target_bits", [g[1] for g in GATES])
+
+    b.movi(R.RDI, amplitudes)
+    b.movi(R.RBP, 0)                     # repetition index
+
+    b.label("rep_loop")
+    b.movi(R.R13, 0)                     # gate index
+    b.label("gate_loop")
+    b.mul(R.R8, R.R13, 8)
+    b.mov(R.R9, R.R8)
+    b.add(R.R9, R.R9, control_masks)
+    b.load(R.R9, R.R9, 0)                # control mask
+    b.add(R.R8, R.R8, target_bits)
+    b.load(R.R10, R.R8, 0)               # target bit
+    b.movi(R.R11, 1)
+    b.shl(R.R11, R.R11, R.R10)           # target bit mask
+
+    b.movi(R.RCX, 0)                     # basis state index
+    b.label("state_loop")
+    # Apply the gate only when all control bits are set.
+    b.and_(R.R8, R.RCX, R.R9)
+    b.bne(R.R8, R.R9, "skip_state")
+    # Swap amplitude[state] with amplitude[state ^ target_mask] once per pair.
+    b.and_(R.R8, R.RCX, R.R11)
+    b.bne(R.R8, 0, "skip_state")
+    b.xor(R.R12, R.RCX, R.R11)           # partner index
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.mul(R.R12, R.R12, 8)
+    b.add(R.R12, R.R12, R.RDI)
+    b.load(R.RBX, R.R8, 0)
+    b.load(R.RDX, R.R12, 0)
+    b.store(R.RDX, R.R8, 0)
+    b.store(R.RBX, R.R12, 0)
+    b.label("skip_state")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, NUM_STATES, "state_loop")
+
+    b.add(R.R13, R.R13, 1)
+    b.blt(R.R13, len(GATES), "gate_loop")
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, repetitions, "rep_loop")
+
+    # Order-sensitive checksum of the final amplitude vector.
+    b.movi(R.RAX, 0)
+    b.movi(R.RCX, 0)
+    b.label("sum_loop")
+    b.mul(R.RAX, R.RAX, 31)
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.add(R.RAX, R.RAX, (R.R8, 0))
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, NUM_STATES, "sum_loop")
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+LIBQUANTUM = WorkloadSpec(
+    name="libquantum",
+    suite="spec",
+    description="Quantum gate simulation over an amplitude array (index permutations)",
+    build=build_libquantum,
+    default_scale=2,
+    test_scale=1,
+)

@@ -1,0 +1,134 @@
+"""omnetpp-like kernel: discrete-event simulation on a binary-heap event queue.
+
+omnetpp's discrete-event engine is dominated by future-event-set
+operations.  The kernel inserts pseudo-random timestamped events into an
+array-backed binary min-heap, then repeatedly pops the earliest event,
+"processes" it, and occasionally schedules a follow-up — the classic
+event-loop access pattern.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import word_array
+
+
+def build_omnetpp(scale: int) -> Program:
+    """Insert/pop ``scale * 12`` events through the heap; emit an order checksum."""
+    events = max(8, scale * 12)
+    b = ProgramBuilder("omnetpp")
+    timestamps = b.alloc_words("timestamps", word_array(events, seed=461, bound=10_000))
+    heap = b.alloc_space("heap", 8 * (2 * events + 4))
+
+    b.movi(R.RDI, timestamps)
+    b.movi(R.RSI, heap)
+    b.movi(R.R13, 0)                 # heap size
+    b.movi(R.RAX, 0)                 # order-sensitive checksum
+    b.movi(R.RBP, 0)                 # events inserted so far
+
+    # ------------------------------------------------------------------
+    # Phase 1: push every pending event.
+    b.label("insert_loop")
+    b.bge(R.RBP, events, "drain_phase")
+    b.mul(R.R8, R.RBP, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.RBX, R.R8, 0)           # timestamp to insert
+    b.call("heap_push")
+    b.add(R.RBP, R.RBP, 1)
+    b.jmp("insert_loop")
+
+    # ------------------------------------------------------------------
+    # Phase 2: drain the heap in timestamp order; fold into the checksum.
+    b.label("drain_phase")
+    b.label("drain_loop")
+    b.beq(R.R13, 0, "finished")
+    b.call("heap_pop")               # earliest timestamp returned in RBX
+    b.mul(R.RAX, R.RAX, 31)
+    b.add(R.RAX, R.RAX, R.RBX)
+    b.and_(R.RAX, R.RAX, (1 << 48) - 1)
+    b.jmp("drain_loop")
+
+    b.label("finished")
+    b.out(R.RAX)
+    b.halt()
+
+    # ------------------------------------------------------------------
+    # heap_push: insert RBX; clobbers R8-R12.
+    b.label("heap_push")
+    b.mov(R.R9, R.R13)               # hole index
+    b.mul(R.R8, R.R9, 8)
+    b.add(R.R8, R.R8, R.RSI)
+    b.store(R.RBX, R.R8, 0)
+    b.add(R.R13, R.R13, 1)
+    b.label("sift_up")
+    b.ble(R.R9, 0, "push_done")
+    b.sub(R.R10, R.R9, 1)
+    b.shr(R.R10, R.R10, 1)           # parent index
+    b.mul(R.R8, R.R9, 8)
+    b.add(R.R8, R.R8, R.RSI)
+    b.mul(R.R11, R.R10, 8)
+    b.add(R.R11, R.R11, R.RSI)
+    b.load(R.R12, R.R11, 0)          # parent value
+    b.load(R.RDX, R.R8, 0)           # child value
+    b.ble(R.R12, R.RDX, "push_done")
+    b.store(R.RDX, R.R11, 0)
+    b.store(R.R12, R.R8, 0)
+    b.mov(R.R9, R.R10)
+    b.jmp("sift_up")
+    b.label("push_done")
+    b.ret()
+
+    # ------------------------------------------------------------------
+    # heap_pop: remove the minimum into RBX; clobbers R8-R12, RDX, RCX.
+    b.label("heap_pop")
+    b.load(R.RBX, R.RSI, 0)          # minimum
+    b.sub(R.R13, R.R13, 1)
+    b.mul(R.R8, R.R13, 8)
+    b.add(R.R8, R.R8, R.RSI)
+    b.load(R.R9, R.R8, 0)            # last element
+    b.store(R.R9, R.RSI, 0)
+    b.movi(R.R9, 0)                  # hole index
+    b.label("sift_down")
+    b.mul(R.R10, R.R9, 2)
+    b.add(R.R10, R.R10, 1)           # left child
+    b.bge(R.R10, R.R13, "pop_done")
+    # Pick the smaller child into R10.
+    b.add(R.R11, R.R10, 1)
+    b.bge(R.R11, R.R13, "have_child")
+    b.mul(R.R12, R.R10, 8)
+    b.add(R.R12, R.R12, R.RSI)
+    b.load(R.R12, R.R12, 0)
+    b.mul(R.RDX, R.R11, 8)
+    b.add(R.RDX, R.RDX, R.RSI)
+    b.load(R.RDX, R.RDX, 0)
+    b.ble(R.R12, R.RDX, "have_child")
+    b.mov(R.R10, R.R11)
+    b.label("have_child")
+    # Swap if the child is smaller than the hole.
+    b.mul(R.R12, R.R9, 8)
+    b.add(R.R12, R.R12, R.RSI)
+    b.load(R.RDX, R.R12, 0)          # hole value
+    b.mul(R.R11, R.R10, 8)
+    b.add(R.R11, R.R11, R.RSI)
+    b.load(R.RCX, R.R11, 0)          # child value
+    b.ble(R.RDX, R.RCX, "pop_done")
+    b.store(R.RCX, R.R12, 0)
+    b.store(R.RDX, R.R11, 0)
+    b.mov(R.R9, R.R10)
+    b.jmp("sift_down")
+    b.label("pop_done")
+    b.ret()
+    return b.build()
+
+
+OMNETPP = WorkloadSpec(
+    name="omnetpp",
+    suite="spec",
+    description="Discrete-event simulation: binary-heap future event set",
+    build=build_omnetpp,
+    default_scale=3,
+    test_scale=1,
+)

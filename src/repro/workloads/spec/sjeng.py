@@ -1,0 +1,120 @@
+"""sjeng-like kernel: chess board attack scanning with alternating min/max.
+
+sjeng evaluates chess positions by scanning piece attack rays and running a
+minimax search.  The kernel scans sliding-piece rays on an 8x8 board until
+they hit a blocker, scores the attacked squares, and folds the per-piece
+scores through an alternating min/max reduction (one ply per piece).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generators import DeterministicStream
+
+BOARD_DIM = 8
+#: Ray directions as (dy, dx): rook moves.
+DIRECTIONS = ((0, 1), (0, -1), (1, 0), (-1, 0))
+
+
+def _board(seed: int) -> list:
+    stream = DeterministicStream(seed)
+    cells = []
+    for _ in range(BOARD_DIM * BOARD_DIM):
+        roll = stream.next_below(8)
+        cells.append(0 if roll < 5 else 1 + stream.next_below(5))
+    return cells
+
+
+def build_sjeng(scale: int) -> Program:
+    """Scan attack rays for every piece over ``scale`` plies; emit the score."""
+    plies = max(1, scale)
+    b = ProgramBuilder("sjeng")
+    board = b.alloc_words("board", _board(seed=431))
+    values = b.alloc_words("piece_values", [0, 10, 30, 32, 50, 90])
+
+    b.movi(R.RDI, board)
+    b.movi(R.RSI, values)
+    b.movi(R.RAX, 0)                  # running minimax score
+    b.movi(R.RBP, 0)                  # ply index
+
+    b.label("ply_loop")
+    b.movi(R.RCX, 0)                  # square index
+    b.movi(R.R13, 0)                  # ply score accumulator
+    b.label("square_loop")
+    b.mul(R.R8, R.RCX, 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.R9, R.R8, 0)             # piece at this square
+    b.beq(R.R9, 0, "next_square")
+    # Piece value from the value table.
+    b.mul(R.R10, R.R9, 8)
+    b.add(R.R10, R.R10, R.RSI)
+    b.load(R.R10, R.R10, 0)
+    b.add(R.R13, R.R13, R.R10)
+    # Scan the four rook rays until a blocker or the board edge.
+    for dy, dx in DIRECTIONS:
+        step = dy * BOARD_DIM + dx
+        ray_done = b.new_label()
+        ray_loop = b.new_label()
+        b.mov(R.R11, R.RCX)           # ray position
+        b.bind(ray_loop)
+        # Stop at the board edge (file wrap for horizontal rays).
+        if dx:
+            b.mod(R.R12, R.R11, BOARD_DIM)
+            if dx > 0:
+                b.beq(R.R12, BOARD_DIM - 1, ray_done)
+            else:
+                b.beq(R.R12, 0, ray_done)
+        b.add(R.R11, R.R11, step)
+        b.blt(R.R11, 0, ray_done)
+        b.bge(R.R11, BOARD_DIM * BOARD_DIM, ray_done)
+        b.mul(R.R12, R.R11, 8)
+        b.add(R.R12, R.R12, R.RDI)
+        b.load(R.R12, R.R12, 0)
+        b.add(R.R13, R.R13, 1)        # attacked square bonus
+        b.beq(R.R12, 0, ray_loop)     # keep sliding through empty squares
+        b.bind(ray_done)
+    b.label("next_square")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, BOARD_DIM * BOARD_DIM, "square_loop")
+
+    # Alternating min/max folding of per-ply scores (a 1-ply minimax flavour).
+    is_max = b.new_label()
+    fold_done = b.new_label()
+    b.mod(R.R9, R.RBP, 2)
+    b.beq(R.R9, 0, is_max)
+    b.sub(R.R10, R.RAX, R.R13)
+    b.min_(R.RAX, R.RAX, R.R10)
+    b.jmp(fold_done)
+    b.bind(is_max)
+    b.add(R.R10, R.RAX, R.R13)
+    b.max_(R.RAX, R.RAX, R.R10)
+    b.bind(fold_done)
+
+    # Perturb the board so the next ply sees a different position.
+    b.mul(R.R8, R.RBP, 8)
+    b.mod(R.R8, R.R8, BOARD_DIM * BOARD_DIM * 8)
+    b.add(R.R8, R.R8, R.RDI)
+    b.load(R.R9, R.R8, 0)
+    b.xor(R.R9, R.R9, 1)
+    b.and_(R.R9, R.R9, 3)
+    b.store(R.R9, R.R8, 0)
+
+    b.add(R.RBP, R.RBP, 1)
+    b.blt(R.RBP, plies, "ply_loop")
+
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+SJENG = WorkloadSpec(
+    name="sjeng",
+    suite="spec",
+    description="Chess-style attack-ray scanning with alternating min/max folding",
+    build=build_sjeng,
+    default_scale=3,
+    test_scale=1,
+)

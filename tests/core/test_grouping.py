@@ -1,0 +1,158 @@
+"""Tests for MeRLiN's two-step grouping algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import group_faults
+from repro.core.intervals import IntervalSet, VulnerableInterval
+from repro.faults.model import FaultList, FaultSpec
+from repro.uarch.structures import TargetStructure
+
+
+def _interval_set(intervals):
+    by_entry = {}
+    for interval in intervals:
+        by_entry.setdefault(interval.entry, []).append(interval)
+    return IntervalSet(TargetStructure.RF, by_entry)
+
+
+def _fault(fault_id, entry, bit, cycle):
+    return FaultSpec(fault_id, TargetStructure.RF, entry, bit, cycle)
+
+
+INTERVALS = _interval_set([
+    # Entry 0: two dynamic instances read by the same static micro-op (rip 5, upc 0).
+    VulnerableInterval(TargetStructure.RF, 0, 10, 20, rip=5, upc=0),
+    VulnerableInterval(TargetStructure.RF, 0, 30, 40, rip=5, upc=0),
+    # Entry 1: read by a different micro-op of the same instruction.
+    VulnerableInterval(TargetStructure.RF, 1, 10, 25, rip=5, upc=1),
+    # Entry 2: read by another instruction.
+    VulnerableInterval(TargetStructure.RF, 2, 5, 50, rip=9, upc=0),
+])
+
+
+def test_non_vulnerable_faults_are_pruned_as_masked():
+    faults = FaultList(TargetStructure.RF, [
+        _fault(0, 0, 0, 5),     # before any write
+        _fault(1, 0, 0, 25),    # between the two intervals of entry 0
+        _fault(2, 3, 0, 15),    # entry with no intervals at all
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    assert sorted(grouped.masked_fault_ids) == [0, 1, 2]
+    assert grouped.num_groups == 0
+    assert grouped.faults_after_ace == 0
+
+
+def test_step1_groups_by_rip_and_upc():
+    faults = FaultList(TargetStructure.RF, [
+        _fault(0, 0, 0, 15),    # entry 0, first instance  -> (5, 0)
+        _fault(1, 0, 0, 35),    # entry 0, second instance -> (5, 0)
+        _fault(2, 1, 0, 20),    # entry 1 -> (5, 1)
+        _fault(3, 2, 0, 30),    # entry 2 -> (9, 0)
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    keys = {group.reader_key for group in grouped.groups}
+    assert keys == {(5, 0), (5, 1), (9, 0)}
+    sizes = {group.reader_key: group.size for group in grouped.groups}
+    assert sizes[(5, 0)] == 2
+
+
+def test_step2_splits_by_byte_position():
+    faults = FaultList(TargetStructure.RF, [
+        _fault(0, 0, 3, 15),    # byte 0
+        _fault(1, 0, 12, 15),   # byte 1
+        _fault(2, 0, 13, 35),   # byte 1, different dynamic instance
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    assert grouped.num_groups == 2
+    byte_groups = {group.byte: group for group in grouped.groups}
+    assert byte_groups[0].size == 1
+    assert byte_groups[1].size == 2
+    assert grouped.injections_required == 2
+
+
+def test_representatives_prefer_distinct_dynamic_instances():
+    """Figure 5: byte sub-groups of one static instruction spread across instances."""
+    faults = FaultList(TargetStructure.RF, [
+        _fault(0, 0, 0, 15),    # byte 0, instance ending at 20
+        _fault(1, 0, 1, 35),    # byte 0, instance ending at 40
+        _fault(2, 0, 8, 15),    # byte 1, instance ending at 20
+        _fault(3, 0, 9, 35),    # byte 1, instance ending at 40
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    assert grouped.num_groups == 2
+    instances = []
+    for group in grouped.groups:
+        member = next(m for m in group.members
+                      if m.fault.fault_id == group.representative.fault_id)
+        instances.append(member.dynamic_instance)
+    assert len(set(instances)) == 2
+
+
+def test_every_fault_is_either_masked_or_in_exactly_one_group():
+    faults = FaultList(TargetStructure.RF, [
+        _fault(i, i % 3, (i * 7) % 64, (i * 11) % 60) for i in range(40)
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    in_groups = [fid for group in grouped.groups for fid in group.member_fault_ids()]
+    assert len(in_groups) == len(set(in_groups))
+    assert sorted(in_groups + grouped.masked_fault_ids) == list(range(40))
+    assert grouped.faults_in_groups + len(grouped.masked_fault_ids) == 40
+
+
+def test_speedup_accounting():
+    faults = FaultList(TargetStructure.RF, [
+        _fault(0, 0, 0, 15),
+        _fault(1, 0, 1, 35),
+        _fault(2, 3, 0, 10),    # pruned
+        _fault(3, 3, 0, 11),    # pruned
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    assert grouped.initial_faults == 4
+    assert grouped.faults_after_ace == 2
+    assert grouped.injections_required == 1
+    assert grouped.ace_speedup == pytest.approx(2.0)
+    assert grouped.grouping_speedup == pytest.approx(2.0)
+    assert grouped.total_speedup == pytest.approx(4.0)
+    assert "groups" in grouped.describe()
+
+
+def test_group_of_fault_mapping():
+    faults = FaultList(TargetStructure.RF, [_fault(0, 0, 0, 15), _fault(1, 2, 0, 30)])
+    grouped = group_faults(faults, INTERVALS)
+    mapping = grouped.group_of_fault()
+    assert mapping[0].reader_key == (5, 0)
+    assert mapping[1].reader_key == (9, 0)
+
+
+def test_empty_fault_list():
+    grouped = group_faults(FaultList(TargetStructure.RF, []), INTERVALS)
+    assert grouped.initial_faults == 0
+    assert grouped.total_speedup == 1.0
+
+
+@settings(max_examples=30)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),     # entry
+        st.integers(min_value=0, max_value=63),    # bit
+        st.integers(min_value=0, max_value=60),    # cycle
+    ),
+    max_size=80,
+))
+def test_grouping_partition_property(triples):
+    faults = FaultList(TargetStructure.RF, [
+        _fault(i, entry, bit, cycle) for i, (entry, bit, cycle) in enumerate(triples)
+    ])
+    grouped = group_faults(faults, INTERVALS)
+    in_groups = [fid for group in grouped.groups for fid in group.member_fault_ids()]
+    assert sorted(in_groups + grouped.masked_fault_ids) == sorted(f.fault_id for f in faults)
+    # Every group's members share the reader key and byte, and the
+    # representative is a member of its own group.
+    for group in grouped.groups:
+        assert group.representative.fault_id in group.member_fault_ids()
+        for member in group.members:
+            assert member.interval.reader_key == group.reader_key
+            assert member.fault.byte == group.byte
+    assert grouped.injections_required <= max(1, grouped.faults_after_ace)
+    assert grouped.total_speedup >= grouped.ace_speedup or grouped.faults_after_ace == 0

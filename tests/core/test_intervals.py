@@ -1,0 +1,156 @@
+"""Tests for ACE-like vulnerable-interval construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import (
+    IntervalSet,
+    VulnerableInterval,
+    build_interval_set,
+    build_intervals_for_entry,
+    classic_ace_intervals,
+)
+from repro.faults.golden import capture_golden
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure
+from repro.uarch.trace import AccessEvent, AccessKind, AccessTracer
+
+from tests.conftest import build_loop_program
+
+
+def _event(entry, cycle, kind, rip=5, upc=0):
+    return AccessEvent(TargetStructure.RF, entry, cycle, kind, rip, upc)
+
+
+def test_write_then_read_creates_interval():
+    events = [_event(0, 10, AccessKind.WRITE), _event(0, 25, AccessKind.READ, rip=3, upc=1)]
+    intervals = build_intervals_for_entry(TargetStructure.RF, 0, events)
+    assert len(intervals) == 1
+    interval = intervals[0]
+    assert (interval.start_cycle, interval.end_cycle) == (10, 25)
+    assert interval.reader_key == (3, 1)
+    assert interval.length == 15
+
+
+def test_read_read_creates_second_interval_figure3():
+    """Figure 3: intermediate committed reads split the ACE interval."""
+    events = [
+        _event(0, 10, AccessKind.WRITE),
+        _event(0, 20, AccessKind.READ, rip=1),
+        _event(0, 40, AccessKind.READ, rip=2),
+    ]
+    intervals = build_intervals_for_entry(TargetStructure.RF, 0, events)
+    assert len(intervals) == 2
+    assert intervals[0].end_cycle == 20 and intervals[1].end_cycle == 40
+    assert intervals[1].start_cycle == 20
+    assert intervals[0].rip == 1 and intervals[1].rip == 2
+
+
+def test_write_then_write_is_not_vulnerable():
+    events = [
+        _event(0, 10, AccessKind.WRITE),
+        _event(0, 30, AccessKind.WRITE),
+        _event(0, 50, AccessKind.READ),
+    ]
+    intervals = build_intervals_for_entry(TargetStructure.RF, 0, events)
+    assert len(intervals) == 1
+    assert intervals[0].start_cycle == 30
+
+
+def test_read_before_any_write_does_not_create_interval():
+    events = [_event(0, 10, AccessKind.READ)]
+    assert build_intervals_for_entry(TargetStructure.RF, 0, events) == []
+
+
+def test_same_cycle_read_precedes_write():
+    """A value read and overwritten in the same cycle still ends an interval."""
+    events = [
+        _event(0, 10, AccessKind.WRITE),
+        _event(0, 20, AccessKind.WRITE),
+        _event(0, 20, AccessKind.READ, rip=9),
+    ]
+    intervals = build_intervals_for_entry(TargetStructure.RF, 0, events)
+    assert len(intervals) == 1
+    assert intervals[0].end_cycle == 20
+    assert intervals[0].start_cycle == 10
+
+
+def test_interval_contains_semantics():
+    interval = VulnerableInterval(TargetStructure.RF, 0, 10, 20, 1, 0)
+    assert not interval.contains(10)   # flip at the write cycle is overwritten
+    assert interval.contains(11)
+    assert interval.contains(20)       # flip at the read cycle is consumed
+    assert not interval.contains(21)
+
+
+def test_interval_set_find_and_totals():
+    tracer = AccessTracer(enabled=True)
+    tracer.record_rf(2, 10, AccessKind.WRITE)
+    tracer.record_rf(2, 30, AccessKind.READ, 4, 0)
+    tracer.record_rf(2, 60, AccessKind.READ, 5, 0)
+    tracer.record_rf(9, 5, AccessKind.WRITE)
+    interval_set = build_interval_set(tracer, TargetStructure.RF)
+    assert interval_set.num_intervals == 2
+    assert interval_set.find(2, 15).rip == 4
+    assert interval_set.find(2, 45).rip == 5
+    assert interval_set.find(2, 61) is None
+    assert interval_set.find(9, 100) is None
+    assert interval_set.find(7, 10) is None
+    assert interval_set.vulnerable_cycles(2) == 50
+    assert interval_set.total_vulnerable_cycles() == 50
+    assert interval_set.reader_keys() == [(4, 0), (5, 0)]
+    assert "RF" in interval_set.describe()
+
+
+def test_classic_ace_total_vulnerable_time_matches_ace_like(loop_program=None):
+    """Merging read-to-read chains must not change the total vulnerable time."""
+    program = build_loop_program()
+    golden = capture_golden(program, MicroarchConfig().with_register_file(64))
+    fine = build_interval_set(golden.tracer, TargetStructure.RF)
+    merged = classic_ace_intervals(golden.tracer, TargetStructure.RF)
+    assert fine.total_vulnerable_cycles() == merged.total_vulnerable_cycles()
+    assert merged.num_intervals <= fine.num_intervals
+
+
+def test_intervals_from_real_run_are_well_formed():
+    program = build_loop_program()
+    golden = capture_golden(program, MicroarchConfig().with_register_file(64))
+    for structure in TargetStructure:
+        interval_set = build_interval_set(golden.tracer, structure)
+        assert interval_set.num_intervals > 0
+        for entry in interval_set.entries_with_intervals:
+            intervals = interval_set.intervals_of(entry)
+            # Intervals of one entry are ordered and non-overlapping.
+            for earlier, later in zip(intervals, intervals[1:]):
+                assert earlier.end_cycle <= later.start_cycle or (
+                    earlier.end_cycle == later.start_cycle
+                )
+            for interval in intervals:
+                assert interval.start_cycle <= interval.end_cycle
+                assert interval.entry == entry
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_interval_invariants_property(raw_events):
+    """Intervals always end at a read, never overlap, and cover only traced time."""
+    events = [
+        _event(0, cycle, AccessKind.READ if is_read else AccessKind.WRITE)
+        for cycle, is_read in raw_events
+    ]
+    intervals = build_intervals_for_entry(TargetStructure.RF, 0, events)
+    reads = sorted(e.cycle for e in events if e.is_read)
+    for interval in intervals:
+        assert interval.end_cycle in reads
+        assert interval.start_cycle <= interval.end_cycle
+    for earlier, later in zip(intervals, intervals[1:]):
+        assert earlier.end_cycle <= later.end_cycle
+        assert earlier.end_cycle <= later.start_cycle

@@ -1,0 +1,49 @@
+"""Tests for the report containers used by the experiment harness."""
+
+import pytest
+
+from repro.core.reporting import SeriesReport, TableReport
+
+
+def test_table_report_add_rows_and_render():
+    table = TableReport(title="Demo", columns=["name", "value"])
+    table.add_row(["alpha", 1])
+    table.add_row(["beta", 2.5])
+    table.add_note("a note")
+    text = table.render()
+    assert "Demo" in text
+    assert "alpha" in text and "2.50" in text
+    assert "note: a note" in text
+    assert table.column("value") == [1, 2.5]
+    assert table.to_dicts()[0] == {"name": "alpha", "value": 1}
+
+
+def test_table_report_rejects_wrong_row_width():
+    table = TableReport(title="T", columns=["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_table_report_renders_without_rows():
+    table = TableReport(title="Empty", columns=["a"])
+    assert "Empty" in table.render()
+
+
+def test_series_report_averages_and_table():
+    series = SeriesReport(title="S", x_label="bench")
+    series.add_point("x", {"speedup": 10.0, "injections": 5})
+    series.add_point("y", {"speedup": 30.0, "injections": 15})
+    averages = series.averages()
+    assert averages["speedup"] == pytest.approx(20.0)
+    table = series.as_table()
+    assert table.columns == ["bench", "speedup", "injections"]
+    assert table.rows[-1][0] == "average"
+    assert "S" in series.render()
+
+
+def test_series_report_handles_missing_series_values():
+    series = SeriesReport(title="S", x_label="x")
+    series.add_point("a", {"one": 1.0})
+    series.add_point("b", {"one": 2.0, "two": 4.0})
+    # The late-appearing series is NaN for the first point and excluded from averages.
+    assert series.averages()["two"] == pytest.approx(4.0)

@@ -1,0 +1,144 @@
+"""Tests for the experiment harness (tiny scale, checking structure not values)."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentContext, ExperimentScale, structure_configs
+from repro.experiments import (
+    fig08_speedup_rf,
+    fig11_estimation_time,
+    fig13_scaling,
+    fig15_accuracy_final,
+    sec445_theory,
+    table1_config,
+    table2_classification,
+    table3_exhaustive,
+)
+from repro.uarch.structures import TargetStructure
+
+TINY = ExperimentScale(
+    mibench=("sha", "qsort"),
+    spec=("gcc",),
+    workload_scale=1,
+    initial_faults=3_000,
+    scaling_pair=(600, 3_000),
+    accuracy_faults=50,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(TINY)
+
+
+def test_experiment_scales_presets():
+    assert ExperimentScale.quick().initial_faults < ExperimentScale.default().initial_faults
+    assert ExperimentScale.paper().initial_faults == 60_000
+    assert ExperimentScale.paper().scaling_initial_faults == 600_000
+    assert len(ExperimentScale.full().mibench) == 10
+    assert ExperimentScale.default().with_faults(10).initial_faults == 10
+
+
+def test_structure_configs_respect_scale():
+    scale = ExperimentScale(rf_sizes=(256, 64), sq_sizes=(16,), l1d_sizes_kb=(32,))
+    rf = structure_configs(TargetStructure.RF, scale)
+    assert [label for label, _ in rf] == ["256regs", "64regs"]
+    sq = structure_configs(TargetStructure.SQ, scale)
+    assert sq[0][1].store_queue_entries == 16
+
+
+def test_context_caches_programs_and_goldens(context):
+    program_a = context.program("sha")
+    program_b = context.program("sha")
+    assert program_a is program_b
+    config = structure_configs(TargetStructure.RF, context.scale)[0][1]
+    golden_a = context.golden("sha", config)
+    golden_b = context.golden("sha", config)
+    assert golden_a is golden_b
+
+
+def test_grouping_produces_reduction(context):
+    config = structure_configs(TargetStructure.RF, context.scale)[0][1]
+    grouped = context.grouping("sha", TargetStructure.RF, config)
+    assert grouped.initial_faults == TINY.initial_faults
+    assert grouped.total_speedup > 1.0
+
+
+def test_table1_and_table3_render(context):
+    assert "Pipeline" in table1_config.run().render()
+    table3 = table3_exhaustive.run(context=context)
+    rendered = table3.render()
+    assert "MeRLiN" in rendered and "Relyzer" in rendered
+    merlin_row, relyzer_row = table3.to_dicts()
+    assert float(merlin_row["gain"]) > float(relyzer_row["gain"])
+
+
+def test_fig08_speedup_structure(context):
+    report = fig08_speedup_rf.run(context=context)
+    assert "ACE-like speedup" in report.series
+    averages = report.averages()
+    assert averages["Total speedup"] >= averages["ACE-like speedup"] >= 1.0
+
+
+def test_fig11_reports_reduction(context):
+    table = fig11_estimation_time.run(context=context)
+    rows = table.to_dicts()
+    assert rows[-1]["structure"] == "Final Estimation Time"
+    for row in rows:
+        assert row["baseline months"] >= row["MeRLiN months"]
+
+
+def test_fig13_speedup_scales_with_list_size(context):
+    table = fig13_scaling.run(context=context)
+    list_growth = TINY.scaling_pair[1] / TINY.scaling_pair[0]
+    rows = table.to_dicts()
+    for row in rows:
+        # Injections never grow faster than the fault list itself.
+        assert row["injection scaling"] <= list_growth + 0.5
+        assert row["speedup(large)"] > 0
+    # The register file is dense enough at this scale for the paper's trend
+    # (a larger list yields a larger final speedup) to be visible.
+    rf_row = next(row for row in rows if row["structure"] == "RF")
+    assert rf_row["speedup scaling"] >= 1.0
+
+
+def test_accuracy_study_and_fig15(context):
+    config_label, config = structure_configs(TargetStructure.RF, context.scale)[0]
+    study = context.accuracy_study("sha", TargetStructure.RF, config, config_label)
+    assert study.ace_sample_verified
+    assert study.baseline_full.total == TINY.accuracy_faults
+    assert study.merlin.counts_final.total == TINY.accuracy_faults
+    # Cached: a second call returns the same object without re-simulating.
+    again = context.accuracy_study("sha", TargetStructure.RF, config, config_label)
+    assert again is study
+    table = fig15_accuracy_final.run(context=context)
+    rows = table.to_dicts()
+    assert any(row["method"] == "MeRLiN" for row in rows)
+    assert any(row["method"] == "baseline" for row in rows)
+
+
+def test_table2_counts_total_matches_accuracy_faults(context):
+    table = table2_classification.run(context=context)
+    observed = sum(int(row[table.columns[2]]) for row in table.to_dicts())
+    assert observed == TINY.accuracy_faults
+
+
+def test_sec445_theory_reports_zero_mean_difference(context):
+    table = sec445_theory.run(context=context)
+    for row in table.to_dicts():
+        assert float(row["mean difference"]) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_runner_registry_and_single_run(context):
+    assert set(runner.EXPERIMENTS) >= {
+        "table1", "table2", "table3", "table4",
+        "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "sec445",
+    }
+    text = runner.run_experiment("table1")
+    assert "Table 1" in text
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        runner.main(["not_an_experiment"])

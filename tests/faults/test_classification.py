@@ -1,0 +1,128 @@
+"""Tests for fault-effect classification and classification counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults.classification import (
+    ClassificationCounts,
+    FaultEffectClass,
+    SimpointEffectClass,
+    classify_outcome,
+    classify_simpoint_outcome,
+    distribution_distance,
+    per_class_inaccuracy,
+)
+from repro.uarch.pipeline import SimulationResult, TerminationKind
+from repro.uarch.stats import SimStats
+
+
+def _result(termination=TerminationKind.HALTED, output=(1, 2), exceptions=0,
+            memory_hash=7):
+    return SimulationResult(
+        termination=termination,
+        output=list(output),
+        cycles=100,
+        committed_instructions=50,
+        committed_uops=80,
+        exceptions=exceptions,
+        stats=SimStats(),
+        memory_hash=memory_hash,
+    )
+
+
+GOLDEN = _result()
+
+
+def test_masked_when_identical():
+    assert classify_outcome(GOLDEN, _result()) is FaultEffectClass.MASKED
+
+
+def test_sdc_when_output_differs():
+    assert classify_outcome(GOLDEN, _result(output=(1, 3))) is FaultEffectClass.SDC
+
+
+def test_due_when_extra_exceptions_only():
+    assert classify_outcome(GOLDEN, _result(exceptions=2)) is FaultEffectClass.DUE
+
+
+def test_sdc_takes_priority_over_due():
+    faulty = _result(output=(9,), exceptions=5)
+    assert classify_outcome(GOLDEN, faulty) is FaultEffectClass.SDC
+
+
+def test_timeout_and_deadlock_map_to_timeout():
+    assert classify_outcome(GOLDEN, _result(TerminationKind.TIMEOUT)) is FaultEffectClass.TIMEOUT
+    assert classify_outcome(GOLDEN, _result(TerminationKind.DEADLOCK)) is FaultEffectClass.TIMEOUT
+
+
+def test_crash_and_assert():
+    assert classify_outcome(GOLDEN, _result(TerminationKind.CRASH)) is FaultEffectClass.CRASH
+    assert classify_outcome(GOLDEN, _result(TerminationKind.ASSERT)) is FaultEffectClass.ASSERT
+
+
+def test_simpoint_classification_masked_vs_unknown():
+    golden = _result(TerminationKind.INTERVAL_END)
+    same = _result(TerminationKind.INTERVAL_END)
+    assert classify_simpoint_outcome(golden, same) is SimpointEffectClass.MASKED
+    latent = _result(TerminationKind.INTERVAL_END, memory_hash=99)
+    assert classify_simpoint_outcome(golden, latent) is SimpointEffectClass.UNKNOWN
+    crashed = _result(TerminationKind.CRASH)
+    assert classify_simpoint_outcome(golden, crashed) is SimpointEffectClass.CRASH
+    due = _result(TerminationKind.INTERVAL_END, exceptions=3)
+    assert classify_simpoint_outcome(golden, due) is SimpointEffectClass.DUE
+    asserted = _result(TerminationKind.ASSERT)
+    assert classify_simpoint_outcome(golden, asserted) is SimpointEffectClass.ASSERT
+
+
+def test_counts_add_merge_and_fractions():
+    counts = ClassificationCounts.empty()
+    counts.add(FaultEffectClass.MASKED, 3)
+    counts.add(FaultEffectClass.SDC)
+    assert counts.total == 4
+    assert counts.fraction(FaultEffectClass.MASKED) == pytest.approx(0.75)
+    assert counts.avf() == pytest.approx(0.25)
+    other = ClassificationCounts.empty()
+    other.add(FaultEffectClass.SDC, 2)
+    merged = counts.merge(other)
+    assert merged.count(FaultEffectClass.SDC) == 3
+    assert counts.count(FaultEffectClass.SDC) == 1   # merge is pure
+    assert sum(merged.fractions().values()) == pytest.approx(1.0)
+
+
+def test_counts_empty_taxonomy_and_table_row():
+    counts = ClassificationCounts.empty(SimpointEffectClass)
+    assert set(counts.counts) == {cls.value for cls in SimpointEffectClass}
+    counts.add(SimpointEffectClass.UNKNOWN, 4)
+    row = counts.as_table_row(SimpointEffectClass)
+    assert row["Unknown"] == "100.00%"
+    assert counts.avf() == 0.0 or counts.avf() >= 0.0  # defined even off-taxonomy
+
+
+def test_counts_zero_total_fractions():
+    counts = ClassificationCounts.empty()
+    assert counts.avf() == 0.0
+    assert counts.fraction(FaultEffectClass.SDC) == 0.0
+    assert all(v == 0.0 for v in counts.fractions().values())
+
+
+def test_distribution_distance_and_inaccuracy():
+    a = ClassificationCounts.empty()
+    b = ClassificationCounts.empty()
+    a.add(FaultEffectClass.MASKED, 90)
+    a.add(FaultEffectClass.SDC, 10)
+    b.add(FaultEffectClass.MASKED, 80)
+    b.add(FaultEffectClass.SDC, 20)
+    assert distribution_distance(a, b) == pytest.approx(10.0)
+    per_class = per_class_inaccuracy(a, b)
+    assert per_class["SDC"] == pytest.approx(10.0)
+    assert per_class["DUE"] == 0.0
+
+
+@given(st.lists(st.sampled_from(list(FaultEffectClass)), min_size=1, max_size=60))
+def test_counts_total_matches_additions(effects):
+    counts = ClassificationCounts.empty()
+    for effect in effects:
+        counts.add(effect)
+    assert counts.total == len(effects)
+    assert 0.0 <= counts.avf() <= 1.0
+    assert sum(counts.fractions().values()) == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Tests for golden capture, single-fault injection and campaign driving."""
+
+import pytest
+
+from repro.faults.campaign import ComprehensiveCampaign
+from repro.faults.classification import FaultEffectClass
+from repro.faults.golden import capture_golden
+from repro.faults.injector import inject_fault
+from repro.faults.model import FaultList, FaultSpec
+from repro.faults.sampling import generate_fault_list
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.pipeline import TerminationKind
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+from tests.conftest import build_loop_program
+
+
+@pytest.fixture(scope="module")
+def golden_loop():
+    return capture_golden(build_loop_program(), MicroarchConfig().with_register_file(64))
+
+
+def test_capture_golden_records_trace_and_commit_log(golden_loop):
+    assert golden_loop.result.termination is TerminationKind.HALTED
+    assert golden_loop.tracer is not None
+    assert golden_loop.commit_log
+    assert golden_loop.timeout_cycles() == 3 * golden_loop.cycles
+
+
+def test_capture_golden_without_trace():
+    record = capture_golden(build_loop_program(), MicroarchConfig(), trace=False)
+    assert record.tracer is None
+    assert record.commit_log == []
+
+
+def test_capture_golden_raises_on_broken_workload():
+    b = ProgramBuilder("broken")
+    b.movi(Reg.RAX, 0)
+    b.div(Reg.RAX, Reg.RAX, Reg.RAX)
+    b.halt()
+    with pytest.raises(RuntimeError):
+        capture_golden(b.build(), MicroarchConfig())
+
+
+def test_inject_fault_in_unused_entry_is_masked(golden_loop):
+    fault = FaultSpec(0, TargetStructure.SQ, entry=15, bit=63, cycle=5)
+    outcome = inject_fault(golden_loop, fault)
+    assert outcome.effect is FaultEffectClass.MASKED
+    assert outcome.result.termination is TerminationKind.HALTED
+
+
+def test_inject_fault_simpoint_mode_sets_simpoint_effect(golden_loop):
+    fault = FaultSpec(1, TargetStructure.RF, entry=60, bit=3, cycle=10)
+    outcome = inject_fault(golden_loop, fault, simpoint_mode=True)
+    assert outcome.simpoint_effect is not None
+
+
+def test_campaign_runs_all_faults_and_memoises(golden_loop):
+    geometry = structure_geometry(TargetStructure.RF, golden_loop.config)
+    fault_list = generate_fault_list(geometry, golden_loop.cycles, sample_size=30, seed=9)
+    campaign = ComprehensiveCampaign(golden_loop, fault_list)
+    result = campaign.run()
+    assert result.injections_performed == 30
+    assert result.counts.total == 30
+    assert set(result.outcomes) == {fault.fault_id for fault in fault_list}
+    assert 0.0 <= result.avf <= 1.0
+    assert result.wall_clock_seconds > 0
+    # Re-running a subset reuses cached outcomes (same objects, no divergence).
+    subset = campaign.run(list(fault_list)[:5])
+    assert subset.injections_performed == 5
+    for fault in list(fault_list)[:5]:
+        assert subset.outcomes[fault.fault_id] == result.outcomes[fault.fault_id]
+    assert len(campaign.cached_outcomes()) == 30
+
+
+def test_campaign_progress_callback(golden_loop):
+    geometry = structure_geometry(TargetStructure.RF, golden_loop.config)
+    fault_list = generate_fault_list(geometry, golden_loop.cycles, sample_size=5, seed=2)
+    campaign = ComprehensiveCampaign(golden_loop, fault_list)
+    seen = []
+    campaign.run(progress=lambda done, total: seen.append((done, total)))
+    assert seen[-1] == (5, 5)
+    assert len(seen) == 5
+
+
+def test_campaign_classification_is_deterministic(golden_loop):
+    geometry = structure_geometry(TargetStructure.RF, golden_loop.config)
+    fault_list = generate_fault_list(geometry, golden_loop.cycles, sample_size=15, seed=5)
+    first = ComprehensiveCampaign(golden_loop, fault_list).run()
+    second = ComprehensiveCampaign(golden_loop, fault_list).run()
+    assert first.counts.counts == second.counts.counts
+    assert first.outcomes == second.outcomes

@@ -1,0 +1,106 @@
+"""Unit and property-based tests for the shared ALU semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.alu import apply_binary, apply_unary, evaluate_condition
+from repro.isa.errors import ProgramCrash
+from repro.isa.instructions import BranchCondition, Opcode
+from repro.isa.registers import WORD_MASK, to_signed
+
+u64 = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def test_add_wraps_at_64_bits():
+    assert apply_binary(Opcode.ADD, WORD_MASK, 1) == 0
+
+
+def test_sub_wraps_below_zero():
+    assert apply_binary(Opcode.SUB, 0, 1) == WORD_MASK
+
+
+def test_mul_masks_to_64_bits():
+    assert apply_binary(Opcode.MUL, 1 << 40, 1 << 40) == (1 << 80) & WORD_MASK
+
+
+def test_div_and_mod_are_unsigned():
+    assert apply_binary(Opcode.DIV, 100, 7) == 14
+    assert apply_binary(Opcode.MOD, 100, 7) == 2
+
+
+def test_div_by_zero_crashes():
+    with pytest.raises(ProgramCrash):
+        apply_binary(Opcode.DIV, 1, 0)
+    with pytest.raises(ProgramCrash):
+        apply_binary(Opcode.MOD, 1, 0)
+
+
+def test_shifts_use_low_six_bits_of_amount():
+    assert apply_binary(Opcode.SHL, 1, 64) == 1
+    assert apply_binary(Opcode.SHR, 8, 67) == 1
+
+
+def test_sar_preserves_sign():
+    minus_eight = (-8) & WORD_MASK
+    assert to_signed(apply_binary(Opcode.SAR, minus_eight, 1)) == -4
+
+
+def test_slt_and_sltu_disagree_on_negative_values():
+    minus_one = WORD_MASK
+    assert apply_binary(Opcode.SLT, minus_one, 0) == 1
+    assert apply_binary(Opcode.SLTU, minus_one, 0) == 0
+
+
+def test_min_max_are_signed():
+    minus_two = (-2) & WORD_MASK
+    assert apply_binary(Opcode.MIN, minus_two, 1) == minus_two
+    assert apply_binary(Opcode.MAX, minus_two, 1) == 1
+
+
+def test_unary_operations():
+    assert apply_unary(Opcode.MOV, 5) == 5
+    assert apply_unary(Opcode.NOT, 0) == WORD_MASK
+    assert apply_unary(Opcode.NEG, 1) == WORD_MASK
+
+
+def test_unknown_binary_opcode_rejected():
+    with pytest.raises(ValueError):
+        apply_binary(Opcode.LOAD, 1, 2)
+
+
+@given(a=u64, b=u64)
+def test_xor_is_self_inverse(a, b):
+    assert apply_binary(Opcode.XOR, apply_binary(Opcode.XOR, a, b), b) == a
+
+
+@given(a=u64, b=u64)
+def test_add_sub_round_trip(a, b):
+    total = apply_binary(Opcode.ADD, a, b)
+    assert apply_binary(Opcode.SUB, total, b) == a
+
+
+@given(a=u64)
+def test_neg_is_additive_inverse(a):
+    assert apply_binary(Opcode.ADD, a, apply_unary(Opcode.NEG, a)) == 0
+
+
+@given(a=u64, b=u64)
+def test_condition_trichotomy(a, b):
+    eq = evaluate_condition(BranchCondition.EQ, a, b)
+    lt = evaluate_condition(BranchCondition.LT, a, b)
+    gt = evaluate_condition(BranchCondition.GT, a, b)
+    assert sum((eq, lt, gt)) == 1
+
+
+@given(a=u64, b=u64)
+def test_unsigned_and_signed_comparisons_consistent_with_python(a, b):
+    assert evaluate_condition(BranchCondition.LTU, a, b) == (a < b)
+    assert evaluate_condition(BranchCondition.LT, a, b) == (to_signed(a) < to_signed(b))
+
+
+@given(a=u64, b=u64)
+def test_le_is_lt_or_eq(a, b):
+    le = evaluate_condition(BranchCondition.LE, a, b)
+    lt = evaluate_condition(BranchCondition.LT, a, b)
+    eq = evaluate_condition(BranchCondition.EQ, a, b)
+    assert le == (lt or eq)

@@ -1,0 +1,146 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import AssemblerError
+from repro.isa.functional import run_functional
+from repro.isa.instructions import Opcode
+
+
+def test_assemble_and_run_simple_loop():
+    program = assemble(
+        """
+        .data table: words 2, 4, 6, 8
+            mov rdi, @table
+            mov rax, 0
+            mov rcx, 0
+        loop:
+            add rax, rax, [rdi]
+            add rdi, rdi, 8
+            add rcx, rcx, 1
+            br.lt rcx, 4, loop
+            out rax
+            halt
+        """
+    )
+    result = run_functional(program)
+    assert result.output == [20]
+    assert result.halted
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        ; leading comment
+        mov rax, 5    # trailing comment
+
+        out rax
+        halt
+        """
+    )
+    assert run_functional(program).output == [5]
+
+
+def test_sized_loads_and_stores():
+    program = assemble(
+        """
+        .data buf: space 16
+            mov rdi, @buf
+            mov rax, 258
+            store2 rax, [rdi]
+            load1 rbx, [rdi]
+            load1 rcx, [rdi+1]
+            out rbx
+            out rcx
+            halt
+        """
+    )
+    assert run_functional(program).output == [2, 1]
+
+
+def test_call_and_ret():
+    program = assemble(
+        """
+            mov rax, 3
+            call double
+            out rax
+            halt
+        double:
+            add rax, rax, rax
+            ret
+        """
+    )
+    assert run_functional(program).output == [6]
+
+
+def test_data_bytes_directive():
+    program = assemble(
+        """
+        .data msg: bytes 0x41, 0x42, 0x43
+            mov rdi, @msg
+            load1 rax, [rdi+2]
+            out rax
+            halt
+        """
+    )
+    assert run_functional(program).output == [0x43]
+
+
+def test_register_operand_in_branch():
+    program = assemble(
+        """
+            mov rax, 3
+            mov rbx, 3
+            br.eq rax, rbx, equal
+            mov rcx, 0
+            jmp end
+        equal:
+            mov rcx, 1
+        end:
+            out rcx
+            halt
+        """
+    )
+    assert run_functional(program).output == [1]
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate rax, rbx\nhalt")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add rax, rbx\nhalt")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("load rax, [rbx+*4]\nhalt")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("jmp missing\nhalt")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("x:\nnop\nx:\nhalt")
+
+
+def test_memory_source_alu_form():
+    program = assemble(
+        """
+        .data v: words 40
+            mov rdi, @v
+            mov rax, 2
+            add rax, rax, [rdi]
+            out rax
+            halt
+        """
+    )
+    assert run_functional(program).output == [42]
+    assert program.instruction_at(2).opcode is Opcode.ADD
+    assert len(program.uops(2)) == 2

@@ -1,0 +1,140 @@
+"""Tests for the program builder, program container and label resolution."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.errors import AssemblerError
+from repro.isa.memory import DATA_BASE
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+def test_labels_resolve_to_instruction_indices():
+    b = ProgramBuilder("labels")
+    b.movi(Reg.RAX, 0)
+    b.label("loop")
+    b.add(Reg.RAX, Reg.RAX, 1)
+    b.blt(Reg.RAX, 3, "loop")
+    b.halt()
+    program = b.build()
+    assert program.label_address("loop") == 1
+    branch = program.instruction_at(2)
+    assert branch.target_operand().value == 1
+
+
+def test_forward_labels_resolve():
+    b = ProgramBuilder("forward")
+    b.jmp("end")
+    b.movi(Reg.RAX, 1)
+    b.label("end")
+    b.halt()
+    program = b.build()
+    assert program.instruction_at(0).target_operand().value == 2
+
+
+def test_undefined_label_raises():
+    b = ProgramBuilder("broken")
+    b.jmp("nowhere")
+    b.halt()
+    with pytest.raises(AssemblerError):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder("dup")
+    b.label("x")
+    b.nop()
+    with pytest.raises(AssemblerError):
+        b.label("x")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError):
+        ProgramBuilder("empty").build()
+
+
+def test_data_allocation_is_aligned_and_non_overlapping():
+    b = ProgramBuilder("data")
+    first = b.alloc_bytes("a", b"123")
+    second = b.alloc_words("b", [1, 2])
+    third = b.alloc_space("c", 16)
+    b.halt()
+    program = b.build()
+    assert first >= DATA_BASE
+    assert second % 8 == 0
+    assert second >= first + 3
+    assert third >= second + 16
+    assert program.segment("b").size == 16
+    assert b.address_of("c") == third
+
+
+def test_unknown_segment_lookup_raises():
+    b = ProgramBuilder("segments")
+    b.halt()
+    with pytest.raises(KeyError):
+        b.address_of("missing")
+    with pytest.raises(KeyError):
+        b.build().segment("missing")
+
+
+def test_initial_memory_contains_segment_data():
+    b = ProgramBuilder("init")
+    address = b.alloc_words("values", [10, 20, 30])
+    b.halt()
+    memory = b.build().initial_memory()
+    assert memory.read(address, 8) == 10
+    assert memory.read(address + 16, 8) == 30
+
+
+def test_basic_block_leaders_cover_branch_targets_and_fallthroughs():
+    b = ProgramBuilder("blocks")
+    b.movi(Reg.RAX, 0)          # 0: leader (entry)
+    b.label("loop")             # 1: leader (branch target)
+    b.add(Reg.RAX, Reg.RAX, 1)  # 1
+    b.blt(Reg.RAX, 5, "loop")   # 2: branch
+    b.out(Reg.RAX)              # 3: leader (fall-through)
+    b.halt()                    # 4
+    program = b.build()
+    leaders = program.basic_block_leaders()
+    assert leaders == [0, 1, 3]
+    block_of = program.basic_block_of()
+    assert block_of[2] == 1
+    assert block_of[4] == 3
+
+
+def test_instruction_at_out_of_range_raises():
+    b = ProgramBuilder("tiny")
+    b.halt()
+    program = b.build()
+    with pytest.raises(IndexError):
+        program.instruction_at(5)
+    assert not program.in_range(-1)
+    assert program.in_range(0)
+
+
+def test_listing_mentions_labels_and_instructions():
+    b = ProgramBuilder("listing")
+    b.label("start")
+    b.movi(Reg.RAX, 7)
+    b.halt()
+    text = b.build().listing()
+    assert "start:" in text
+    assert "mov rax, 7" in text
+
+
+def test_register_index_bounds_checked():
+    b = ProgramBuilder("regs")
+    with pytest.raises(AssemblerError):
+        b.movi(99, 0)
+
+
+def test_invalid_memory_size_rejected():
+    b = ProgramBuilder("size")
+    with pytest.raises(ValueError):
+        b.load(Reg.RAX, Reg.RBX, 0, size=3)
+
+
+def test_data_colliding_with_stack_rejected():
+    b = ProgramBuilder("huge")
+    with pytest.raises(AssemblerError):
+        b.alloc_space("too_big", 1 << 25)

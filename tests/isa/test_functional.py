@@ -1,0 +1,100 @@
+"""Tests for the functional (atomic) executor."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.functional import FunctionalCpu, run_functional
+from repro.isa.memory import MEM_LIMIT, STACK_TOP
+from repro.isa.registers import Reg
+
+
+def test_loop_program_computes_expected_sum(loop_program):
+    result = run_functional(loop_program)
+    expected = sum(((i * 7 + 3) % 101) * 6 for i in range(30))
+    assert result.output == [expected]
+    assert result.halted and not result.crashed
+
+
+def test_call_program_squares_through_calls(call_program):
+    result = run_functional(call_program)
+    assert result.output == [(1 << 10) & 0xFFFF]
+
+
+def test_division_by_zero_crashes():
+    b = ProgramBuilder("div0")
+    b.movi(Reg.RAX, 1)
+    b.movi(Reg.RBX, 0)
+    b.div(Reg.RAX, Reg.RAX, Reg.RBX)
+    b.halt()
+    result = run_functional(b.build())
+    assert result.crashed
+    assert "zero" in result.crash_reason
+
+
+def test_wild_load_crashes():
+    b = ProgramBuilder("wild")
+    b.movi(Reg.RAX, MEM_LIMIT + 64)
+    b.load(Reg.RBX, Reg.RAX, 0)
+    b.halt()
+    assert run_functional(b.build()).crashed
+
+
+def test_demand_region_access_counts_exception_but_continues():
+    b = ProgramBuilder("demand")
+    heap = b.alloc_words("heap", [1])
+    b.movi(Reg.RAX, heap + 4096)
+    b.load(Reg.RBX, Reg.RAX, 0)
+    b.out(Reg.RBX)
+    b.halt()
+    result = run_functional(b.build())
+    assert result.halted
+    assert result.exceptions == 1
+    assert result.output == [0]
+
+
+def test_jump_outside_program_crashes():
+    b = ProgramBuilder("wildjump")
+    b.movi(Reg.RAX, 1000)
+    b.jmpr(Reg.RAX)
+    b.halt()
+    assert run_functional(b.build()).crashed
+
+
+def test_instruction_budget_stops_infinite_loop():
+    b = ProgramBuilder("spin")
+    b.label("spin")
+    b.jmp("spin")
+    b.halt()
+    result = run_functional(b.build(), max_instructions=500)
+    assert not result.halted
+    assert result.instructions == 500
+
+
+def test_stack_pointer_initialised():
+    b = ProgramBuilder("sp")
+    b.out(Reg.RSP)
+    b.halt()
+    assert run_functional(b.build()).output == [STACK_TOP]
+
+
+def test_step_after_halt_is_noop():
+    b = ProgramBuilder("halted")
+    b.halt()
+    cpu = FunctionalCpu(b.build())
+    cpu.step()
+    assert cpu.halted
+    before = cpu.instructions_executed
+    cpu.step()
+    assert cpu.instructions_executed == before
+
+
+def test_store_then_load_round_trip_through_memory():
+    b = ProgramBuilder("mem")
+    buf = b.alloc_space("buf", 16)
+    b.movi(Reg.RDI, buf)
+    b.movi(Reg.RAX, 77)
+    b.store(Reg.RAX, Reg.RDI, 8)
+    b.load(Reg.RBX, Reg.RDI, 8)
+    b.out(Reg.RBX)
+    b.halt()
+    assert run_functional(b.build()).output == [77]

@@ -1,0 +1,113 @@
+"""Tests for the byte-addressable memory image and its region model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.errors import ProgramCrash
+from repro.isa.memory import (
+    AccessClass,
+    DATA_BASE,
+    MEM_LIMIT,
+    MemoryImage,
+    STACK_LOW,
+    STACK_TOP,
+)
+
+
+def test_unwritten_memory_reads_as_zero():
+    image = MemoryImage()
+    assert image.read(DATA_BASE, 8) == 0
+    assert image.read(DATA_BASE + 3, 2) == 0
+
+
+def test_word_write_read_round_trip():
+    image = MemoryImage()
+    image.write(DATA_BASE, 0x1122334455667788, 8)
+    assert image.read(DATA_BASE, 8) == 0x1122334455667788
+
+
+def test_little_endian_byte_order():
+    image = MemoryImage()
+    image.write(DATA_BASE, 0x0102030405060708, 8)
+    assert image.read(DATA_BASE, 1) == 0x08
+    assert image.read(DATA_BASE + 7, 1) == 0x01
+
+
+def test_unaligned_access_spans_words():
+    image = MemoryImage()
+    image.write(DATA_BASE + 6, 0xAABB, 2)
+    assert image.read(DATA_BASE + 6, 1) == 0xBB
+    assert image.read(DATA_BASE + 7, 1) == 0xAA
+    assert image.read(DATA_BASE, 8) >> 48 == 0xAABB
+
+
+def test_partial_write_preserves_neighbouring_bytes():
+    image = MemoryImage()
+    image.write(DATA_BASE, 0xFFFFFFFFFFFFFFFF, 8)
+    image.write(DATA_BASE + 2, 0x00, 1)
+    assert image.read(DATA_BASE, 8) == 0xFFFFFFFFFF00FFFF
+
+
+def test_region_classification():
+    image = MemoryImage(heap_end=DATA_BASE + 0x100)
+    assert image.classify_access(DATA_BASE, 8) is AccessClass.OK
+    assert image.classify_access(STACK_TOP - 8, 8) is AccessClass.OK
+    assert image.classify_access(DATA_BASE + 0x200, 8) is AccessClass.DEMAND
+    assert image.classify_access(MEM_LIMIT, 8) is AccessClass.CRASH
+    assert image.classify_access(-8, 8) is AccessClass.CRASH
+    assert image.classify_access(0, 8) is AccessClass.CRASH
+
+
+def test_checked_read_raises_on_out_of_range():
+    image = MemoryImage()
+    with pytest.raises(ProgramCrash):
+        image.checked_read(MEM_LIMIT + 8, 8)
+
+
+def test_checked_read_flags_demand_region():
+    image = MemoryImage(heap_end=DATA_BASE + 8)
+    value, demand = image.checked_read(DATA_BASE + 64, 8)
+    assert value == 0
+    assert demand
+
+
+def test_checked_write_allows_stack():
+    image = MemoryImage()
+    assert image.checked_write(STACK_LOW + 8, 42, 8) is False
+    assert image.read(STACK_LOW + 8, 8) == 42
+
+
+def test_load_and_read_bytes_round_trip():
+    image = MemoryImage()
+    payload = bytes(range(1, 33))
+    image.load_bytes(DATA_BASE + 5, payload)
+    assert image.read_bytes(DATA_BASE + 5, len(payload)) == payload
+
+
+def test_copy_is_independent():
+    image = MemoryImage()
+    image.write(DATA_BASE, 1, 8)
+    clone = image.copy()
+    clone.write(DATA_BASE, 2, 8)
+    assert image.read(DATA_BASE, 8) == 1
+    assert clone.read(DATA_BASE, 8) == 2
+
+
+def test_content_hash_changes_with_content():
+    image = MemoryImage()
+    baseline = image.content_hash()
+    image.write(DATA_BASE, 7, 8)
+    assert image.content_hash() != baseline
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=256),
+    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+)
+def test_write_read_round_trip_property(offset, value, size):
+    image = MemoryImage()
+    address = DATA_BASE + offset
+    masked = value & ((1 << (8 * size)) - 1)
+    image.write(address, value, size)
+    assert image.read(address, size) == masked

@@ -1,0 +1,113 @@
+"""Tests for macro-instruction decoding into micro-operations."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import BranchCondition, Instruction, Opcode, Operand
+from repro.isa.microops import MicroOpKind, RefKind, decode_instruction
+from repro.isa.registers import Reg
+
+
+def _decode_single(emit):
+    """Build a one-instruction program via the builder and decode it."""
+    b = ProgramBuilder("decode")
+    emit(b)
+    b.halt()
+    program = b.build()
+    return program.uops(0)
+
+
+def test_simple_alu_is_single_uop():
+    uops = _decode_single(lambda b: b.add(Reg.RAX, Reg.RBX, 4))
+    assert len(uops) == 1
+    assert uops[0].kind is MicroOpKind.ALU
+    assert uops[0].is_last
+
+
+def test_memory_source_alu_decodes_to_load_plus_alu():
+    uops = _decode_single(lambda b: b.add(Reg.RAX, Reg.RBX, (Reg.RCX, 16)))
+    assert [u.kind for u in uops] == [MicroOpKind.LOAD, MicroOpKind.ALU]
+    assert uops[0].dest.kind is RefKind.TMP
+    assert uops[1].src2.kind is RefKind.TMP
+    assert [u.upc for u in uops] == [0, 1]
+
+
+def test_store_decodes_to_address_and_data_uops():
+    uops = _decode_single(lambda b: b.store(Reg.RAX, Reg.RBX, 8))
+    assert [u.kind for u in uops] == [MicroOpKind.STORE_ADDR, MicroOpKind.STORE_DATA]
+    assert uops[0].mem_disp == 8
+    assert uops[1].src1.kind is RefKind.REG
+
+
+def test_call_decodes_to_push_and_jump():
+    b = ProgramBuilder("call")
+    b.call("target")
+    b.label("target")
+    b.halt()
+    uops = b.build().uops(0)
+    kinds = [u.kind for u in uops]
+    assert kinds == [
+        MicroOpKind.ALU,
+        MicroOpKind.STORE_ADDR,
+        MicroOpKind.STORE_DATA,
+        MicroOpKind.JUMP,
+    ]
+    # The pushed value is the return address (RIP + 1).
+    assert uops[2].src1.kind is RefKind.IMM
+    assert uops[2].src1.value == 1
+    assert uops[3].target == 1
+
+
+def test_ret_decodes_to_pop_and_indirect_jump():
+    uops = _decode_single(lambda b: b.ret())
+    kinds = [u.kind for u in uops]
+    assert kinds == [MicroOpKind.LOAD, MicroOpKind.ALU, MicroOpKind.JUMP]
+    assert uops[2].is_indirect
+
+
+def test_branch_carries_condition_and_target():
+    b = ProgramBuilder("branch")
+    b.label("top")
+    b.blt(Reg.RAX, 10, "top")
+    b.halt()
+    uops = b.build().uops(0)
+    assert len(uops) == 1
+    assert uops[0].kind is MicroOpKind.BRANCH
+    assert uops[0].condition is BranchCondition.LT
+    assert uops[0].target == 0
+
+
+def test_upc_assignment_is_sequential_and_last_flag_unique():
+    uops = _decode_single(lambda b: b.store(Reg.RAX, Reg.RBX))
+    assert [u.upc for u in uops] == list(range(len(uops)))
+    assert sum(1 for u in uops if u.is_last) == 1
+    assert uops[-1].is_last
+
+
+def test_out_and_halt_and_nop_single_uops():
+    for emit, kind in (
+        (lambda b: b.out(Reg.RAX), MicroOpKind.OUT),
+        (lambda b: b.nop(), MicroOpKind.NOP),
+    ):
+        uops = _decode_single(emit)
+        assert len(uops) == 1
+        assert uops[0].kind is kind
+
+
+def test_register_sources_skips_immediates():
+    uops = _decode_single(lambda b: b.add(Reg.RAX, Reg.RBX, 7))
+    sources = uops[0].register_sources()
+    assert len(sources) == 1
+    assert sources[0].value == int(Reg.RBX)
+
+
+def test_decode_every_workload_instruction_kind():
+    """Every instruction of every registered workload decodes cleanly."""
+    from repro.workloads import all_names, get_workload
+
+    for name in all_names():
+        program = get_workload(name).build_for_test()
+        for rip in range(program.num_instructions):
+            uops = program.uops(rip)
+            assert uops, f"{name}: instruction {rip} decoded to no micro-ops"
+            assert uops[-1].is_last

@@ -1,0 +1,59 @@
+"""Tests for architectural register naming and 64-bit arithmetic helpers."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    Reg,
+    WORD_MASK,
+    parse_register,
+    register_name,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_register_count_matches_x86_64():
+    assert NUM_ARCH_REGS == 16
+
+
+def test_register_names_round_trip():
+    for index in range(NUM_ARCH_REGS):
+        assert parse_register(register_name(index)) == index
+
+
+def test_parse_register_accepts_aliases_case_insensitively():
+    assert parse_register("RAX") == int(Reg.RAX)
+    assert parse_register("rSp") == int(Reg.RSP)
+
+
+def test_parse_register_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        parse_register("r99")
+
+
+def test_register_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(16)
+    with pytest.raises(ValueError):
+        register_name(-1)
+
+
+def test_stack_pointer_is_register_14():
+    assert int(Reg.RSP) == 14
+
+
+def test_to_signed_and_unsigned_round_trip():
+    assert to_signed(WORD_MASK) == -1
+    assert to_unsigned(-1) == WORD_MASK
+    assert to_signed(to_unsigned(-123456)) == -123456
+    assert to_unsigned(1 << 64) == 0
+
+
+def test_to_signed_positive_values_unchanged():
+    assert to_signed(42) == 42
+    assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+
+def test_to_signed_most_negative():
+    assert to_signed(1 << 63) == -(1 << 63)

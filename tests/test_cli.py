@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+def test_list_command_prints_all_workloads(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sha" in out and "astar" in out
+    assert out.count("\n") == 20
+
+
+def test_run_command_small_campaign(capsys):
+    code = cli.main([
+        "run", "--workload", "sha", "--structure", "RF",
+        "--registers", "64", "--faults", "60", "--scale", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AVF" in out and "injections" in out
+    assert "Masked" in out
+
+
+def test_run_command_with_baseline(capsys):
+    code = cli.main([
+        "run", "--workload", "fft", "--structure", "SQ",
+        "--sq-entries", "16", "--faults", "40", "--scale", "3",
+        "--baseline",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "percentile points" in out
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--workload", "doom"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        cli.main([])

@@ -1,0 +1,94 @@
+"""Tests for the tournament predictor and the BTB."""
+
+from repro.uarch.branch import BranchTargetBuffer, BranchUnit, TournamentPredictor
+from repro.uarch.config import MicroarchConfig
+
+
+def test_predictor_learns_always_taken_branch():
+    predictor = TournamentPredictor(MicroarchConfig())
+    rip = 12
+    for _ in range(8):
+        history = predictor.snapshot_history()
+        predictor.update(rip, True, history)
+    assert predictor.predict(rip) is True
+
+
+def test_predictor_learns_never_taken_branch():
+    predictor = TournamentPredictor(MicroarchConfig())
+    rip = 40
+    for _ in range(8):
+        history = predictor.snapshot_history()
+        predictor.update(rip, False, history)
+    assert predictor.predict(rip) is False
+
+
+def test_predictor_history_snapshot_restore():
+    predictor = TournamentPredictor(MicroarchConfig())
+    snapshot = predictor.snapshot_history()
+    predictor.speculative_update_history(True)
+    predictor.speculative_update_history(True)
+    assert predictor.global_history != snapshot
+    predictor.restore_history(snapshot)
+    assert predictor.global_history == snapshot
+
+
+def test_predictor_learns_loop_pattern_with_high_accuracy():
+    """A loop branch taken 15 times then not taken once should mispredict rarely."""
+    predictor = TournamentPredictor(MicroarchConfig())
+    rip = 7
+    correct = 0
+    total = 0
+    for _ in range(40):
+        for iteration in range(16):
+            outcome = iteration != 15
+            history = predictor.snapshot_history()
+            prediction = predictor.predict(rip)
+            predictor.speculative_update_history(prediction)
+            predictor.update(rip, outcome, history)
+            correct += prediction == outcome
+            total += 1
+    assert correct / total > 0.85
+
+
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(MicroarchConfig())
+    assert btb.lookup(100) is None
+    btb.update(100, 7)
+    assert btb.lookup(100) == 7
+
+
+def test_btb_direct_mapped_conflict():
+    config = MicroarchConfig()
+    btb = BranchTargetBuffer(config)
+    rip_a = 5
+    rip_b = 5 + config.btb_entries
+    btb.update(rip_a, 1)
+    btb.update(rip_b, 2)
+    assert btb.lookup(rip_a) is None
+    assert btb.lookup(rip_b) == 2
+
+
+def test_branch_unit_direct_jump_uses_static_target():
+    unit = BranchUnit(MicroarchConfig())
+    target, taken, _ = unit.predict_next(3, is_conditional=False, static_target=9,
+                                         is_indirect=False)
+    assert target == 9 and taken
+
+
+def test_branch_unit_indirect_falls_through_on_btb_miss():
+    unit = BranchUnit(MicroarchConfig())
+    target, _, _ = unit.predict_next(3, is_conditional=False, static_target=None,
+                                     is_indirect=True)
+    assert target == 4
+    unit.btb.update(3, 17)
+    target, _, _ = unit.predict_next(3, is_conditional=False, static_target=None,
+                                     is_indirect=True)
+    assert target == 17
+
+
+def test_branch_unit_conditional_prediction_returns_history():
+    unit = BranchUnit(MicroarchConfig())
+    history_before = unit.predictor.snapshot_history()
+    _, _, history = unit.predict_next(5, is_conditional=True, static_target=2,
+                                      is_indirect=False)
+    assert history == history_before

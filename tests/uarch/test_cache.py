@@ -1,0 +1,121 @@
+"""Tests for the data-holding L1D, the tag-only caches and write-back behaviour."""
+
+from repro.isa.memory import DATA_BASE, MemoryImage
+from repro.uarch.cache import DataCache, InstructionCache, TagOnlyCache
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.stats import SimStats
+from repro.uarch.structures import WORDS_PER_LINE
+from repro.uarch.trace import AccessKind, AccessTracer, WRITEBACK_RIP
+
+
+def _make_cache(size_kb=16, tracer=None):
+    config = MicroarchConfig().with_l1d(size_kb)
+    memory = MemoryImage(heap_end=DATA_BASE + (1 << 20))
+    stats = SimStats()
+    return DataCache(config, memory, stats, tracer), memory, stats, config
+
+
+def test_read_miss_fills_from_memory():
+    cache, memory, stats, _ = _make_cache()
+    memory.write(DATA_BASE + 8, 1234, 8)
+    result = cache.read(DATA_BASE + 8, 8, cycle=0)
+    assert result.value == 1234
+    assert not result.hit
+    assert stats.l1d_misses == 1
+    again = cache.read(DATA_BASE + 8, 8, cycle=1)
+    assert again.hit
+    assert stats.l1d_hits == 1
+
+
+def test_write_allocates_and_marks_dirty_then_writes_back():
+    cache, memory, stats, config = _make_cache()
+    address = DATA_BASE
+    cache.write(address, 99, 8, cycle=0)
+    # Memory still holds the stale value until the line is evicted.
+    assert memory.read(address, 8) == 0
+    # Touch enough conflicting lines to force the dirty line out.
+    stride = config.l1d_num_sets * config.cache_line_bytes
+    for way in range(1, config.l1d_assoc + 1):
+        cache.read(address + way * stride, 8, cycle=way)
+    assert stats.l1d_writebacks == 1
+    assert memory.read(address, 8) == 99
+
+
+def test_flush_dirty_to_memory():
+    cache, memory, _, _ = _make_cache()
+    cache.write(DATA_BASE + 16, 7, 8, cycle=0)
+    cache.flush_dirty_to_memory()
+    assert memory.read(DATA_BASE + 16, 8) == 7
+
+
+def test_partial_write_read_within_line():
+    cache, _, _, _ = _make_cache()
+    cache.write(DATA_BASE + 3, 0xAB, 1, cycle=0)
+    assert cache.read(DATA_BASE + 3, 1, cycle=1).value == 0xAB
+    assert cache.read(DATA_BASE, 8, cycle=2).value == 0xAB << 24
+
+
+def test_entry_index_round_trip():
+    cache, _, _, _ = _make_cache()
+    for entry in (0, 5, cache.num_entries - 1):
+        set_index, way, word = cache.entry_location(entry)
+        assert cache.entry_index(set_index, way, word) == entry
+
+
+def test_flip_bit_changes_read_value():
+    cache, _, _, _ = _make_cache()
+    result = cache.read(DATA_BASE, 8, cycle=0)
+    set_index, _, offset, *_ = 0, 0, 0
+    touched = result.touched_entries[0]
+    cache.flip_bit(touched, 0)
+    assert cache.read(DATA_BASE, 8, cycle=1).value == result.value ^ 1
+
+
+def test_touched_entries_span_words_for_unaligned_access():
+    cache, _, _, _ = _make_cache()
+    result = cache.read(DATA_BASE + 6, 4, cycle=0)
+    assert len(result.touched_entries) == 2
+
+
+def test_writeback_records_sentinel_read_events():
+    tracer = AccessTracer(enabled=True)
+    cache, _, _, config = _make_cache(tracer=tracer)
+    cache.write(DATA_BASE, 5, 8, cycle=0)
+    stride = config.l1d_num_sets * config.cache_line_bytes
+    for way in range(1, config.l1d_assoc + 1):
+        cache.read(DATA_BASE + way * stride, 8, cycle=way)
+    from repro.uarch.structures import TargetStructure
+
+    events = tracer.events(TargetStructure.L1D)
+    wb_reads = [e for e in events if e.is_read and e.rip == WRITEBACK_RIP]
+    assert len(wb_reads) == WORDS_PER_LINE
+
+
+def test_miss_latency_exceeds_hit_latency():
+    cache, _, _, config = _make_cache()
+    miss = cache.read(DATA_BASE, 8, cycle=0)
+    hit = cache.read(DATA_BASE, 8, cycle=1)
+    assert miss.latency > hit.latency
+    assert hit.latency == config.l1_hit_latency
+
+
+def test_tag_only_cache_lru_eviction():
+    cache = TagOnlyCache(size_kb=1, assoc=2, line_bytes=64)
+    # One set has 2 ways; touch three conflicting lines.
+    stride = cache.num_sets * 64
+    assert cache.access(0) is False
+    assert cache.access(stride) is False
+    assert cache.access(0) is True
+    assert cache.access(2 * stride) is False   # evicts `stride` (LRU)
+    assert cache.access(0) is True
+    assert cache.access(stride) is False
+
+
+def test_instruction_cache_latency_only_on_miss():
+    config = MicroarchConfig()
+    stats = SimStats()
+    icache = InstructionCache(config, stats)
+    assert icache.fetch_latency(0) > 0
+    assert icache.fetch_latency(1) == 0
+    assert stats.l1i_misses == 1
+    assert stats.l1i_hits == 1

@@ -1,0 +1,97 @@
+"""Tests for the microarchitectural configuration (Table 1)."""
+
+import pytest
+
+from repro.uarch.config import (
+    L1D_SIZES_KB,
+    MicroarchConfig,
+    REGISTER_FILE_SIZES,
+    SPEC_CONFIG,
+    STORE_QUEUE_SIZES,
+)
+from repro.uarch.structures import (
+    TargetStructure,
+    structure_config_label,
+    structure_geometry,
+)
+
+
+def test_defaults_match_table_1():
+    config = MicroarchConfig()
+    assert config.num_phys_int_regs == 256
+    assert config.issue_queue_entries == 32
+    assert config.rob_entries == 100
+    assert config.load_queue_entries == 64
+    assert config.store_queue_entries == 64
+    assert config.l1i_size_kb == 32
+    assert config.l2_size_kb == 1024
+    assert config.btb_entries == 4096
+    assert config.cache_line_bytes == 64
+
+
+def test_paper_sweep_sizes():
+    assert REGISTER_FILE_SIZES == (256, 128, 64)
+    assert STORE_QUEUE_SIZES == (64, 32, 16)
+    assert L1D_SIZES_KB == (64, 32, 16)
+
+
+def test_with_register_file_store_queue_l1d_are_pure():
+    base = MicroarchConfig()
+    rf = base.with_register_file(64)
+    sq = base.with_store_queue(16)
+    l1d = base.with_l1d(64)
+    assert base.num_phys_int_regs == 256
+    assert rf.num_phys_int_regs == 64
+    assert sq.load_queue_entries == sq.store_queue_entries == 16
+    assert l1d.l1d_size_kb == 64
+
+
+def test_spec_config_matches_section_4423():
+    assert SPEC_CONFIG.num_phys_int_regs == 128
+    assert SPEC_CONFIG.store_queue_entries == 16
+    assert SPEC_CONFIG.l1d_size_kb == 32
+
+
+def test_derived_cache_geometry():
+    config = MicroarchConfig().with_l1d(16)
+    assert config.l1d_num_lines == 16 * 1024 // 64
+    assert config.l1d_num_sets == config.l1d_num_lines // config.l1d_assoc
+
+
+def test_describe_contains_table1_rows():
+    table = MicroarchConfig().describe()
+    assert table["Pipeline"] == "OoO"
+    assert "Tournament" in table["Branch Predictor"]
+    assert "4096" in table["Branch Target Buffer"]
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ValueError):
+        MicroarchConfig(num_phys_int_regs=8)
+
+
+def test_structure_geometry_entries():
+    config = MicroarchConfig().with_register_file(64).with_store_queue(16).with_l1d(16)
+    assert structure_geometry(TargetStructure.RF, config).num_entries == 64
+    assert structure_geometry(TargetStructure.SQ, config).num_entries == 16
+    # 16KB / 64B = 256 lines, 8 words per line.
+    assert structure_geometry(TargetStructure.L1D, config).num_entries == 256 * 8
+    assert structure_geometry(TargetStructure.RF, config).total_bits == 64 * 64
+
+
+def test_structure_geometry_flatten_round_trip():
+    config = MicroarchConfig()
+    geometry = structure_geometry(TargetStructure.RF, config)
+    for entry, bit in ((0, 0), (10, 63), (255, 1)):
+        assert geometry.unflatten(geometry.flatten(entry, bit)) == (entry, bit)
+    with pytest.raises(ValueError):
+        geometry.flatten(256, 0)
+    with pytest.raises(ValueError):
+        geometry.flatten(0, 64)
+
+
+def test_structure_config_labels_match_paper_axis_labels():
+    config = MicroarchConfig().with_register_file(128).with_store_queue(32).with_l1d(64)
+    assert structure_config_label(TargetStructure.RF, config) == "128regs"
+    assert structure_config_label(TargetStructure.SQ, config) == "32entries"
+    assert structure_config_label(TargetStructure.L1D, config) == "64KB"

@@ -1,0 +1,158 @@
+"""Tests for the store queue, load queue and physical register file."""
+
+import pytest
+
+from repro.isa.errors import SimulatorAssertError
+from repro.uarch.lsq import LoadQueue, StoreQueue
+from repro.uarch.regfile import FreeList, PhysicalRegisterFile
+
+
+def test_store_queue_allocate_release_round_trip():
+    sq = StoreQueue(4)
+    index = sq.allocate(seq=1, rip=10, upc=1, size=8)
+    sq.set_address(index, 0x2000, demand=False, crash=None)
+    sq.set_data(index, 42)
+    sq.mark_committed(index)
+    slot = sq.head_slot()
+    assert slot.index == index and slot.committed
+    sq.release_head()
+    assert sq.occupancy == 0
+
+
+def test_store_queue_overflow_raises():
+    sq = StoreQueue(2)
+    sq.allocate(1, 0, 1, 8)
+    sq.allocate(2, 0, 1, 8)
+    assert not sq.has_free()
+    with pytest.raises(SimulatorAssertError):
+        sq.allocate(3, 0, 1, 8)
+
+
+def test_store_queue_forwarding_full_coverage():
+    sq = StoreQueue(4)
+    index = sq.allocate(seq=5, rip=0, upc=1, size=8)
+    sq.set_address(index, 0x1000, False, None)
+    sq.set_data(index, 0x1122334455667788)
+    action, slot = sq.forwarding_source(seq=9, address=0x1000, size=8)
+    assert action == "forward"
+    assert slot.forward_value(0x1000, 8) == 0x1122334455667788
+    # Partial read inside the store's range forwards the right bytes
+    # (little-endian: bytes 2-3 of the stored value are 0x66 and 0x55).
+    action, slot = sq.forwarding_source(seq=9, address=0x1002, size=2)
+    assert action == "forward"
+    assert slot.forward_value(0x1002, 2) == 0x5566
+
+
+def test_store_queue_forwarding_stalls_on_partial_overlap_or_missing_data():
+    sq = StoreQueue(4)
+    index = sq.allocate(seq=5, rip=0, upc=1, size=4)
+    sq.set_address(index, 0x1000, False, None)
+    # Data not ready yet.
+    action, _ = sq.forwarding_source(seq=9, address=0x1000, size=4)
+    assert action == "stall"
+    sq.set_data(index, 7)
+    # Load wider than the store only partially overlaps.
+    action, _ = sq.forwarding_source(seq=9, address=0x1000, size=8)
+    assert action == "stall"
+
+
+def test_store_queue_forwarding_ignores_younger_stores():
+    sq = StoreQueue(4)
+    index = sq.allocate(seq=20, rip=0, upc=1, size=8)
+    sq.set_address(index, 0x1000, False, None)
+    sq.set_data(index, 1)
+    action, _ = sq.forwarding_source(seq=10, address=0x1000, size=8)
+    assert action == "none"
+
+
+def test_store_queue_picks_youngest_older_store():
+    sq = StoreQueue(4)
+    first = sq.allocate(seq=1, rip=0, upc=1, size=8)
+    sq.set_address(first, 0x1000, False, None)
+    sq.set_data(first, 111)
+    second = sq.allocate(seq=2, rip=0, upc=1, size=8)
+    sq.set_address(second, 0x1000, False, None)
+    sq.set_data(second, 222)
+    action, slot = sq.forwarding_source(seq=3, address=0x1000, size=8)
+    assert action == "forward"
+    assert slot.data == 222
+
+
+def test_store_queue_squash_rewinds_tail_but_keeps_committed():
+    sq = StoreQueue(4)
+    first = sq.allocate(seq=1, rip=0, upc=1, size=8)
+    sq.allocate(seq=5, rip=0, upc=1, size=8)
+    sq.allocate(seq=6, rip=0, upc=1, size=8)
+    sq.squash_younger(seq=1)
+    assert sq.occupancy == 1
+    assert sq.slots[first].valid
+
+
+def test_store_queue_data_latch_persists_after_release():
+    sq = StoreQueue(2)
+    index = sq.allocate(seq=1, rip=0, upc=1, size=8)
+    sq.set_address(index, 0x1000, False, None)
+    sq.set_data(index, 0xDEAD)
+    sq.mark_committed(index)
+    sq.release_head()
+    assert sq.slots[index].data == 0xDEAD
+    sq.flip_bit(index, 0)
+    assert sq.slots[index].data == 0xDEAD ^ 1
+
+
+def test_store_queue_all_older_addresses_known():
+    sq = StoreQueue(4)
+    index = sq.allocate(seq=3, rip=0, upc=1, size=8)
+    assert not sq.all_older_addresses_known(seq=10)
+    assert sq.all_older_addresses_known(seq=2)
+    sq.set_address(index, 0x1000, False, None)
+    assert sq.all_older_addresses_known(seq=10)
+
+
+def test_load_queue_occupancy_and_squash():
+    lq = LoadQueue(2)
+    lq.allocate(1)
+    lq.allocate(5)
+    assert not lq.has_free()
+    lq.squash_younger(1)
+    assert lq.occupancy == 1
+    lq.release(1)
+    assert lq.occupancy == 0
+    with pytest.raises(SimulatorAssertError):
+        lq.release(99)
+
+
+def test_physical_register_file_ready_bits_and_flip():
+    prf = PhysicalRegisterFile(64)
+    prf.write(10, 0xF0)
+    assert prf.is_ready(10)
+    prf.mark_not_ready(10)
+    assert not prf.is_ready(10)
+    prf.flip_bit(10, 4)
+    assert prf.read(10) == 0xE0
+    with pytest.raises(ValueError):
+        prf.flip_bit(10, 64)
+
+
+def test_physical_register_file_requires_enough_registers():
+    with pytest.raises(ValueError):
+        PhysicalRegisterFile(8)
+
+
+def test_free_list_allocate_release_and_rebuild():
+    free_list = FreeList(32)
+    assert len(free_list) == 32 - 16
+    reg = free_list.allocate()
+    assert reg == 16
+    free_list.release(reg)
+    free_list.rebuild(in_use=set(range(20)))
+    assert len(free_list) == 12
+    assert free_list.has_free(12)
+    assert not free_list.has_free(13)
+
+
+def test_free_list_underflow_raises():
+    free_list = FreeList(17)
+    free_list.allocate()
+    with pytest.raises(SimulatorAssertError):
+        free_list.allocate()

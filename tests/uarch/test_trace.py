@@ -1,0 +1,106 @@
+"""Tests for structure access tracing during profiling runs."""
+
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.pipeline import OutOfOrderCpu
+from repro.uarch.structures import TargetStructure
+from repro.uarch.trace import AccessEvent, AccessKind, AccessTracer, WRITEBACK_RIP
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = AccessTracer(enabled=False)
+    tracer.record_rf(1, 10, AccessKind.WRITE)
+    tracer.record_sq(1, 10, AccessKind.READ, 5, 0)
+    tracer.record_l1d(1, 10, AccessKind.WRITE)
+    assert all(count == (0, 0) for count in tracer.counts().values())
+
+
+def test_events_by_entry_sorted_by_cycle():
+    tracer = AccessTracer(enabled=True)
+    tracer.record_rf(3, 50, AccessKind.READ, 7, 0)
+    tracer.record_rf(3, 10, AccessKind.WRITE)
+    tracer.record_rf(4, 20, AccessKind.WRITE)
+    grouped = tracer.events_by_entry(TargetStructure.RF)
+    assert [event.cycle for event in grouped[3]] == [10, 50]
+    assert set(grouped) == {3, 4}
+
+
+def test_counts_split_reads_and_writes():
+    tracer = AccessTracer(enabled=True)
+    tracer.record_sq(0, 1, AccessKind.WRITE)
+    tracer.record_sq(0, 2, AccessKind.READ, 3, 1)
+    tracer.record_sq(1, 3, AccessKind.READ, 3, 1)
+    writes, reads = tracer.counts()[TargetStructure.SQ]
+    assert (writes, reads) == (1, 2)
+
+
+def test_clear_drops_events():
+    tracer = AccessTracer(enabled=True)
+    tracer.record_rf(0, 0, AccessKind.WRITE)
+    tracer.clear()
+    assert tracer.events(TargetStructure.RF) == []
+
+
+def test_access_event_properties():
+    event = AccessEvent(TargetStructure.RF, 1, 5, AccessKind.READ, 10, 2)
+    assert event.is_read and not event.is_write
+    assert event.rip == 10 and event.upc == 2
+
+
+def test_profiling_run_produces_reads_and_writes_for_all_structures(loop_program, small_config):
+    tracer = AccessTracer(enabled=True)
+    OutOfOrderCpu(loop_program, small_config, tracer=tracer).run()
+    counts = tracer.counts()
+    for structure in TargetStructure:
+        writes, reads = counts[structure]
+        assert writes > 0, f"no writes traced for {structure}"
+        assert reads > 0, f"no reads traced for {structure}"
+
+
+def test_rf_reads_carry_rip_and_upc(loop_program, small_config):
+    tracer = AccessTracer(enabled=True)
+    OutOfOrderCpu(loop_program, small_config, tracer=tracer).run()
+    reads = [e for e in tracer.events(TargetStructure.RF) if e.is_read]
+    assert all(e.rip >= 0 for e in reads)
+    assert all(loop_program.in_range(e.rip) for e in reads)
+    assert any(e.upc > 0 for e in tracer.events(TargetStructure.SQ) if e.is_read)
+
+
+def test_sq_reads_only_from_committed_stores_or_forwards(loop_program, small_config):
+    tracer = AccessTracer(enabled=True)
+    OutOfOrderCpu(loop_program, small_config, tracer=tracer).run()
+    sq_reads = [e for e in tracer.events(TargetStructure.SQ) if e.is_read]
+    # Every SQ read must be attributed to a store or load instruction of the program.
+    assert sq_reads
+    for event in sq_reads:
+        assert loop_program.in_range(event.rip)
+
+
+def test_wrong_path_reads_are_not_traced(small_config):
+    """Squashed reads never reach the trace (Figure 3 semantics)."""
+    from repro.isa.builder import ProgramBuilder
+    from repro.isa.registers import Reg
+
+    b = ProgramBuilder("wrongpath_trace")
+    data = b.alloc_words("data", [0] * 16)
+    b.movi(Reg.RDI, data)
+    b.movi(Reg.R13, 0xABCD)     # value only read on the wrong path
+    b.movi(Reg.RCX, 0)
+    b.movi(Reg.RAX, 0)
+    b.label("loop")
+    b.load(Reg.RDX, Reg.RDI, 0)
+    b.beq(Reg.RDX, 0, "taken")
+    b.add(Reg.RAX, Reg.RAX, Reg.R13)   # wrong path: reads R13
+    b.label("taken")
+    b.add(Reg.RDI, Reg.RDI, 8)
+    b.add(Reg.RCX, Reg.RCX, 1)
+    b.blt(Reg.RCX, 16, "loop")
+    b.out(Reg.RAX)
+    b.halt()
+    program = b.build()
+    tracer = AccessTracer(enabled=True)
+    cpu = OutOfOrderCpu(program, small_config, tracer=tracer)
+    result = cpu.run()
+    assert result.output == [0]
+    wrong_path_rip = 6  # the add that reads R13
+    rf_reads = [e for e in tracer.events(TargetStructure.RF) if e.is_read]
+    assert all(e.rip != wrong_path_rip for e in rf_reads)

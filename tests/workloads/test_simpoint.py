@@ -1,0 +1,59 @@
+"""Tests for the SimPoint-style interval selector."""
+
+import pytest
+
+from repro.faults.golden import capture_golden
+from repro.uarch.config import MicroarchConfig
+from repro.workloads import get_workload
+from repro.workloads.simpoint import basic_block_vectors, select_simpoint
+
+from tests.conftest import build_loop_program
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    program = build_loop_program(iterations=60)
+    golden = capture_golden(program, MicroarchConfig())
+    rips = [rip for rip, _ in golden.commit_log]
+    return program, rips
+
+
+def test_basic_block_vectors_shape_and_normalisation(traced_run):
+    program, rips = traced_run
+    vectors, starts = basic_block_vectors(program, rips, interval_length=50)
+    assert vectors.shape[0] == len(starts)
+    assert vectors.shape[0] == (len(rips) + 49) // 50
+    for row in vectors:
+        assert abs(row.sum() - 1.0) < 1e-9
+
+
+def test_basic_block_vectors_validation(traced_run):
+    program, rips = traced_run
+    with pytest.raises(ValueError):
+        basic_block_vectors(program, rips, interval_length=0)
+    with pytest.raises(ValueError):
+        basic_block_vectors(program, [], interval_length=10)
+
+
+def test_select_simpoint_returns_valid_interval(traced_run):
+    program, rips = traced_run
+    simpoint = select_simpoint(program, rips, interval_length=40, max_clusters=3, seed=1)
+    assert 0 <= simpoint.start_instruction < len(rips)
+    assert simpoint.end_instruction <= len(rips) + 40
+    assert 0 < simpoint.weight <= 1.0
+    assert simpoint.cluster_size <= simpoint.num_intervals
+
+
+def test_select_simpoint_is_deterministic(traced_run):
+    program, rips = traced_run
+    a = select_simpoint(program, rips, interval_length=40, seed=7)
+    b = select_simpoint(program, rips, interval_length=40, seed=7)
+    assert a == b
+
+
+def test_select_simpoint_on_spec_workload():
+    program = get_workload("gcc").build_for_test()
+    golden = capture_golden(program, MicroarchConfig())
+    rips = [rip for rip, _ in golden.commit_log]
+    simpoint = select_simpoint(program, rips, interval_length=100)
+    assert simpoint.weight >= 1.0 / simpoint.num_intervals

@@ -1,0 +1,141 @@
+"""Tests for the workload registry, generators and the kernels themselves."""
+
+import pytest
+
+from repro.isa.functional import run_functional
+from repro.workloads import (
+    MIBENCH_NAMES,
+    SPEC_NAMES,
+    all_names,
+    build_program,
+    get_workload,
+)
+from repro.workloads.generators import (
+    DeterministicStream,
+    byte_array,
+    image_matrix,
+    sorted_ramp,
+    text_bytes,
+    word_array,
+)
+
+ALL_NAMES = list(MIBENCH_NAMES) + list(SPEC_NAMES)
+
+
+def test_registry_has_the_papers_benchmarks():
+    assert set(MIBENCH_NAMES) == {
+        "susan_c", "susan_s", "susan_e", "stringsearch", "djpeg",
+        "sha", "fft", "qsort", "cjpeg", "caes",
+    }
+    assert set(SPEC_NAMES) == {
+        "bzip2", "gcc", "mcf", "gobmk", "hmmer",
+        "sjeng", "libquantum", "h264ref", "omnetpp", "astar",
+    }
+    assert len(all_names()) == 20
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+def test_build_program_uses_default_scale():
+    spec = get_workload("sha")
+    program = build_program("sha")
+    assert program.num_instructions == spec.build_default().num_instructions
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_runs_to_completion_functionally(name):
+    spec = get_workload(name)
+    result = run_functional(spec.build_for_test(), max_instructions=2_000_000)
+    assert result.halted, f"{name} did not halt"
+    assert not result.crashed, f"{name} crashed: {result.crash_reason}"
+    assert result.output, f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_output_is_deterministic(name):
+    spec = get_workload(name)
+    first = run_functional(spec.build_for_test())
+    second = run_functional(spec.build_for_test())
+    assert first.output == second.output
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_scales_increase_work(name):
+    spec = get_workload(name)
+    small = run_functional(spec.build(spec.test_scale))
+    large = run_functional(spec.build(spec.test_scale + 2))
+    assert large.instructions >= small.instructions
+
+
+def test_qsort_actually_sorts():
+    result = run_functional(get_workload("qsort").build_for_test())
+    sorted_flag = result.output[0]
+    assert sorted_flag == 1
+
+
+def test_stringsearch_finds_matches():
+    result = run_functional(get_workload("stringsearch").build_for_test())
+    assert result.output[0] > 0
+
+
+def test_sha_digest_words_are_32_bit():
+    result = run_functional(get_workload("sha").build_for_test())
+    assert len(result.output) == 5
+    assert all(0 <= word < (1 << 32) for word in result.output)
+
+
+def test_mcf_converges_before_iteration_limit():
+    result = run_functional(get_workload("mcf").build_for_test())
+    distances_checksum, iterations = result.output
+    assert distances_checksum > 0
+    assert iterations >= 1
+
+
+def test_workload_suites_are_labelled():
+    assert get_workload("fft").suite == "mibench"
+    assert get_workload("astar").suite == "spec"
+    for name in ALL_NAMES:
+        assert get_workload(name).description
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def test_deterministic_stream_reproducible():
+    a = DeterministicStream(42)
+    b = DeterministicStream(42)
+    assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+    assert DeterministicStream(1).next_u64() != DeterministicStream(2).next_u64()
+
+
+def test_stream_bound_and_validation():
+    stream = DeterministicStream(7)
+    assert all(stream.next_below(10) < 10 for _ in range(100))
+    with pytest.raises(ValueError):
+        stream.next_below(0)
+
+
+def test_word_and_byte_arrays():
+    words = word_array(50, seed=1, bound=100)
+    assert len(words) == 50 and all(0 <= w < 100 for w in words)
+    data = byte_array(64, seed=2)
+    assert len(data) == 64
+    assert word_array(50, seed=1, bound=100) == words
+
+
+def test_text_bytes_alphabet():
+    text = text_bytes(200, seed=3)
+    assert set(text) <= set(b"abcdefghijklmnopqrstuvwxyz ")
+
+
+def test_image_matrix_dimensions_and_range():
+    image = image_matrix(8, 6, seed=4)
+    assert len(image) == 48
+    assert all(0 <= pixel <= 255 for pixel in image)
+
+
+def test_sorted_ramp():
+    assert sorted_ramp(4, step=2) == [0, 2, 4, 6]
