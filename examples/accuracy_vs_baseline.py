@@ -1,49 +1,45 @@
 """Accuracy check: MeRLiN against a comprehensive injection campaign.
 
-Runs the comprehensive baseline (every fault of the initial list injected)
-and MeRLiN over the *same* fault list for the store queue, then prints the
-per-class comparison, the grouping homogeneity (equation 1 of the paper)
-and the Section 4.4.5 estimator statistics — a miniature of Figures 6, 14
-and 15.
+Declares a ``method="both"`` campaign so the session runs the comprehensive
+baseline (every fault of the initial list injected) and MeRLiN over the
+*same* shared fault list for the store queue, then prints the per-class
+comparison, the grouping homogeneity (equation 1 of the paper) and the
+Section 4.4.5 estimator statistics — a miniature of Figures 6, 14 and 15.
 
 Run with:  python examples/accuracy_vs_baseline.py
 """
 
 from __future__ import annotations
 
-from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.api import CampaignSpec, Session
 from repro.core.metrics import coarse_homogeneity, fine_homogeneity, max_inaccuracy
 from repro.core.reporting import TableReport
 from repro.core.stats_model import analyze_groups
-from repro.faults.campaign import ComprehensiveCampaign
 from repro.faults.classification import FaultEffectClass
-from repro.faults.golden import capture_golden
-from repro.faults.sampling import generate_fault_list
 from repro.uarch.config import MicroarchConfig
-from repro.uarch.structures import TargetStructure, structure_geometry
-from repro.workloads import build_program
+from repro.uarch.structures import TargetStructure
 
 WORKLOAD = "qsort"
 FAULTS = 150
 
 
 def main() -> None:
-    program = build_program(WORKLOAD, scale=3)
-    config = MicroarchConfig().with_store_queue(16)
-
-    golden = capture_golden(program, config)
-    geometry = structure_geometry(TargetStructure.SQ, config)
-    fault_list = generate_fault_list(geometry, golden.cycles, sample_size=FAULTS, seed=5)
-
-    baseline = ComprehensiveCampaign(golden, fault_list)
-    merlin_campaign = MerlinCampaign(
-        program, config, MerlinConfig(structure=TargetStructure.SQ),
-        golden=golden, baseline=baseline,
+    spec = CampaignSpec(
+        workload=WORKLOAD,
+        scale=3,
+        structure=TargetStructure.SQ,
+        config=MicroarchConfig().with_store_queue(16),
+        faults=FAULTS,
+        seed=5,
+        method="both",
     )
-    merlin_campaign.use_fault_list(fault_list)
 
-    merlin = merlin_campaign.run()
-    comprehensive = baseline.run()
+    # ``execute`` returns the live result objects (per-fault outcomes and
+    # grouping) that the homogeneity metrics need; the representative
+    # injections are simulated once and shared between the two methods.
+    execution = Session().execute(spec)
+    merlin = execution.merlin
+    comprehensive = execution.comprehensive
 
     table = TableReport(
         title=f"{WORKLOAD}: store-queue fault classification ({FAULTS} faults)",

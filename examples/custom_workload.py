@@ -1,23 +1,23 @@
 """Assess a custom workload written in the textual assembly format.
 
 Any program a user writes for the synthetic ISA can be assessed: this
-example assembles a small dot-product kernel from text, profiles its
-vulnerable intervals with the ACE-like analysis, and runs MeRLiN on the L1
-data cache — demonstrating the public API end to end without the bundled
-benchmark suite.
+example assembles a small dot-product kernel from text, registers it with a
+:class:`repro.api.Session` so campaign specs can reference it by name,
+profiles its vulnerable intervals with the ACE-like analysis, and runs
+MeRLiN on the L1 data cache — demonstrating the public API end to end
+without the bundled benchmark suite.
 
 Run with:  python examples/custom_workload.py
 """
 
 from __future__ import annotations
 
+from repro.api import CampaignSpec, Session
 from repro.core.ace import ace_like_avf
 from repro.core.intervals import build_interval_set
-from repro.core.merlin import MerlinCampaign, MerlinConfig
-from repro.faults.golden import capture_golden
 from repro.isa import assemble
 from repro.uarch.config import MicroarchConfig
-from repro.uarch.structures import TargetStructure, structure_geometry
+from repro.uarch.structures import TargetStructure
 
 DOT_PRODUCT = """
 ; dot product of two 32-element vectors, accumulated twice through memory
@@ -50,28 +50,36 @@ def main() -> None:
     program = assemble(DOT_PRODUCT.format(values_a=values_a, values_b=values_b),
                        name="dot_product")
 
-    config = MicroarchConfig().with_l1d(16)
-    golden = capture_golden(program, config)
+    # Register the custom program so specs can name it like a bundled
+    # workload; the session then shares its golden run across campaigns.
+    session = Session()
+    session.register_program(program)
+    spec = CampaignSpec(
+        workload="dot_product",
+        structure=TargetStructure.L1D,
+        config=MicroarchConfig().with_l1d(16),
+        faults=1_500,
+        seed=11,
+    )
+
+    prepared = session.prepare(spec)
+    golden = prepared.golden
     print(f"golden run: {golden.cycles} cycles, "
           f"{golden.committed_instructions} instructions, output {golden.result.output}")
 
     # ACE-like profile of the L1D data array.
     intervals = build_interval_set(golden.tracer, TargetStructure.L1D)
-    geometry = structure_geometry(TargetStructure.L1D, config)
     print(f"L1D vulnerable intervals: {intervals.num_intervals} "
-          f"(ACE-like AVF upper bound {ace_like_avf(intervals, geometry, golden.cycles):.4f})")
+          f"(ACE-like AVF upper bound "
+          f"{ace_like_avf(intervals, prepared.geometry, golden.cycles):.4f})")
 
-    # MeRLiN campaign on the L1D.
-    campaign = MerlinCampaign(
-        program, config,
-        MerlinConfig(structure=TargetStructure.L1D, initial_faults=1_500, seed=11),
-        golden=golden,
-    )
-    result = campaign.run()
-    print(f"MeRLiN: {result.injections_performed} injections for "
-          f"{result.grouped.initial_faults} faults ({result.total_speedup:.1f}x), "
-          f"AVF {result.avf:.4f}")
-    print("classification:", dict(sorted(result.counts_final.counts.items())))
+    # MeRLiN campaign on the L1D, reusing the session-shared golden run.
+    outcome = session.run(spec)
+    merlin = outcome.merlin
+    print(f"MeRLiN: {merlin.injections} injections for "
+          f"{merlin.initial_faults} faults ({merlin.total_speedup:.1f}x), "
+          f"AVF {merlin.avf:.4f}")
+    print("classification:", dict(sorted(merlin.counts.items())))
 
 
 if __name__ == "__main__":

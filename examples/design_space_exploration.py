@@ -1,22 +1,21 @@
 """Design-space exploration: how does register-file sizing change reliability?
 
 The paper motivates early microarchitecture-level reliability assessment as
-a way to guide protection decisions.  This example uses MeRLiN to compare
-the AVF and FIT of three physical register file sizes (256/128/64) across
-several workloads — the same sweep as Figure 8/15/16 — and prints the kind
-of table an architect would use to decide where ECC is worth its cost.
+a way to guide protection decisions.  This example expands a workloads x
+register-file-sizes cross-product with :func:`repro.api.sweep`, fans it out
+through an execution engine and prints the kind of table an architect would
+use to decide where ECC is worth its cost — the same sweep as Figure
+8/15/16.  Swap ``SerialEngine`` for ``ProcessPoolEngine`` to use every
+core; the results are bit-identical.
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
-from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.api import SerialEngine, config_axis, sweep
 from repro.core.metrics import fit_rate
 from repro.core.reporting import TableReport
-from repro.uarch.config import MicroarchConfig
-from repro.uarch.structures import TargetStructure, structure_geometry
-from repro.workloads import build_program
 
 WORKLOADS = ("sha", "qsort", "fft")
 REGISTER_FILE_SIZES = (256, 128, 64)
@@ -24,29 +23,29 @@ FAULTS_PER_CAMPAIGN = 800
 
 
 def main() -> None:
+    specs = sweep(
+        WORKLOADS,
+        structures=("RF",),
+        configs=config_axis(registers=REGISTER_FILE_SIZES),
+        faults=FAULTS_PER_CAMPAIGN,
+        seed=3,
+    )
+    outcomes = SerialEngine().run(specs)
+
     table = TableReport(
         title="Register-file sizing: AVF / FIT per configuration (MeRLiN estimates)",
         columns=["workload", "registers", "injections", "speedup", "AVF", "FIT"],
     )
-    for name in WORKLOADS:
-        program = build_program(name)
-        for num_regs in REGISTER_FILE_SIZES:
-            config = MicroarchConfig().with_register_file(num_regs)
-            campaign = MerlinCampaign(
-                program, config,
-                MerlinConfig(structure=TargetStructure.RF,
-                             initial_faults=FAULTS_PER_CAMPAIGN, seed=3),
-            )
-            result = campaign.run()
-            geometry = structure_geometry(TargetStructure.RF, config)
-            table.add_row([
-                name,
-                num_regs,
-                result.injections_performed,
-                round(result.total_speedup, 1),
-                round(result.avf, 4),
-                round(fit_rate(result.avf, geometry.total_bits), 3),
-            ])
+    for outcome in outcomes:
+        merlin = outcome.merlin
+        table.add_row([
+            outcome.spec.workload,
+            outcome.spec.config.num_phys_int_regs,
+            merlin.injections,
+            round(merlin.total_speedup, 1),
+            round(merlin.avf, 4),
+            round(fit_rate(merlin.avf, outcome.total_bits), 3),
+        ])
     table.add_note(
         "Smaller register files concentrate live values and raise the AVF, but "
         "larger ones expose more raw bits: the FIT column is what a designer "

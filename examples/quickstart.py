@@ -1,60 +1,60 @@
 """Quickstart: assess the reliability of the physical register file with MeRLiN.
 
-Builds one of the MiBench-like kernels, runs MeRLiN's three phases
-(profiling, fault-list reduction, representative injection) and prints the
-fault-effect classification, the AVF/FIT estimate and the speedup over a
-comprehensive campaign of the same statistical significance.
+Declares the campaign as a :class:`repro.api.CampaignSpec`, runs it through
+a :class:`repro.api.Session` (profiling, fault-list reduction, representative
+injection) and prints the fault-effect classification, the AVF/FIT estimate
+and the speedup over a comprehensive campaign of the same statistical
+significance.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.api import CampaignSpec, Session
 from repro.core.metrics import fit_rate
 from repro.faults.classification import FaultEffectClass
 from repro.uarch.config import MicroarchConfig
-from repro.uarch.structures import TargetStructure, structure_geometry
-from repro.workloads import build_program
+from repro.uarch.structures import TargetStructure
 
 
 def main() -> None:
-    # 1. Pick a workload and a microarchitecture configuration (Table 1 with
-    #    a 64-entry physical integer register file).
-    program = build_program("sha")
-    config = MicroarchConfig().with_register_file(64)
-
-    # 2. Configure MeRLiN: target structure, initial fault-list size and
-    #    statistical parameters (the paper's baseline uses a 0.63% error
-    #    margin at 99.8% confidence, i.e. ~60,000 faults; we use 2,000 here
-    #    so the example finishes in seconds).
-    merlin = MerlinCampaign(
-        program,
-        config,
-        MerlinConfig(structure=TargetStructure.RF, initial_faults=2_000, seed=7),
+    # 1. Declare the campaign: workload, microarchitecture configuration
+    #    (Table 1 with a 64-entry physical integer register file), target
+    #    structure and fault budget.  The paper's baseline uses a 0.63%
+    #    error margin at 99.8% confidence, i.e. ~60,000 faults; we use
+    #    2,000 here so the example finishes in seconds.
+    spec = CampaignSpec(
+        workload="sha",
+        structure=TargetStructure.RF,
+        config=MicroarchConfig().with_register_file(64),
+        faults=2_000,
+        seed=7,
     )
+    print(f"campaign: {spec.describe()}")
 
-    # 3. Run the three phases.
-    result = merlin.run()
+    # 2. Run the three phases through the session façade.
+    outcome = Session().run(spec)
+    merlin = outcome.merlin
 
-    # 4. Report.
-    geometry = structure_geometry(TargetStructure.RF, config)
-    print(f"workload:              {program.name}")
-    print(f"golden run:            {result.golden_cycles} cycles")
-    print(f"initial fault list:    {result.grouped.initial_faults} faults")
-    print(f"pruned by ACE-like:    {len(result.grouped.masked_fault_ids)} faults "
-          f"({result.ace_speedup:.1f}x)")
-    print(f"groups (RIP/uPC/byte): {result.grouped.num_groups}")
-    print(f"injections performed:  {result.injections_performed} "
-          f"({result.total_speedup:.1f}x total speedup)")
+    # 3. Report.
+    print(f"workload:              {spec.workload}")
+    print(f"golden run:            {outcome.golden_cycles} cycles")
+    print(f"initial fault list:    {merlin.initial_faults} faults")
+    print(f"pruned by ACE-like:    {merlin.pruned_faults} faults "
+          f"({merlin.ace_speedup:.1f}x)")
+    print(f"groups (RIP/uPC/byte): {merlin.num_groups}")
+    print(f"injections performed:  {merlin.injections} "
+          f"({merlin.total_speedup:.1f}x total speedup)")
     print()
     print("fault-effect classification (share of the initial fault list):")
+    counts = merlin.classification()
     for effect in FaultEffectClass:
-        print(f"  {effect.value:8s} {result.counts_final.fraction(effect) * 100:6.2f}%")
+        print(f"  {effect.value:8s} {counts.fraction(effect) * 100:6.2f}%")
     print()
-    avf = result.avf
-    print(f"AVF: {avf:.4f}   FIT: {fit_rate(avf, geometry.total_bits):.3f} "
-          f"(0.01 FIT/bit, {geometry.total_bits} bits)")
+    print(f"AVF: {merlin.avf:.4f}   "
+          f"FIT: {fit_rate(merlin.avf, outcome.total_bits):.3f} "
+          f"(0.01 FIT/bit, {outcome.total_bits} bits)")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ and grouping the remaining faults by the (RIP, uPC) of the committed
 micro-operation that reads the faulty entry, injecting only a handful of
 representatives per group.
 
-The package is organised in four layers:
+The package is organised in five layers:
 
 ``repro.isa``
     A synthetic x86-64-flavoured instruction set whose macro-instructions
@@ -23,6 +23,13 @@ The package is organised in four layers:
     itself (ACE-like interval profiling, statistical fault sampling,
     two-step grouping, campaign management, metrics, and the Relyzer
     control-equivalence baseline).
+``repro.api``
+    The unified campaign façade: declarative ``CampaignSpec`` values with
+    deterministic run identities, the ``Session`` that shares golden runs
+    and fault lists across campaigns and persists results, pluggable
+    serial/process-pool execution engines, and the ``sweep`` builder for
+    design-space cross-products.  The CLI (``python -m repro``) and the
+    experiment harness are both built on it.
 """
 
 from repro.version import __version__

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro`` (same CLI as ``python -m repro.cli``)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

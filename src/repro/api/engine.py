@@ -1,0 +1,137 @@
+"""Pluggable execution engines for fanning campaign specs out.
+
+An :class:`ExecutionEngine` takes a list of independent campaign specs and
+returns their outcomes in order.  :class:`SerialEngine` runs them one by
+one in-process through a shared :class:`~repro.api.session.Session` (so
+specs that share a golden run or fault list pay for it once);
+:class:`ProcessPoolEngine` fans them out across worker processes — each
+worker rebuilds its state from the spec alone, which is exactly what the
+deterministic run identity guarantees is possible, so results are
+bit-identical to the serial engine's modulo wall-clock timings.
+
+Both engines report through the same progress hook: ``progress(done,
+total)`` fires as campaigns complete.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+from repro.api.result import CampaignOutcome
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
+from repro.api.store import ResultStore
+from repro.faults.campaign import ProgressCallback
+
+
+class ExecutionEngine(Protocol):
+    """Anything that can run a batch of campaign specs."""
+
+    def run(
+        self,
+        specs: Sequence[CampaignSpec],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[CampaignOutcome]:
+        """Run every spec and return outcomes in the input order."""
+        ...
+
+
+class SerialEngine:
+    """Run specs sequentially through one shared session."""
+
+    name = "serial"
+
+    def __init__(self, session: Optional[Session] = None):
+        self.session = session
+
+    def run(
+        self,
+        specs: Sequence[CampaignSpec],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[CampaignOutcome]:
+        session = self.session if self.session is not None else Session(store=store)
+        # An explicit store must win even over an injected session's own,
+        # so swapping engines never silently changes where results land.
+        previous_store = session.store
+        if store is not None:
+            session.store = store
+        try:
+            outcomes: List[CampaignOutcome] = []
+            total = len(specs)
+            for index, spec in enumerate(specs):
+                outcomes.append(session.run(spec))
+                if progress is not None:
+                    progress(index + 1, total)
+            return outcomes
+        finally:
+            session.store = previous_store
+
+
+def _run_spec_worker(spec_dict: Dict[str, Any], store_dir: Optional[str]) -> Dict[str, Any]:
+    """Process-pool worker: rebuild the session from identity, run one spec.
+
+    Module-level so it pickles by reference; everything crossing the
+    process boundary is plain JSON-shaped data.
+    """
+    store = ResultStore(store_dir) if store_dir else None
+    session = Session(store=store)
+    outcome = session.run(CampaignSpec.from_dict(spec_dict))
+    return outcome.to_dict()
+
+
+class ProcessPoolEngine:
+    """Fan independent specs out across worker processes.
+
+    Each worker rebuilds programs, golden runs and fault lists from the
+    spec, so only spec/outcome dictionaries cross process boundaries.
+    Custom (session-registered) programs are not resolvable in workers;
+    use :class:`SerialEngine` for those.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        specs: Sequence[CampaignSpec],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[CampaignOutcome]:
+        if not specs:
+            return []
+        store_dir = str(store.root) if store is not None else None
+        total = len(specs)
+        outcomes: List[Optional[CampaignOutcome]] = [None] * total
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            pending = {
+                pool.submit(_run_spec_worker, spec.to_dict(), store_dir): index
+                for index, spec in enumerate(specs)
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    outcomes[index] = CampaignOutcome.from_dict(future.result())
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+#: Engine names accepted by the CLI's ``--engine`` flag.
+ENGINES = ("serial", "process")
+
+
+def make_engine(name: str, max_workers: Optional[int] = None) -> ExecutionEngine:
+    """Build an engine by CLI name."""
+    if name == "serial":
+        return SerialEngine()
+    if name == "process":
+        return ProcessPoolEngine(max_workers=max_workers)
+    raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")

@@ -1,0 +1,204 @@
+"""Serializable campaign outcomes.
+
+:class:`CampaignOutcome` is the JSON-stable record a :class:`~repro.api.session.Session`
+produces for a :class:`~repro.api.spec.CampaignSpec`: the spec itself plus
+compact summaries of the MeRLiN and/or comprehensive campaigns that ran.
+Everything round-trips through ``to_dict``/``from_dict`` so results can be
+persisted by the :class:`~repro.api.store.ResultStore`, shipped across
+process boundaries by the execution engines, and compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.api.spec import CampaignSpec
+from repro.core.merlin import MerlinResult
+from repro.faults.campaign import CampaignResult
+from repro.faults.classification import ClassificationCounts
+
+
+@dataclass(frozen=True)
+class MerlinSummary:
+    """Compact record of one MeRLiN campaign (Figure 2's three phases)."""
+
+    counts: Dict[str, int]
+    counts_after_ace: Dict[str, int]
+    initial_faults: int
+    pruned_faults: int
+    num_groups: int
+    injections: int
+    ace_speedup: float
+    grouping_speedup: float
+    total_speedup: float
+    avf: float
+    wall_clock_seconds: float
+
+    @staticmethod
+    def from_result(result: MerlinResult) -> "MerlinSummary":
+        return MerlinSummary(
+            counts=dict(result.counts_final.counts),
+            counts_after_ace=dict(result.counts_after_ace.counts),
+            initial_faults=result.grouped.initial_faults,
+            pruned_faults=len(result.grouped.masked_fault_ids),
+            num_groups=result.grouped.num_groups,
+            injections=result.injections_performed,
+            ace_speedup=result.ace_speedup,
+            grouping_speedup=result.grouping_speedup,
+            total_speedup=result.total_speedup,
+            avf=result.avf,
+            wall_clock_seconds=result.wall_clock_seconds,
+        )
+
+    def classification(self) -> ClassificationCounts:
+        return ClassificationCounts(dict(self.counts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": dict(self.counts),
+            "counts_after_ace": dict(self.counts_after_ace),
+            "initial_faults": self.initial_faults,
+            "pruned_faults": self.pruned_faults,
+            "num_groups": self.num_groups,
+            "injections": self.injections,
+            "ace_speedup": self.ace_speedup,
+            "grouping_speedup": self.grouping_speedup,
+            "total_speedup": self.total_speedup,
+            "avf": self.avf,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "MerlinSummary":
+        return MerlinSummary(**data)
+
+
+@dataclass(frozen=True)
+class ComprehensiveSummary:
+    """Compact record of one comprehensive (baseline) campaign."""
+
+    counts: Dict[str, int]
+    injections: int
+    avf: float
+    wall_clock_seconds: float
+    simulated_cycles: int
+
+    @staticmethod
+    def from_result(result: CampaignResult) -> "ComprehensiveSummary":
+        return ComprehensiveSummary(
+            counts=dict(result.counts.counts),
+            injections=result.injections_performed,
+            avf=result.avf,
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_cycles=result.simulated_cycles,
+        )
+
+    def classification(self) -> ClassificationCounts:
+        return ClassificationCounts(dict(self.counts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": dict(self.counts),
+            "injections": self.injections,
+            "avf": self.avf,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "simulated_cycles": self.simulated_cycles,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ComprehensiveSummary":
+        return ComprehensiveSummary(**data)
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a campaign run produced, keyed by the spec's identity."""
+
+    spec: CampaignSpec
+    golden_cycles: int
+    committed_instructions: int
+    total_bits: int
+    merlin: Optional[MerlinSummary] = None
+    comprehensive: Optional[ComprehensiveSummary] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        return self.spec.run_id()
+
+    @property
+    def avf(self) -> float:
+        """The headline AVF estimate (MeRLiN's when available)."""
+        if self.merlin is not None:
+            return self.merlin.avf
+        if self.comprehensive is not None:
+            return self.comprehensive.avf
+        return 0.0
+
+    @property
+    def injections(self) -> int:
+        total = 0
+        if self.merlin is not None:
+            total += self.merlin.injections
+        if self.comprehensive is not None:
+            total += self.comprehensive.injections
+        return total
+
+    def classification_fingerprint(self) -> Dict[str, Any]:
+        """The timing-free portion of the outcome (what determinism promises).
+
+        Two runs of the same spec — on one core or fanned out across a
+        process pool — must agree on this exactly; wall-clock fields are
+        the only legitimate difference between them.
+        """
+        payload = self.to_dict()
+        for section in ("merlin", "comprehensive"):
+            if payload.get(section):
+                payload[section].pop("wall_clock_seconds", None)
+        return payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "spec": self.spec.to_dict(),
+            "golden_cycles": self.golden_cycles,
+            "committed_instructions": self.committed_instructions,
+            "total_bits": self.total_bits,
+            "merlin": self.merlin.to_dict() if self.merlin else None,
+            "comprehensive": (
+                self.comprehensive.to_dict() if self.comprehensive else None
+            ),
+            "extra": dict(self.extra),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "CampaignOutcome":
+        merlin = data.get("merlin")
+        comprehensive = data.get("comprehensive")
+        return CampaignOutcome(
+            spec=CampaignSpec.from_dict(data["spec"]),
+            golden_cycles=data["golden_cycles"],
+            committed_instructions=data["committed_instructions"],
+            total_bits=data["total_bits"],
+            merlin=MerlinSummary.from_dict(merlin) if merlin else None,
+            comprehensive=(
+                ComprehensiveSummary.from_dict(comprehensive)
+                if comprehensive else None
+            ),
+            extra=dict(data.get("extra") or {}),
+        )
+
+    def describe(self) -> str:
+        parts = [f"{self.run_id} {self.spec.workload}/{self.spec.structure.short_name}"]
+        if self.merlin is not None:
+            parts.append(
+                f"merlin: {self.merlin.injections} injections "
+                f"({self.merlin.total_speedup:.1f}x), AVF={self.merlin.avf:.4f}"
+            )
+        if self.comprehensive is not None:
+            parts.append(
+                f"comprehensive: {self.comprehensive.injections} injections, "
+                f"AVF={self.comprehensive.avf:.4f}"
+            )
+        return "; ".join(parts)

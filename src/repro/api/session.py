@@ -1,0 +1,265 @@
+"""The campaign façade: resolve specs, share expensive state, run campaigns.
+
+A :class:`Session` is the one entry point for running campaigns.  It
+resolves a :class:`~repro.api.spec.CampaignSpec` into programs, golden
+runs and fault lists — memoising each by the spec's sub-identities so
+campaigns that agree on (workload, scale, config) share one profiling run
+and campaigns that additionally agree on (structure, budget, seed) share
+one fault list, across ``merlin``/``comprehensive``/``both`` methods
+alike.  Results persist to an optional :class:`~repro.api.store.ResultStore`
+keyed by :meth:`CampaignSpec.run_id`, so re-running a spec reloads the
+stored artifact instead of re-simulating.
+
+Three levels of access::
+
+    Session().run(spec)       # -> CampaignOutcome (serializable summary)
+    Session().execute(spec)   # -> CampaignExecution (live result objects)
+    Session().prepare(spec)   # -> PreparedCampaign (shared golden/fault list)
+
+``run`` is what the CLI and engines use; ``execute`` serves accuracy and
+homogeneity studies that need per-fault outcomes; ``prepare`` serves
+harnesses (like the experiment context) that wire their own campaign
+variants on top of the shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.api.result import CampaignOutcome, ComprehensiveSummary, MerlinSummary
+from repro.api.spec import CampaignSpec
+from repro.api.store import ResultStore
+from repro.core.merlin import MerlinCampaign, MerlinConfig, MerlinResult
+from repro.faults.campaign import (
+    CampaignResult,
+    ComprehensiveCampaign,
+    ProgressCallback,
+)
+from repro.faults.golden import GoldenRecord, capture_golden
+from repro.faults.model import FaultList
+from repro.faults.sampling import generate_fault_list
+from repro.isa.program import Program
+from repro.uarch.structures import StructureGeometry, structure_geometry
+from repro.workloads import get_workload
+
+
+@dataclass
+class PreparedCampaign:
+    """The shared, expensive-to-build inputs of one campaign spec."""
+
+    spec: CampaignSpec
+    program: Program
+    golden: GoldenRecord
+    geometry: StructureGeometry
+    fault_list: FaultList
+
+    def comprehensive_campaign(self) -> ComprehensiveCampaign:
+        """A baseline campaign over the shared golden run and fault list."""
+        return ComprehensiveCampaign(self.golden, self.fault_list)
+
+    def merlin_campaign(
+        self, baseline: Optional[ComprehensiveCampaign] = None
+    ) -> MerlinCampaign:
+        """A MeRLiN campaign wired to the shared golden run and fault list."""
+        campaign = MerlinCampaign(
+            self.program,
+            self.spec.config,
+            MerlinConfig(
+                structure=self.spec.structure,
+                initial_faults=self.spec.faults,
+                error_margin=self.spec.error_margin,
+                confidence=self.spec.confidence,
+                seed=self.spec.seed,
+            ),
+            golden=self.golden,
+            baseline=baseline,
+        )
+        campaign.use_fault_list(self.fault_list)
+        return campaign
+
+
+@dataclass
+class CampaignExecution:
+    """Live objects produced by :meth:`Session.execute` (one spec, one run)."""
+
+    prepared: PreparedCampaign
+    outcome: CampaignOutcome
+    merlin: Optional[MerlinResult] = None
+    comprehensive: Optional[CampaignResult] = None
+    baseline_campaign: Optional[ComprehensiveCampaign] = None
+
+    @property
+    def spec(self) -> CampaignSpec:
+        return self.prepared.spec
+
+    @property
+    def golden(self) -> GoldenRecord:
+        return self.prepared.golden
+
+    @property
+    def fault_list(self) -> FaultList:
+        return self.prepared.fault_list
+
+
+class Session:
+    """Resolve campaign specs, share state by identity, and run campaigns."""
+
+    def __init__(self, store: Optional[ResultStore] = None):
+        self.store = store
+        self._custom_programs: Dict[str, Program] = {}
+        self._programs: Dict[Tuple, Program] = {}
+        self._goldens: Dict[Tuple, GoldenRecord] = {}
+        self._fault_lists: Dict[Tuple, FaultList] = {}
+
+    # ------------------------------------------------------------------
+    # Shared state, keyed by spec sub-identities
+    # ------------------------------------------------------------------
+    def register_program(self, program: Program) -> None:
+        """Make a custom (non-registry) program addressable by spec workload.
+
+        Specs referencing it must leave ``scale`` as ``None``; custom
+        programs are session-local, so they cannot be fanned out through
+        the process-pool engine.
+        """
+        try:
+            get_workload(program.name)
+        except KeyError:
+            pass
+        else:
+            raise ValueError(
+                f"{program.name!r} is a bundled workload; "
+                "rename the custom program to avoid shadowing it"
+            )
+        self._custom_programs[program.name] = program
+
+    def program(self, workload: str, scale: Optional[int] = None) -> Program:
+        """The program for ``workload`` at ``scale`` (memoised)."""
+        if workload in self._custom_programs:
+            if scale is not None:
+                raise ValueError(
+                    f"custom program {workload!r} has a fixed scale; "
+                    "leave spec.scale as None"
+                )
+            return self._custom_programs[workload]
+        key = (workload, scale)
+        if key not in self._programs:
+            spec = get_workload(workload)
+            build_scale = scale if scale is not None else spec.default_scale
+            self._programs[key] = spec.build(build_scale)
+        return self._programs[key]
+
+    def golden(self, spec: CampaignSpec) -> GoldenRecord:
+        """The traced golden/profiling run for the spec's workload+config."""
+        key = spec.golden_key()
+        if key not in self._goldens:
+            program = self.program(spec.workload, spec.scale)
+            self._goldens[key] = capture_golden(program, spec.config, trace=True)
+        return self._goldens[key]
+
+    def fault_list(self, spec: CampaignSpec) -> FaultList:
+        """The initial statistical fault list for the spec (memoised)."""
+        key = spec.fault_list_key()
+        if key not in self._fault_lists:
+            golden = self.golden(spec)
+            geometry = structure_geometry(spec.structure, spec.config)
+            self._fault_lists[key] = generate_fault_list(
+                geometry,
+                golden.cycles,
+                sample_size=spec.faults,
+                error_margin=spec.error_margin,
+                confidence=spec.confidence,
+                seed=spec.seed,
+            )
+        return self._fault_lists[key]
+
+    # ------------------------------------------------------------------
+    # Campaign execution
+    # ------------------------------------------------------------------
+    def prepare(self, spec: CampaignSpec) -> PreparedCampaign:
+        """Resolve the spec into its shared golden run and fault list."""
+        return PreparedCampaign(
+            spec=spec,
+            program=self.program(spec.workload, spec.scale),
+            golden=self.golden(spec),
+            geometry=structure_geometry(spec.structure, spec.config),
+            fault_list=self.fault_list(spec),
+        )
+
+    def execute(
+        self,
+        spec: CampaignSpec,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignExecution:
+        """Run the spec's method(s) and return live result objects.
+
+        With ``method="both"`` the comprehensive campaign doubles as
+        MeRLiN's injection backend, so representative injections are
+        simulated once and shared.  ``progress`` receives per-injection
+        ``(done, total)`` callbacks from whichever campaigns run.
+        """
+        prepared = self.prepare(spec)
+        baseline: Optional[ComprehensiveCampaign] = None
+        if spec.runs_comprehensive:
+            baseline = prepared.comprehensive_campaign()
+
+        merlin_result: Optional[MerlinResult] = None
+        if spec.runs_merlin:
+            merlin_result = prepared.merlin_campaign(baseline).run(progress=progress)
+
+        comprehensive_result: Optional[CampaignResult] = None
+        if baseline is not None:
+            comprehensive_result = baseline.run(progress=progress)
+
+        outcome = CampaignOutcome(
+            spec=spec,
+            golden_cycles=prepared.golden.cycles,
+            committed_instructions=prepared.golden.committed_instructions,
+            total_bits=prepared.geometry.total_bits,
+            merlin=(
+                MerlinSummary.from_result(merlin_result)
+                if merlin_result is not None else None
+            ),
+            comprehensive=(
+                ComprehensiveSummary.from_result(comprehensive_result)
+                if comprehensive_result is not None else None
+            ),
+        )
+        return CampaignExecution(
+            prepared=prepared,
+            outcome=outcome,
+            merlin=merlin_result,
+            comprehensive=comprehensive_result,
+            baseline_campaign=baseline,
+        )
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        progress: Optional[ProgressCallback] = None,
+        refresh: bool = False,
+    ) -> CampaignOutcome:
+        """Run one campaign spec and return its serializable outcome.
+
+        When the session has a :class:`ResultStore` and the spec's run id
+        is already stored, the artifact is reloaded instead of re-simulated
+        (pass ``refresh=True`` to force a re-run); fresh outcomes are
+        persisted before returning.
+        """
+        if self.store is not None and not refresh:
+            cached = self.store.get(spec.run_id())
+            if cached is not None:
+                return cached
+        outcome = self.execute(spec, progress=progress).outcome
+        if self.store is not None:
+            self.store.save(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Sizes of the identity-keyed caches (for tests and diagnostics)."""
+        return {
+            "programs": len(self._programs) + len(self._custom_programs),
+            "goldens": len(self._goldens),
+            "fault_lists": len(self._fault_lists),
+        }

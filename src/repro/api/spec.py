@@ -1,0 +1,168 @@
+"""Declarative campaign specifications with deterministic run identity.
+
+A :class:`CampaignSpec` fully describes one injection campaign — workload,
+scale, microarchitecture configuration, target structure, fault budget (or
+error-margin/confidence pair), seed and method — as a frozen, serializable
+value.  Its :meth:`CampaignSpec.run_id` is a content hash over the canonical
+JSON form, following the run-identity pattern of benchmarking harnesses:
+two specs with the same fields name the same campaign, so golden runs,
+fault lists and stored results can be shared and reloaded by identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.sampling import BASELINE_CONFIDENCE, BASELINE_ERROR_MARGIN
+from repro.uarch.config import FunctionalUnitPool, MicroarchConfig
+from repro.uarch.structures import TargetStructure
+
+#: Schema version folded into the run-identity hash; bump on incompatible
+#: changes to the spec layout so stale stored artifacts are not reused.
+SPEC_SCHEMA_VERSION = 1
+
+#: The campaign methods a spec may request.
+METHODS = ("merlin", "comprehensive", "both")
+
+
+def config_to_dict(config: MicroarchConfig) -> Dict[str, Any]:
+    """Serialize a :class:`MicroarchConfig` (nested dataclasses included)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> MicroarchConfig:
+    """Inverse of :func:`config_to_dict`."""
+    payload = dict(data)
+    units = payload.pop("functional_units", None)
+    if units is not None:
+        payload["functional_units"] = FunctionalUnitPool(**units)
+    return MicroarchConfig(**payload)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A fully declarative description of one injection campaign.
+
+    ``faults`` is the explicit initial fault-list size; when ``None`` the
+    statistically required size is derived from ``error_margin`` and
+    ``confidence`` (Leveugle et al.), exactly as in the paper's campaigns.
+    ``method`` selects what to run: MeRLiN, the comprehensive baseline, or
+    both over the same shared fault list.
+    """
+
+    workload: str
+    structure: TargetStructure = TargetStructure.RF
+    config: MicroarchConfig = field(default_factory=MicroarchConfig)
+    scale: Optional[int] = None
+    faults: Optional[int] = None
+    error_margin: float = BASELINE_ERROR_MARGIN
+    confidence: float = BASELINE_CONFIDENCE
+    seed: int = 0
+    method: str = "merlin"
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("spec needs a workload name")
+        if not isinstance(self.structure, TargetStructure):
+            raise TypeError("structure must be a TargetStructure")
+        if self.method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
+        if self.faults is not None and self.faults <= 0:
+            raise ValueError("faults must be positive when given")
+        if not 0.0 < self.error_margin < 1.0:
+            raise ValueError("error margin must be in (0, 1)")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serializable form (enums by name, config nested)."""
+        return {
+            "workload": self.workload,
+            "structure": self.structure.name,
+            "config": config_to_dict(self.config),
+            "scale": self.scale,
+            "faults": self.faults,
+            "error_margin": self.error_margin,
+            "confidence": self.confidence,
+            "seed": self.seed,
+            "method": self.method,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "CampaignSpec":
+        payload = dict(data)
+        structure = payload.get("structure", TargetStructure.RF.name)
+        if isinstance(structure, str):
+            try:
+                structure = TargetStructure[structure]
+            except KeyError:
+                raise ValueError(f"unknown structure {structure!r}") from None
+        config = payload.get("config") or {}
+        if isinstance(config, dict):
+            config = config_from_dict(config)
+        return CampaignSpec(
+            workload=payload["workload"],
+            structure=structure,
+            config=config,
+            scale=payload.get("scale"),
+            faults=payload.get("faults"),
+            error_margin=payload.get("error_margin", BASELINE_ERROR_MARGIN),
+            confidence=payload.get("confidence", BASELINE_CONFIDENCE),
+            seed=payload.get("seed", 0),
+            method=payload.get("method", "merlin"),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding used for the content hash."""
+        payload = {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def run_id(self) -> str:
+        """Deterministic content hash identifying this campaign."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    # ------------------------------------------------------------------
+    # Sub-identities used by the session caches
+    # ------------------------------------------------------------------
+    def golden_key(self) -> Tuple:
+        """Identity of the golden/profiling run this campaign needs."""
+        return (self.workload, self.scale, self.config)
+
+    def fault_list_key(self) -> Tuple:
+        """Identity of the initial fault list this campaign draws."""
+        return (
+            self.workload, self.scale, self.config, self.structure,
+            self.faults, self.error_margin, self.confidence, self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience derivations
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "CampaignSpec":
+        """Return a copy with ``changes`` applied (frozen-dataclass replace)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def runs_merlin(self) -> bool:
+        return self.method in ("merlin", "both")
+
+    @property
+    def runs_comprehensive(self) -> bool:
+        return self.method in ("comprehensive", "both")
+
+    def describe(self) -> str:
+        budget = str(self.faults) if self.faults is not None else (
+            f"e={self.error_margin:.2%}@{self.confidence:.1%}"
+        )
+        return (
+            f"{self.run_id()} {self.workload}/{self.structure.short_name} "
+            f"faults={budget} seed={self.seed} method={self.method}"
+        )

@@ -1,0 +1,89 @@
+"""Directory-backed persistence for campaign outcomes.
+
+A :class:`ResultStore` maps run identities to JSON artifacts: one
+``<run_id>.json`` file per campaign under a root directory.  Writes are
+atomic (write-to-temp then rename) so a store shared by the process-pool
+engine's workers never exposes a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.api.result import CampaignOutcome
+
+
+class ResultStore:
+    """Persist and reload :class:`CampaignOutcome` artifacts by run id."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, run_id: str) -> Path:
+        if not run_id or any(ch in run_id for ch in "/\\"):
+            raise ValueError(f"malformed run id {run_id!r}")
+        return self.root / f"{run_id}.json"
+
+    def has(self, run_id: str) -> bool:
+        return self._path(run_id).exists()
+
+    def save(self, outcome: CampaignOutcome) -> Path:
+        """Atomically write ``outcome`` as ``<run_id>.json`` and return the path."""
+        path = self._path(outcome.run_id)
+        payload = json.dumps(outcome.to_dict(), indent=2, sort_keys=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, run_id: str) -> CampaignOutcome:
+        path = self._path(run_id)
+        with open(path, "r", encoding="utf-8") as stream:
+            return CampaignOutcome.from_dict(json.load(stream))
+
+    def get(self, run_id: str) -> Optional[CampaignOutcome]:
+        """Like :meth:`load` but returns ``None`` when the artifact is absent."""
+        if not self.has(run_id):
+            return None
+        return self.load(run_id)
+
+    def delete(self, run_id: str) -> bool:
+        path = self._path(run_id)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    # ------------------------------------------------------------------
+    def run_ids(self) -> List[str]:
+        """Stored run ids, sorted for stable listings."""
+        return sorted(
+            path.stem for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    def __iter__(self) -> Iterator[CampaignOutcome]:
+        for run_id in self.run_ids():
+            yield self.load(run_id)
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    def describe(self) -> str:
+        return f"ResultStore({self.root}, {len(self)} outcomes)"

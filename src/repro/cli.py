@@ -1,40 +1,104 @@
-"""Command-line interface for running MeRLiN campaigns on bundled workloads.
+"""Command-line interface for MeRLiN campaigns, built on :mod:`repro.api`.
+
+Every subcommand resolves to the same façade the Python API exposes:
+declarative :class:`~repro.api.CampaignSpec` values executed by a
+:class:`~repro.api.Session` through a pluggable engine, with optional
+JSON output and a directory-backed result store.
 
 Examples::
 
-    python -m repro.cli list
-    python -m repro.cli run --workload sha --structure RF --registers 64 --faults 2000
-    python -m repro.cli run --workload qsort --structure SQ --sq-entries 16 --baseline
+    python -m repro list
+    python -m repro run --workload sha --structure RF --registers 64 --faults 2000
+    python -m repro run --workload qsort --structure SQ --sq-entries 16 --baseline
+    python -m repro sweep --workloads sha,qsort --structures RF,SQ \\
+        --faults 500 --engine process --store results/
+    python -m repro report --store results/ --json
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
 
-from repro.core.merlin import MerlinCampaign, MerlinConfig
+from repro.api import (
+    CampaignOutcome,
+    CampaignSpec,
+    ENGINES,
+    ResultStore,
+    Session,
+    config_axis,
+    make_engine,
+    sweep,
+)
 from repro.core.metrics import fit_rate, max_inaccuracy
-from repro.faults.campaign import ComprehensiveCampaign
+from repro.core.reporting import TableReport
 from repro.faults.classification import FaultEffectClass
-from repro.faults.golden import capture_golden
-from repro.faults.sampling import generate_fault_list
-from repro.uarch.config import MicroarchConfig
-from repro.uarch.structures import TargetStructure, structure_geometry
-from repro.workloads import all_names, build_program, get_workload
+from repro.uarch.structures import TargetStructure, structure_config_label
+from repro.workloads import MIBENCH_NAMES, SPEC_NAMES, all_names, get_workload
 
 
-def _build_config(args: argparse.Namespace) -> MicroarchConfig:
-    config = MicroarchConfig()
-    if args.registers:
-        config = config.with_register_file(args.registers)
-    if args.sq_entries:
-        config = config.with_store_queue(args.sq_entries)
-    if args.l1d_kb:
-        config = config.with_l1d(args.l1d_kb)
-    return config
+def _build_config(args: argparse.Namespace):
+    sizes = config_axis(
+        registers=(args.registers,) if args.registers else (),
+        sq_entries=(args.sq_entries,) if args.sq_entries else (),
+        l1d_kb=(args.l1d_kb,) if args.l1d_kb else (),
+    )
+    return sizes[0]
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _store_from(args: argparse.Namespace) -> Optional[ResultStore]:
+    return ResultStore(args.store) if getattr(args, "store", None) else None
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _print_outcome(outcome: CampaignOutcome) -> None:
+    spec = outcome.spec
+    print(f"workload {spec.workload}: golden {outcome.golden_cycles} cycles, "
+          f"{outcome.committed_instructions} instructions")
+    if outcome.merlin is not None:
+        merlin = outcome.merlin
+        counts = merlin.classification()
+        print(f"{spec.structure.short_name}: {merlin.initial_faults} faults -> "
+              f"{merlin.injections} injections "
+              f"(ACE-like {merlin.ace_speedup:.1f}x, total {merlin.total_speedup:.1f}x)")
+        for effect in FaultEffectClass:
+            print(f"  {effect.value:8s} {counts.fraction(effect) * 100:6.2f}%")
+        print(f"AVF {merlin.avf:.4f}, "
+              f"FIT {fit_rate(merlin.avf, outcome.total_bits):.3f}")
+    if outcome.comprehensive is not None:
+        reference = outcome.comprehensive
+        print(f"baseline: {reference.injections} injections, "
+              f"AVF {reference.avf:.4f}")
+        if outcome.merlin is None:
+            counts = reference.classification()
+            for effect in FaultEffectClass:
+                print(f"  {effect.value:8s} {counts.fraction(effect) * 100:6.2f}%")
+        else:
+            print(f"max per-class difference: "
+                  f"{max_inaccuracy(reference.classification(), outcome.merlin.classification()):.2f} "
+                  f"percentile points")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        _emit_json([
+            {
+                "name": name,
+                "suite": get_workload(name).suite,
+                "description": get_workload(name).description,
+            }
+            for name in all_names()
+        ])
+        return 0
     for name in all_names():
         spec = get_workload(name)
         print(f"{name:14s} [{spec.suite:7s}] {spec.description}")
@@ -42,44 +106,138 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    structure = TargetStructure[args.structure]
-    program = build_program(args.workload, scale=args.scale)
-    config = _build_config(args)
-
-    golden = capture_golden(program, config)
-    geometry = structure_geometry(structure, config)
-    fault_list = generate_fault_list(
-        geometry, golden.cycles, sample_size=args.faults, seed=args.seed
+    method = "both" if args.baseline else args.method
+    spec = CampaignSpec(
+        workload=args.workload,
+        structure=TargetStructure[args.structure],
+        config=_build_config(args),
+        scale=args.scale,
+        faults=args.faults,
+        seed=args.seed,
+        method=method,
     )
-
-    baseline: Optional[ComprehensiveCampaign] = None
-    if args.baseline:
-        baseline = ComprehensiveCampaign(golden, fault_list)
-
-    campaign = MerlinCampaign(
-        program, config,
-        MerlinConfig(structure=structure, initial_faults=args.faults, seed=args.seed),
-        golden=golden, baseline=baseline,
-    )
-    campaign.use_fault_list(fault_list)
-    result = campaign.run()
-
-    print(f"workload {program.name}: golden {golden.cycles} cycles, "
-          f"{golden.committed_instructions} instructions")
-    print(f"{structure.short_name}: {result.grouped.initial_faults} faults -> "
-          f"{result.injections_performed} injections "
-          f"(ACE-like {result.ace_speedup:.1f}x, total {result.total_speedup:.1f}x)")
-    for effect in FaultEffectClass:
-        print(f"  {effect.value:8s} {result.counts_final.fraction(effect) * 100:6.2f}%")
-    print(f"AVF {result.avf:.4f}, FIT {fit_rate(result.avf, geometry.total_bits):.3f}")
-
-    if baseline is not None:
-        reference = baseline.run()
-        print(f"baseline: {reference.injections_performed} injections, "
-              f"AVF {reference.avf:.4f}")
-        print(f"max per-class difference: "
-              f"{max_inaccuracy(reference.counts, result.counts_final):.2f} percentile points")
+    session = Session(store=_store_from(args))
+    outcome = session.run(spec)
+    if args.json:
+        _emit_json(outcome.to_dict())
+        return 0
+    _print_outcome(outcome)
     return 0
+
+
+def _parse_workloads(text: str) -> List[str]:
+    if text == "all":
+        return all_names()
+    if text == "mibench":
+        return list(MIBENCH_NAMES)
+    if text == "spec":
+        return list(SPEC_NAMES)
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    known = set(all_names())
+    for name in names:
+        if name not in known:
+            raise SystemExit(f"unknown workload {name!r}")
+    return names
+
+
+def _parse_int_list(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = _parse_workloads(args.workloads)
+    structures = [part.strip() for part in args.structures.split(",") if part.strip()]
+    configs = config_axis(
+        registers=_parse_int_list(args.registers),
+        sq_entries=_parse_int_list(args.sq_entries),
+        l1d_kb=_parse_int_list(args.l1d_kb),
+    )
+    specs = sweep(
+        workloads, structures, configs,
+        faults=args.faults, seed=args.seed, scale=args.scale, method=args.method,
+    )
+    engine = make_engine(args.engine, max_workers=args.workers)
+    progress = None
+    if not args.json:
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} campaigns", end="", file=sys.stderr, flush=True)
+    outcomes = engine.run(specs, store=_store_from(args), progress=progress)
+    if progress is not None:
+        print(file=sys.stderr)
+
+    if args.json:
+        _emit_json([outcome.to_dict() for outcome in outcomes])
+        return 0
+    table = TableReport(
+        title=f"sweep: {len(outcomes)} campaigns ({args.engine} engine)",
+        columns=["run_id", "workload", "structure", "config",
+                 "injections", "speedup", "AVF"],
+    )
+    for outcome in outcomes:
+        spec = outcome.spec
+        merlin = outcome.merlin
+        table.add_row([
+            outcome.run_id,
+            spec.workload,
+            spec.structure.short_name,
+            structure_config_label(spec.structure, spec.config),
+            outcome.injections,
+            round(merlin.total_speedup, 1) if merlin else "-",
+            round(outcome.avf, 4),
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not Path(args.store).is_dir():
+        raise ValueError(f"no result store at {args.store!r}")
+    store = ResultStore(args.store)
+    if args.run_id:
+        outcome = store.get(args.run_id)
+        if outcome is None:
+            print(f"no stored outcome {args.run_id!r} in {store.root}", file=sys.stderr)
+            return 1
+        if args.json:
+            _emit_json(outcome.to_dict())
+        else:
+            _print_outcome(outcome)
+        return 0
+
+    outcomes = list(store)
+    if args.json:
+        _emit_json([outcome.to_dict() for outcome in outcomes])
+        return 0
+    table = TableReport(
+        title=f"stored campaigns in {store.root}",
+        columns=["run_id", "workload", "structure", "method",
+                 "faults", "injections", "AVF"],
+    )
+    for outcome in outcomes:
+        spec = outcome.spec
+        table.add_row([
+            outcome.run_id,
+            spec.workload,
+            spec.structure.short_name,
+            spec.method,
+            spec.faults if spec.faults is not None else "auto",
+            outcome.injections,
+            round(outcome.avf, 4),
+        ])
+    print(table.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist/reload outcomes as JSON artifacts under DIR")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,9 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list the bundled workloads")
+    list_parser.add_argument("--json", action="store_true")
     list_parser.set_defaults(func=_cmd_list)
 
-    run_parser = subparsers.add_parser("run", help="run a MeRLiN campaign")
+    run_parser = subparsers.add_parser("run", help="run one campaign")
     run_parser.add_argument("--workload", required=True, choices=all_names())
     run_parser.add_argument("--structure", default="RF",
                             choices=[s.name for s in TargetStructure])
@@ -104,16 +263,56 @@ def build_parser() -> argparse.ArgumentParser:
                             help="load/store queue entries (64/32/16)")
     run_parser.add_argument("--l1d-kb", type=int, default=None,
                             help="L1 data cache size in KB (64/32/16)")
+    run_parser.add_argument("--method", default="merlin",
+                            choices=["merlin", "comprehensive", "both"],
+                            help="campaign method (default merlin)")
     run_parser.add_argument("--baseline", action="store_true",
-                            help="also run the comprehensive campaign for comparison")
+                            help="also run the comprehensive campaign "
+                                 "(shorthand for --method both)")
+    _add_common_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a workloads x structures x configs cross-product")
+    sweep_parser.add_argument("--workloads", required=True,
+                              help="comma-separated names, or mibench/spec/all")
+    sweep_parser.add_argument("--structures", default="RF",
+                              help="comma-separated structure names (RF,SQ,L1D)")
+    sweep_parser.add_argument("--registers", default=None,
+                              help="comma-separated register-file sizes")
+    sweep_parser.add_argument("--sq-entries", default=None,
+                              help="comma-separated store-queue sizes")
+    sweep_parser.add_argument("--l1d-kb", default=None,
+                              help="comma-separated L1D sizes (KB)")
+    sweep_parser.add_argument("--faults", type=int, default=2_000)
+    sweep_parser.add_argument("--scale", type=int, default=None)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--method", default="merlin",
+                              choices=["merlin", "comprehensive", "both"])
+    sweep_parser.add_argument("--engine", default="serial", choices=list(ENGINES),
+                              help="execution engine (default serial)")
+    sweep_parser.add_argument("--workers", type=int, default=None,
+                              help="process-engine worker count (default: cores)")
+    _add_common_flags(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = subparsers.add_parser(
+        "report", help="inspect outcomes stored under --store")
+    report_parser.add_argument("--store", required=True, metavar="DIR")
+    report_parser.add_argument("--run-id", default=None,
+                               help="show one stored campaign in full")
+    report_parser.add_argument("--json", action="store_true")
+    report_parser.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        parser.exit(2, f"{parser.prog}: error: {error}\n")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 
 from repro.core.grouping import GroupedFaults, group_faults
 from repro.core.intervals import IntervalSet, build_interval_set
-from repro.faults.campaign import ComprehensiveCampaign
+from repro.faults.campaign import ComprehensiveCampaign, ProgressCallback
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord, capture_golden
 from repro.faults.injector import inject_fault
@@ -151,8 +151,13 @@ class MerlinCampaign:
     # ------------------------------------------------------------------
     # Phase 3: fault injection campaign
     # ------------------------------------------------------------------
-    def run(self) -> MerlinResult:
-        """Run all three phases and return the MeRLiN reliability estimate."""
+    def run(self, progress: Optional[ProgressCallback] = None) -> MerlinResult:
+        """Run all three phases and return the MeRLiN reliability estimate.
+
+        ``progress`` (if given) receives ``(injections done, injections
+        planned)`` after each representative injection, mirroring
+        :meth:`ComprehensiveCampaign.run`.
+        """
         started = time.perf_counter()
         grouped = self.reduce()
 
@@ -161,6 +166,7 @@ class MerlinCampaign:
         counts_final = ClassificationCounts.empty()
         counts_after_ace = ClassificationCounts.empty()
         injections = 0
+        planned = sum(1 for group in grouped.groups if group.representative is not None)
 
         for group in grouped.groups:
             representative = group.representative
@@ -174,6 +180,8 @@ class MerlinCampaign:
                     simpoint_mode=self.merlin_config.simpoint_mode,
                 )
             injections += 1
+            if progress is not None:
+                progress(injections, planned)
             effect = outcome.effect
             representative_outcomes[representative.fault_id] = effect
             for fault_id in group.member_fault_ids():

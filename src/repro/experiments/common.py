@@ -4,24 +4,27 @@ The paper's campaigns use 60,000-fault lists per benchmark/structure/
 configuration and run for months of simulated machine time; this harness
 reproduces the *shape* of every figure at a reduced, configurable scale.
 :class:`ExperimentScale` controls the benchmark subset, workload scale and
-fault-list sizes; :class:`ExperimentContext` caches golden profiling runs
-and comprehensive-campaign outcomes so that figures sharing a configuration
-do not re-simulate.
+fault-list sizes; :class:`ExperimentContext` resolves campaigns through a
+shared :class:`repro.api.Session`, whose identity-keyed caches ensure that
+figures sharing a (benchmark, configuration) pair reuse one golden
+profiling run and figures sharing a fault budget reuse one fault list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import zlib
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
 from repro.core.grouping import GroupedFaults, group_faults
 from repro.core.intervals import IntervalSet, build_interval_set
-from repro.core.merlin import MerlinCampaign, MerlinConfig, MerlinResult
-from repro.faults.campaign import CampaignResult, ComprehensiveCampaign
+from repro.core.merlin import MerlinResult
+from repro.faults.campaign import ComprehensiveCampaign
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
-from repro.faults.golden import GoldenRecord, capture_golden
+from repro.faults.golden import GoldenRecord
 from repro.faults.model import FaultList
-from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
 from repro.uarch.config import (
     L1D_SIZES_KB,
@@ -29,12 +32,8 @@ from repro.uarch.config import (
     REGISTER_FILE_SIZES,
     STORE_QUEUE_SIZES,
 )
-from repro.uarch.structures import (
-    TargetStructure,
-    structure_config_label,
-    structure_geometry,
-)
-from repro.workloads import MIBENCH_NAMES, SPEC_NAMES, get_workload
+from repro.uarch.structures import TargetStructure, structure_config_label
+from repro.workloads import MIBENCH_NAMES, SPEC_NAMES
 
 
 @dataclass(frozen=True)
@@ -132,8 +131,13 @@ def structure_configs(structure: TargetStructure,
     return configs
 
 
-def _config_key(config: MicroarchConfig) -> Tuple[int, int, int]:
-    return (config.num_phys_int_regs, config.store_queue_entries, config.l1d_size_kb)
+def _benchmark_salt(benchmark: str, structure: TargetStructure) -> int:
+    """Stable per-(benchmark, structure) seed offset.
+
+    CRC-based rather than ``hash()`` so fault lists are reproducible across
+    interpreter invocations (``hash`` of strings is salted per process).
+    """
+    return zlib.crc32(f"{benchmark}:{structure.name}".encode("utf-8")) % 10_000
 
 
 @dataclass
@@ -155,38 +159,51 @@ class AccuracyStudy:
 
 
 class ExperimentContext:
-    """Caches programs, golden runs and campaign outcomes across experiments."""
+    """Resolves experiment campaigns through a shared :class:`Session`.
 
-    def __init__(self, scale: Optional[ExperimentScale] = None):
+    Programs, golden runs and fault lists are cached inside the session by
+    spec identity; this context adds the experiment-specific layering on
+    top (per-benchmark seed offsets, accuracy studies with the ACE-masked
+    assumption) and memoises the studies themselves.
+    """
+
+    def __init__(self, scale: Optional[ExperimentScale] = None,
+                 session: Optional[Session] = None):
         self.scale = scale or ExperimentScale.default()
-        self._programs: Dict[str, Program] = {}
-        self._goldens: Dict[Tuple[str, Tuple[int, int, int]], GoldenRecord] = {}
+        self.session = session or Session()
         self._studies: Dict[Tuple[str, TargetStructure, str, int], AccuracyStudy] = {}
 
     # ------------------------------------------------------------------
+    def _spec(self, benchmark: str, structure: TargetStructure,
+              config: MicroarchConfig, faults: Optional[int] = None,
+              seed: int = 0, method: str = "merlin") -> CampaignSpec:
+        return CampaignSpec(
+            workload=benchmark,
+            structure=structure,
+            config=config,
+            scale=self.scale.workload_scale,
+            faults=faults,
+            seed=seed,
+            method=method,
+        )
+
+    def _list_seed(self, benchmark: str, structure: TargetStructure,
+                   seed_offset: int = 0) -> int:
+        return self.scale.seed + seed_offset + _benchmark_salt(benchmark, structure)
+
+    # ------------------------------------------------------------------
     def program(self, benchmark: str) -> Program:
-        if benchmark not in self._programs:
-            spec = get_workload(benchmark)
-            scale = self.scale.workload_scale
-            self._programs[benchmark] = spec.build(
-                scale if scale is not None else spec.default_scale
-            )
-        return self._programs[benchmark]
+        return self.session.program(benchmark, self.scale.workload_scale)
 
     def golden(self, benchmark: str, config: MicroarchConfig) -> GoldenRecord:
-        key = (benchmark, _config_key(config))
-        if key not in self._goldens:
-            self._goldens[key] = capture_golden(self.program(benchmark), config, trace=True)
-        return self._goldens[key]
+        return self.session.golden(self._spec(benchmark, TargetStructure.RF, config))
 
     # ------------------------------------------------------------------
     def fault_list(self, benchmark: str, structure: TargetStructure,
                    config: MicroarchConfig, count: int, seed_offset: int = 0) -> FaultList:
-        golden = self.golden(benchmark, config)
-        geometry = structure_geometry(structure, config)
-        seed = self.scale.seed + seed_offset + hash((benchmark, structure.name)) % 10_000
-        return generate_fault_list(
-            geometry, golden.cycles, sample_size=count, seed=seed
+        seed = self._list_seed(benchmark, structure, seed_offset)
+        return self.session.fault_list(
+            self._spec(benchmark, structure, config, faults=count, seed=seed)
         )
 
     def grouping(self, benchmark: str, structure: TargetStructure,
@@ -221,19 +238,18 @@ class ExperimentContext:
         if key in self._studies:
             return self._studies[key]
 
-        golden = self.golden(benchmark, config)
+        spec = self._spec(
+            benchmark, structure, config, faults=faults,
+            seed=self._list_seed(benchmark, structure), method="both",
+        )
+        prepared = self.session.prepare(spec)
+        golden = prepared.golden
+        fault_list = prepared.fault_list
         intervals = build_interval_set(golden.tracer, structure)
-        fault_list = self.fault_list(benchmark, structure, config, faults)
         grouped = group_faults(fault_list, intervals)
 
-        baseline = ComprehensiveCampaign(golden, fault_list)
-        merlin_campaign = MerlinCampaign(
-            self.program(benchmark), config,
-            MerlinConfig(structure=structure, initial_faults=faults, seed=self.scale.seed),
-            golden=golden, baseline=baseline,
-        )
-        merlin_campaign.use_fault_list(fault_list)
-        merlin_result = merlin_campaign.run()
+        baseline = prepared.comprehensive_campaign()
+        merlin_result = prepared.merlin_campaign(baseline).run()
 
         # Baseline over the faults that hit vulnerable intervals (Figure 14's
         # reference), reusing the memoised outcomes of the shared campaign.

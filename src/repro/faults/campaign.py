@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord
@@ -36,6 +36,8 @@ class CampaignResult:
 
     @property
     def avf(self) -> float:
+        # ClassificationCounts.avf() is 0.0 for an empty histogram, so an
+        # empty fault list yields AVF 0 rather than a division by zero.
         return self.counts.avf()
 
     def describe(self) -> str:
@@ -69,7 +71,14 @@ class ComprehensiveCampaign:
     def run(self, faults: Optional[Iterable[FaultSpec]] = None,
             progress: Optional[ProgressCallback] = None) -> CampaignResult:
         """Inject ``faults`` (default: the full list) and aggregate the outcome."""
-        target: List[FaultSpec] = list(faults) if faults is not None else list(self.fault_list)
+        target: Union[FaultList, Sequence[FaultSpec]]
+        if faults is None:
+            target = self.fault_list
+        elif isinstance(faults, (FaultList, list, tuple)):
+            target = faults
+        else:
+            target = list(faults)
+        total = len(target)
         counts = ClassificationCounts.empty()
         outcomes: Dict[int, FaultEffectClass] = {}
         simulated_cycles = 0
@@ -80,14 +89,14 @@ class ComprehensiveCampaign:
             outcomes[fault.fault_id] = outcome.effect
             simulated_cycles += outcome.result.cycles
             if progress is not None:
-                progress(index + 1, len(target))
+                progress(index + 1, total)
         elapsed = time.perf_counter() - started
         return CampaignResult(
             structure_name=self.fault_list.structure.short_name,
             benchmark_name=self.golden.program.name,
             counts=counts,
             outcomes=outcomes,
-            injections_performed=len(target),
+            injections_performed=total,
             wall_clock_seconds=elapsed,
             simulated_cycles=simulated_cycles,
         )

@@ -1,0 +1,122 @@
+"""Execution engines: serial/process equivalence and progress reporting."""
+
+import pytest
+
+from repro.api import (
+    ProcessPoolEngine,
+    ResultStore,
+    SerialEngine,
+    config_axis,
+    make_engine,
+    sweep,
+)
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure
+
+
+def tiny_sweep():
+    return sweep(
+        ["sha", "qsort"],
+        structures=("RF",),
+        configs=config_axis(registers=(64,)),
+        faults=40,
+        scale=1,
+        seed=0,
+    )
+
+
+def test_sweep_expands_cross_product():
+    specs = sweep(
+        ["sha", "qsort"],
+        structures=("RF", "SQ"),
+        configs=config_axis(registers=(128, 64)),
+        faults=40,
+    )
+    assert len(specs) == 2 * 2 * 2
+    assert len({spec.run_id() for spec in specs}) == len(specs)
+    # Workload-major ordering keeps each workload's campaigns adjacent.
+    assert [spec.workload for spec in specs[:4]] == ["sha"] * 4
+
+
+def test_sweep_rejects_unknown_structure():
+    with pytest.raises(ValueError):
+        sweep(["sha"], structures=("ROB",))
+
+
+def test_config_axis_combinations():
+    assert config_axis() == [MicroarchConfig()]
+    axis = config_axis(registers=(128, 64), sq_entries=(16,))
+    assert len(axis) == 2
+    assert {config.num_phys_int_regs for config in axis} == {128, 64}
+    assert all(config.store_queue_entries == 16 for config in axis)
+
+
+def test_serial_engine_runs_in_order_with_progress():
+    specs = tiny_sweep()
+    events = []
+    outcomes = SerialEngine().run(
+        specs, progress=lambda done, total: events.append((done, total))
+    )
+    assert [outcome.spec for outcome in outcomes] == specs
+    assert events == [(1, 2), (2, 2)]
+
+
+def test_process_engine_matches_serial_bit_for_bit(tmp_path):
+    specs = tiny_sweep()
+    serial = SerialEngine().run(specs)
+    process = ProcessPoolEngine(max_workers=2).run(
+        specs, store=ResultStore(tmp_path / "store")
+    )
+    assert len(process) == len(serial)
+    for left, right in zip(serial, process):
+        assert left.classification_fingerprint() == right.classification_fingerprint()
+
+
+def test_process_engine_persists_to_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    specs = tiny_sweep()
+    events = []
+    ProcessPoolEngine(max_workers=1).run(
+        specs, store=store, progress=lambda done, total: events.append((done, total))
+    )
+    assert sorted(store.run_ids()) == sorted(spec.run_id() for spec in specs)
+    assert events[-1] == (2, 2)
+
+
+def test_process_engine_empty_batch():
+    assert ProcessPoolEngine().run([]) == []
+
+
+def test_serial_engine_honors_store_with_injected_session(tmp_path):
+    from repro.api import Session
+
+    session = Session()
+    store = ResultStore(tmp_path / "store")
+    specs = tiny_sweep()[:1]
+    SerialEngine(session).run(specs, store=store)
+    assert store.run_ids() == [specs[0].run_id()]
+    # The injected session's own (absent) store is restored afterwards.
+    assert session.store is None
+
+
+def test_make_engine():
+    assert isinstance(make_engine("serial"), SerialEngine)
+    assert isinstance(make_engine("process", max_workers=3), ProcessPoolEngine)
+    with pytest.raises(ValueError):
+        make_engine("distributed")
+
+
+def test_store_listing_and_delete(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    specs = tiny_sweep()[:1]
+    outcomes = SerialEngine().run(specs, store=store)
+    run_id = outcomes[0].run_id
+    assert store.run_ids() == [run_id]
+    assert len(store) == 1
+    loaded = list(store)[0]
+    assert loaded.to_dict() == outcomes[0].to_dict()
+    assert store.delete(run_id)
+    assert not store.delete(run_id)
+    assert store.get(run_id) is None
+    with pytest.raises(ValueError):
+        store.has("../escape")

@@ -1,0 +1,99 @@
+"""CampaignSpec identity, validation and serialization."""
+
+import pytest
+
+from repro.api import CampaignSpec, config_from_dict, config_to_dict
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure
+
+
+def make_spec(**overrides):
+    fields = dict(
+        workload="sha",
+        structure=TargetStructure.RF,
+        config=MicroarchConfig().with_register_file(64),
+        scale=1,
+        faults=60,
+        seed=3,
+        method="merlin",
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def test_run_id_is_stable_across_instances():
+    assert make_spec().run_id() == make_spec().run_id()
+
+
+def test_run_id_is_short_hex():
+    run_id = make_spec().run_id()
+    assert len(run_id) == 12
+    int(run_id, 16)  # raises if not hex
+
+
+@pytest.mark.parametrize("change", [
+    {"workload": "qsort"},
+    {"structure": TargetStructure.SQ},
+    {"config": MicroarchConfig().with_register_file(128)},
+    {"scale": 2},
+    {"faults": 61},
+    {"seed": 4},
+    {"method": "both"},
+    {"error_margin": 0.01},
+    {"confidence": 0.95},
+])
+def test_run_id_changes_with_every_field(change):
+    assert make_spec().run_id() != make_spec(**change).run_id()
+
+
+def test_dict_round_trip_preserves_spec_and_identity():
+    spec = make_spec(method="both")
+    restored = CampaignSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert restored.run_id() == spec.run_id()
+
+
+def test_from_dict_tolerates_missing_optionals():
+    spec = CampaignSpec.from_dict({"workload": "sha"})
+    assert spec.structure is TargetStructure.RF
+    assert spec.config == MicroarchConfig()
+    assert spec.method == "merlin"
+
+
+def test_config_round_trip():
+    config = MicroarchConfig().with_store_queue(16).with_l1d(16)
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        make_spec(method="exhaustive")
+    with pytest.raises(ValueError):
+        make_spec(faults=0)
+    with pytest.raises(ValueError):
+        make_spec(workload="")
+    with pytest.raises(ValueError):
+        make_spec(error_margin=1.5)
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict({"workload": "sha", "structure": "ROB"})
+
+
+def test_golden_key_ignores_structure_and_budget():
+    rf = make_spec(structure=TargetStructure.RF, faults=60)
+    sq = make_spec(structure=TargetStructure.SQ, faults=90)
+    assert rf.golden_key() == sq.golden_key()
+    assert rf.fault_list_key() != sq.fault_list_key()
+
+
+def test_fault_list_key_ignores_method():
+    merlin = make_spec(method="merlin")
+    both = make_spec(method="both")
+    assert merlin.fault_list_key() == both.fault_list_key()
+    assert merlin.run_id() != both.run_id()
+
+
+def test_replace_returns_updated_copy():
+    spec = make_spec()
+    other = spec.replace(seed=99)
+    assert other.seed == 99
+    assert spec.seed == 3
