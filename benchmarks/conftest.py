@@ -5,6 +5,9 @@ scale and prints the same rows/series the paper reports; pytest-benchmark
 times the regeneration.  The experiment context is session-scoped so that
 figures sharing golden runs and injection campaigns (e.g. the accuracy
 figures 14/15/16) do not re-simulate.
+
+Reference programs and golden-run/fault-list helpers are shared with the
+test suite through :mod:`repro.testing` rather than duplicated here.
 """
 
 from __future__ import annotations
@@ -35,6 +38,11 @@ BENCH_SCALE = ExperimentScale(
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     return ExperimentContext(BENCH_SCALE)
+
+
+#: Golden-run length used by the checkpoint speedup benchmark: long enough
+#: that fast-forwarding matters, short enough for a 1k-fault campaign.
+CHECKPOINT_BENCH_ITERATIONS = 60
 
 
 def run_and_print(benchmark, run_callable, *args, **kwargs):

@@ -11,9 +11,11 @@ This package is the one true entry point for running injection campaigns:
     Resolves specs into programs, golden runs and fault lists — shared by
     identity across campaigns — runs them, and persists/reloads outcomes
     through a :class:`ResultStore`.
-:class:`SerialEngine` / :class:`ProcessPoolEngine`
+:class:`SerialEngine` / :class:`ProcessPoolEngine` / :class:`CheckpointEngine`
     Pluggable :class:`ExecutionEngine` implementations that run spec
-    batches in-process or fanned out across cores, with progress hooks.
+    batches in-process, fanned out across cores, or serially with
+    checkpoint fast-forwarded injection runs — all with progress hooks
+    and bit-identical outcomes.
 :func:`sweep`
     Expands workloads x structures x configurations cross-products into
     spec lists for design-space exploration.
@@ -31,6 +33,7 @@ Quickstart::
 
 from repro.api.engine import (
     ENGINES,
+    CheckpointEngine,
     ExecutionEngine,
     ProcessPoolEngine,
     SerialEngine,
@@ -46,6 +49,7 @@ __all__ = [
     "CampaignExecution",
     "CampaignOutcome",
     "CampaignSpec",
+    "CheckpointEngine",
     "ComprehensiveSummary",
     "ENGINES",
     "ExecutionEngine",

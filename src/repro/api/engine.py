@@ -8,8 +8,12 @@ specs that share a golden run or fault list pay for it once);
 worker rebuilds its state from the spec alone, which is exactly what the
 deterministic run identity guarantees is possible, so results are
 bit-identical to the serial engine's modulo wall-clock timings.
+:class:`CheckpointEngine` runs serially through a *checkpointing* session:
+injection runs fast-forward from golden-run machine-state checkpoints
+instead of cold-starting at cycle 0 (see :mod:`repro.uarch.checkpoint`),
+again with bit-identical outcomes.
 
-Both engines report through the same progress hook: ``progress(done,
+All engines report through the same progress hook: ``progress(done,
 total)`` fires as campaigns complete.
 """
 
@@ -46,13 +50,17 @@ class SerialEngine:
     def __init__(self, session: Optional[Session] = None):
         self.session = session
 
+    def _session_for(self, store: Optional[ResultStore]) -> Session:
+        """The session this run uses (subclasses configure it differently)."""
+        return self.session if self.session is not None else Session(store=store)
+
     def run(
         self,
         specs: Sequence[CampaignSpec],
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
     ) -> List[CampaignOutcome]:
-        session = self.session if self.session is not None else Session(store=store)
+        session = self._session_for(store)
         # An explicit store must win even over an injected session's own,
         # so swapping engines never silently changes where results land.
         previous_store = session.store
@@ -68,6 +76,60 @@ class SerialEngine:
             return outcomes
         finally:
             session.store = previous_store
+
+
+class CheckpointEngine(SerialEngine):
+    """Serial execution with checkpoint fast-forwarded injection runs.
+
+    Golden runs capture a machine-state checkpoint timeline; every
+    injection run restores the nearest checkpoint at-or-before its fault's
+    cycle and simulates only the tail, ending early when the faulty state
+    reconverges exactly onto a later golden checkpoint.  Outcomes are
+    bit-identical to :class:`SerialEngine`'s — only wall clock changes.
+
+    ``checkpoint_interval`` tunes the snapshot spacing in cycles; the
+    default spreads ~32 checkpoints evenly over each golden run.  Smaller
+    intervals shorten the re-simulated tail but cost more snapshot memory
+    and capture time (see README, "Engines").
+    """
+
+    name = "checkpoint"
+
+    def __init__(self, session: Optional[Session] = None,
+                 checkpoint_interval: Optional[int] = None):
+        super().__init__(session)
+        self.checkpoint_interval = checkpoint_interval
+
+    def _session_for(self, store: Optional[ResultStore]) -> Session:
+        if self.session is not None:
+            return self.session
+        return Session(
+            store=store,
+            checkpointing=True,
+            checkpoint_interval=self.checkpoint_interval,
+        )
+
+    def run(
+        self,
+        specs: Sequence[CampaignSpec],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[CampaignOutcome]:
+        if self.session is None:
+            # _session_for builds a checkpointing session per run.
+            return super().run(specs, store=store, progress=progress)
+        # Like SerialEngine's store handling: configure an *injected*
+        # session for this run only, so swapping engines never silently
+        # changes how a shared session executes later batches.
+        session = self.session
+        previous = (session.checkpointing, session.checkpoint_interval)
+        session.checkpointing = True
+        if self.checkpoint_interval is not None:
+            session.checkpoint_interval = self.checkpoint_interval
+        try:
+            return super().run(specs, store=store, progress=progress)
+        finally:
+            session.checkpointing, session.checkpoint_interval = previous
 
 
 def _run_spec_worker(spec_dict: Dict[str, Any], store_dir: Optional[str]) -> Dict[str, Any]:
@@ -113,25 +175,52 @@ class ProcessPoolEngine:
                 pool.submit(_run_spec_worker, spec.to_dict(), store_dir): index
                 for index, spec in enumerate(specs)
             }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = pending.pop(future)
-                    outcomes[index] = CampaignOutcome.from_dict(future.result())
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
+            try:
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = pending.pop(future)
+                        try:
+                            payload = future.result()
+                        except Exception as failure:
+                            # A worker failure must surface immediately —
+                            # not hang the pool or silently drop faults.
+                            raise RuntimeError(
+                                f"campaign {specs[index].describe()} failed "
+                                f"in a worker process: {failure!r}"
+                            ) from failure
+                        outcomes[index] = CampaignOutcome.from_dict(payload)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
+            except BaseException:
+                # Don't wait for queued work once one campaign has failed.
+                for future in pending:
+                    future.cancel()
+                raise
         return [outcome for outcome in outcomes if outcome is not None]
 
 
 #: Engine names accepted by the CLI's ``--engine`` flag.
-ENGINES = ("serial", "process")
+ENGINES = ("serial", "process", "checkpoint")
 
 
-def make_engine(name: str, max_workers: Optional[int] = None) -> ExecutionEngine:
+def make_engine(name: str, max_workers: Optional[int] = None,
+                checkpoint_interval: Optional[int] = None) -> ExecutionEngine:
     """Build an engine by CLI name."""
+    if checkpoint_interval is not None and name != "checkpoint":
+        raise ValueError(
+            f"checkpoint_interval only applies to the checkpoint engine, "
+            f"not {name!r}"
+        )
+    if checkpoint_interval is not None and checkpoint_interval < 1:
+        raise ValueError(
+            f"checkpoint_interval must be >= 1 cycle, got {checkpoint_interval}"
+        )
     if name == "serial":
         return SerialEngine()
     if name == "process":
         return ProcessPoolEngine(max_workers=max_workers)
+    if name == "checkpoint":
+        return CheckpointEngine(checkpoint_interval=checkpoint_interval)
     raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")

@@ -37,6 +37,7 @@ from repro.faults.campaign import (
     ProgressCallback,
 )
 from repro.faults.golden import GoldenRecord, capture_golden
+from repro.uarch.checkpoint import DEFAULT_INTERVAL
 from repro.faults.model import FaultList
 from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
@@ -53,10 +54,15 @@ class PreparedCampaign:
     golden: GoldenRecord
     geometry: StructureGeometry
     fault_list: FaultList
+    #: Fast-forward injection runs from golden checkpoints (set by
+    #: checkpointing sessions; outcomes stay bit-identical).
+    use_checkpoints: bool = False
 
     def comprehensive_campaign(self) -> ComprehensiveCampaign:
         """A baseline campaign over the shared golden run and fault list."""
-        return ComprehensiveCampaign(self.golden, self.fault_list)
+        return ComprehensiveCampaign(
+            self.golden, self.fault_list, use_checkpoints=self.use_checkpoints
+        )
 
     def merlin_campaign(
         self, baseline: Optional[ComprehensiveCampaign] = None
@@ -71,6 +77,7 @@ class PreparedCampaign:
                 error_margin=self.spec.error_margin,
                 confidence=self.spec.confidence,
                 seed=self.spec.seed,
+                use_checkpoints=self.use_checkpoints,
             ),
             golden=self.golden,
             baseline=baseline,
@@ -103,10 +110,23 @@ class CampaignExecution:
 
 
 class Session:
-    """Resolve campaign specs, share state by identity, and run campaigns."""
+    """Resolve campaign specs, share state by identity, and run campaigns.
 
-    def __init__(self, store: Optional[ResultStore] = None):
+    ``checkpointing`` switches every campaign this session runs onto the
+    checkpoint fast-forward engine: golden runs additionally capture a
+    :class:`~repro.uarch.checkpoint.CheckpointTimeline` (lazily, verified
+    against the recorded golden result), and injection runs restore from
+    it instead of cold-starting.  Outcomes are bit-identical either way.
+    ``checkpoint_interval`` overrides the snapshot spacing in cycles
+    (default: spread ~32 checkpoints evenly over the golden run).
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 checkpointing: bool = False,
+                 checkpoint_interval: Optional[int] = None):
         self.store = store
+        self.checkpointing = checkpointing
+        self.checkpoint_interval = checkpoint_interval
         self._custom_programs: Dict[str, Program] = {}
         self._programs: Dict[Tuple, Program] = {}
         self._goldens: Dict[Tuple, GoldenRecord] = {}
@@ -154,8 +174,23 @@ class Session:
         key = spec.golden_key()
         if key not in self._goldens:
             program = self.program(spec.workload, spec.scale)
-            self._goldens[key] = capture_golden(program, spec.config, trace=True)
-        return self._goldens[key]
+            # A checkpointing session captures the timeline inline during
+            # the one profiling run (the self-thinning timeline handles
+            # the unknown run length), avoiding a second full simulation.
+            interval = None
+            if self.checkpointing:
+                interval = (self.checkpoint_interval
+                            if self.checkpoint_interval is not None
+                            else DEFAULT_INTERVAL)
+            self._goldens[key] = capture_golden(
+                program, spec.config, trace=True, checkpoint_interval=interval
+            )
+        golden = self._goldens[key]
+        if self.checkpointing and golden.checkpoints is None:
+            # A golden captured earlier by a non-checkpointing run of this
+            # session: add the timeline lazily (one replay, memoised).
+            golden.ensure_checkpoints(self.checkpoint_interval)
+        return golden
 
     def fault_list(self, spec: CampaignSpec) -> FaultList:
         """The initial statistical fault list for the spec (memoised)."""
@@ -184,6 +219,7 @@ class Session:
             golden=self.golden(spec),
             geometry=structure_geometry(spec.structure, spec.config),
             fault_list=self.fault_list(spec),
+            use_checkpoints=self.checkpointing,
         )
 
     def execute(

@@ -28,7 +28,6 @@ from repro.api import (
     CampaignSpec,
     ENGINES,
     ResultStore,
-    Session,
     config_axis,
     make_engine,
     sweep,
@@ -116,8 +115,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         method=method,
     )
-    session = Session(store=_store_from(args))
-    outcome = session.run(spec)
+    engine = make_engine(args.engine, checkpoint_interval=args.checkpoint_interval)
+    outcome = engine.run([spec], store=_store_from(args))[0]
     if args.json:
         _emit_json(outcome.to_dict())
         return 0
@@ -158,7 +157,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workloads, structures, configs,
         faults=args.faults, seed=args.seed, scale=args.scale, method=args.method,
     )
-    engine = make_engine(args.engine, max_workers=args.workers)
+    engine = make_engine(args.engine, max_workers=args.workers,
+                         checkpoint_interval=args.checkpoint_interval)
     progress = None
     if not args.json:
         def progress(done: int, total: int) -> None:
@@ -269,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--baseline", action="store_true",
                             help="also run the comprehensive campaign "
                                  "(shorthand for --method both)")
+    run_parser.add_argument("--engine", default="serial", choices=list(ENGINES),
+                            help="execution engine: serial cold-start, "
+                                 "process fan-out, or checkpoint "
+                                 "fast-forward (default serial)")
+    run_parser.add_argument("--checkpoint-interval", type=int, default=None,
+                            metavar="CYCLES",
+                            help="checkpoint engine snapshot spacing "
+                                 "(default: ~32 checkpoints per golden run)")
     _add_common_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -293,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="execution engine (default serial)")
     sweep_parser.add_argument("--workers", type=int, default=None,
                               help="process-engine worker count (default: cores)")
+    sweep_parser.add_argument("--checkpoint-interval", type=int, default=None,
+                              metavar="CYCLES",
+                              help="checkpoint engine snapshot spacing "
+                                   "(default: ~32 checkpoints per golden run)")
     _add_common_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 

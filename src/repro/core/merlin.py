@@ -18,7 +18,11 @@ from typing import Dict, Optional
 
 from repro.core.grouping import GroupedFaults, group_faults
 from repro.core.intervals import IntervalSet, build_interval_set
-from repro.faults.campaign import ComprehensiveCampaign, ProgressCallback
+from repro.faults.campaign import (
+    ComprehensiveCampaign,
+    ProgressCallback,
+    schedule_by_checkpoint,
+)
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord, capture_golden
 from repro.faults.injector import inject_fault
@@ -26,6 +30,7 @@ from repro.faults.model import FaultList
 from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
 from repro.uarch.config import MicroarchConfig
+from repro.uarch.pipeline import OutOfOrderCpu
 from repro.uarch.structures import TargetStructure, structure_geometry
 
 
@@ -39,6 +44,9 @@ class MerlinConfig:
     confidence: float = 0.998
     seed: int = 0
     simpoint_mode: bool = False
+    #: Fast-forward representative injections from golden checkpoints
+    #: (cycle-sorted; bit-identical outcomes, shorter wall clock).
+    use_checkpoints: bool = False
 
 
 @dataclass
@@ -166,18 +174,44 @@ class MerlinCampaign:
         counts_final = ClassificationCounts.empty()
         counts_after_ace = ClassificationCounts.empty()
         injections = 0
-        planned = sum(1 for group in grouped.groups if group.representative is not None)
+        injection_groups = [
+            group for group in grouped.groups if group.representative is not None
+        ]
+        planned = len(injection_groups)
 
-        for group in grouped.groups:
+        use_checkpoints = self.merlin_config.use_checkpoints
+        reuse_cpu = None
+        schedule = [(group, None) for group in injection_groups]
+        if use_checkpoints and self._baseline is None:
+            # The comprehensive campaign's cycle-sorted scheduler, applied
+            # to the representatives: injections sharing a golden
+            # checkpoint run back to back with the restore point resolved
+            # once per batch, restoring into one pooled CPU (a restore
+            # resets all machine state, so reuse is exact).  Aggregation
+            # is order-insensitive.
+            timeline = self.golden.ensure_checkpoints()
+            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
+            group_of = {
+                group.representative.fault_id: group for group in injection_groups
+            }
+            representatives = [group.representative for group in injection_groups]
+            schedule = [
+                (group_of[fault.fault_id], batch.checkpoint)
+                for batch in schedule_by_checkpoint(representatives, timeline)
+                for fault in batch.faults
+            ]
+
+        for group, checkpoint in schedule:
             representative = group.representative
-            if representative is None:
-                continue
             if self._baseline is not None:
                 outcome = self._baseline.run_fault(representative)
             else:
                 outcome = inject_fault(
                     self.golden, representative,
                     simpoint_mode=self.merlin_config.simpoint_mode,
+                    fast_forward=use_checkpoints,
+                    checkpoint=checkpoint,
+                    reuse_cpu=reuse_cpu,
                 )
             injections += 1
             if progress is not None:

@@ -11,15 +11,50 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord
 from repro.faults.injector import InjectionOutcome, inject_fault
 from repro.faults.model import FaultList, FaultSpec
+from repro.uarch.checkpoint import CheckpointTimeline, CpuState
+from repro.uarch.pipeline import OutOfOrderCpu
 
 #: Optional progress callback: (faults done, faults total).
 ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class CheckpointBatch:
+    """A run of cycle-adjacent faults sharing one fast-forward checkpoint."""
+
+    checkpoint: Optional[CpuState]
+    faults: List[FaultSpec] = field(default_factory=list)
+
+
+def schedule_by_checkpoint(
+    faults: Iterable[FaultSpec],
+    timeline: Optional[CheckpointTimeline],
+) -> List[CheckpointBatch]:
+    """Cycle-sort ``faults`` and batch those sharing a restore checkpoint.
+
+    Sorting by injection cycle makes faults that fast-forward from the
+    same golden checkpoint adjacent, so the campaign looks the checkpoint
+    up once per batch (one warm restore source shared by the whole batch)
+    instead of once per fault.  Faults earlier than the first checkpoint
+    form a leading cold-start batch (``checkpoint is None``).
+    """
+    ordered = sorted(faults, key=lambda fault: (fault.cycle, fault.fault_id))
+    batches: List[CheckpointBatch] = []
+    current_key: Tuple = ()
+    for fault in ordered:
+        checkpoint = timeline.nearest(fault.cycle) if timeline is not None else None
+        key = (checkpoint.cycle if checkpoint is not None else None,)
+        if not batches or key != current_key:
+            batches.append(CheckpointBatch(checkpoint=checkpoint))
+            current_key = key
+        batches[-1].faults.append(fault)
+    return batches
 
 
 @dataclass
@@ -49,22 +84,45 @@ class CampaignResult:
 
 
 class ComprehensiveCampaign:
-    """Inject every fault of a fault list and classify each outcome."""
+    """Inject every fault of a fault list and classify each outcome.
+
+    ``use_checkpoints`` switches the campaign onto the fast-forward path:
+    the golden run's checkpoint timeline is (lazily) captured, faults are
+    injected in cycle order batched by shared checkpoint
+    (:func:`schedule_by_checkpoint`), and each run restores golden state
+    instead of cold-starting.  Classification outcomes are bit-identical
+    either way; only the wall clock changes.
+    """
 
     def __init__(self, golden: GoldenRecord, fault_list: FaultList,
-                 simpoint_mode: bool = False):
+                 simpoint_mode: bool = False, use_checkpoints: bool = False):
         self.golden = golden
         self.fault_list = fault_list
         self.simpoint_mode = simpoint_mode
+        self.use_checkpoints = use_checkpoints
         self._outcome_cache: Dict[int, InjectionOutcome] = {}
 
     # ------------------------------------------------------------------
-    def run_fault(self, fault: FaultSpec) -> InjectionOutcome:
-        """Inject a single fault (memoised by fault id)."""
+    def run_fault(self, fault: FaultSpec,
+                  checkpoint: Optional[CpuState] = None,
+                  reuse_cpu=None) -> InjectionOutcome:
+        """Inject a single fault (memoised by fault id).
+
+        ``checkpoint`` is the scheduler's pre-resolved restore point for
+        cycle-sorted batches and ``reuse_cpu`` the campaign's pooled CPU
+        object; without them the injector looks the nearest checkpoint up
+        itself and constructs a fresh CPU.
+        """
         cached = self._outcome_cache.get(fault.fault_id)
         if cached is not None:
             return cached
-        outcome = inject_fault(self.golden, fault, simpoint_mode=self.simpoint_mode)
+        outcome = inject_fault(
+            self.golden, fault,
+            simpoint_mode=self.simpoint_mode,
+            fast_forward=self.use_checkpoints,
+            checkpoint=checkpoint,
+            reuse_cpu=reuse_cpu,
+        )
         self._outcome_cache[fault.fault_id] = outcome
         return outcome
 
@@ -83,13 +141,22 @@ class ComprehensiveCampaign:
         outcomes: Dict[int, FaultEffectClass] = {}
         simulated_cycles = 0
         started = time.perf_counter()
-        for index, fault in enumerate(target):
-            outcome = self.run_fault(fault)
+        done = 0
+        reuse_cpu = None
+        if self.use_checkpoints:
+            # One pooled CPU restored per fault: a checkpoint restore
+            # resets all machine state, so reuse is exact and saves the
+            # per-fault construction cost.
+            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
+        for fault, checkpoint in self._schedule(target):
+            outcome = self.run_fault(fault, checkpoint=checkpoint,
+                                     reuse_cpu=reuse_cpu)
             counts.add(outcome.effect)
             outcomes[fault.fault_id] = outcome.effect
             simulated_cycles += outcome.result.cycles
+            done += 1
             if progress is not None:
-                progress(index + 1, total)
+                progress(done, total)
         elapsed = time.perf_counter() - started
         return CampaignResult(
             structure_name=self.fault_list.structure.short_name,
@@ -100,6 +167,23 @@ class ComprehensiveCampaign:
             wall_clock_seconds=elapsed,
             simulated_cycles=simulated_cycles,
         )
+
+    # ------------------------------------------------------------------
+    def _schedule(self, target) -> Iterable[Tuple[FaultSpec, Optional[CpuState]]]:
+        """Yield (fault, restore checkpoint) pairs in injection order.
+
+        The cold path preserves the fault list's own order; the checkpoint
+        path yields cycle-sorted batches so faults sharing a restore point
+        run back to back.  Aggregated results are order-insensitive.
+        """
+        if not self.use_checkpoints:
+            for fault in target:
+                yield fault, None
+            return
+        timeline = self.golden.ensure_checkpoints()
+        for batch in schedule_by_checkpoint(target, timeline):
+            for fault in batch.faults:
+                yield fault, batch.checkpoint
 
     # ------------------------------------------------------------------
     def cached_outcomes(self) -> Dict[int, InjectionOutcome]:

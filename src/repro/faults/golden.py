@@ -1,10 +1,12 @@
 """Golden-run capture.
 
-The golden (fault-free) run serves two purposes: it is the reference the
-injection outcomes are compared against, and — when tracing is enabled — it
-is MeRLiN's profiling run that records the structure accesses from which
-the ACE-like vulnerable intervals are built (a single run for both, exactly
-as in the paper's Preprocessing phase).
+The golden (fault-free) run serves three purposes: it is the reference the
+injection outcomes are compared against; when tracing is enabled it is
+MeRLiN's profiling run that records the structure accesses from which the
+ACE-like vulnerable intervals are built (a single run for both, exactly as
+in the paper's Preprocessing phase); and — when checkpointing is enabled —
+it supplies the :class:`~repro.uarch.checkpoint.CheckpointTimeline` that
+injection runs restore from to skip re-simulating the fault-free prefix.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.isa.program import Program
+from repro.uarch.checkpoint import CheckpointTimeline, DEFAULT_MAX_CHECKPOINTS
 from repro.uarch.config import MicroarchConfig
 from repro.uarch.pipeline import OutOfOrderCpu, SimulationResult, TerminationKind
 from repro.uarch.trace import AccessTracer
@@ -29,6 +32,12 @@ class GoldenRecord:
     #: Committed macro-instruction log (rip, commit cycle); populated when
     #: tracing is enabled, used by the Relyzer control-equivalence baseline.
     commit_log: List[Tuple[int, int]] = field(default_factory=list)
+    #: Machine-state checkpoints for fast-forwarded injection runs; absent
+    #: until captured inline or via :meth:`ensure_checkpoints`.
+    checkpoints: Optional[CheckpointTimeline] = None
+    #: The instruction budget the golden run was captured with, so
+    #: :meth:`ensure_checkpoints` can replay the identical run.
+    max_instructions: Optional[int] = None
 
     @property
     def cycles(self) -> int:
@@ -42,6 +51,45 @@ class GoldenRecord:
         """Cycle budget after which an injection run is declared a timeout."""
         return self.result.cycles * factor
 
+    # ------------------------------------------------------------------
+    # Checkpoint access
+    # ------------------------------------------------------------------
+    def ensure_checkpoints(
+        self,
+        interval: Optional[int] = None,
+        max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+    ) -> CheckpointTimeline:
+        """Capture the checkpoint timeline, replaying the golden run if needed.
+
+        The replay runs untraced (tracing does not influence simulation
+        dynamics) and is verified to reproduce the recorded golden result
+        bit for bit before the checkpoints are accepted.  ``interval``
+        defaults to roughly ``cycles / max_checkpoints``, spreading the
+        snapshots evenly over the run.  Idempotent: an already-captured
+        timeline is returned as is — including an *empty* one (a run
+        shorter than its checkpoint interval), which would otherwise
+        trigger a futile full replay on every call.
+        """
+        if self.checkpoints is not None:
+            return self.checkpoints
+        if interval is None:
+            interval = max(16, self.cycles // max_checkpoints)
+        timeline = CheckpointTimeline(interval, max_checkpoints)
+        cpu = OutOfOrderCpu(self.program, self.config)
+        replay = cpu.run(
+            max_cycles=self.cycles + 2,
+            max_instructions=self.max_instructions,
+            cycle_hook=timeline.observe,
+        )
+        if replay != self.result:
+            raise RuntimeError(
+                f"checkpoint replay of {self.program.name!r} diverged from the "
+                f"golden run ({replay.termination.value} at cycle {replay.cycles} "
+                f"vs {self.result.termination.value} at cycle {self.result.cycles})"
+            )
+        self.checkpoints = timeline
+        return timeline
+
 
 def capture_golden(
     program: Program,
@@ -49,8 +97,15 @@ def capture_golden(
     trace: bool = True,
     max_cycles: int = 5_000_000,
     max_instructions: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
 ) -> GoldenRecord:
     """Run ``program`` fault-free and capture its architectural outcome.
+
+    ``checkpoint_interval`` (if given) snapshots the machine state every
+    that many cycles during this same run, enabling fast-forwarded
+    injection; leave it ``None`` to skip the snapshot cost (checkpoints can
+    still be added later with :meth:`GoldenRecord.ensure_checkpoints`).
 
     Raises ``RuntimeError`` if the fault-free run does not terminate
     normally — a broken workload would silently poison every reliability
@@ -58,8 +113,15 @@ def capture_golden(
     """
     config = config or MicroarchConfig()
     tracer = AccessTracer(enabled=trace)
+    timeline: Optional[CheckpointTimeline] = None
+    if checkpoint_interval is not None:
+        timeline = CheckpointTimeline(checkpoint_interval, max_checkpoints)
     cpu = OutOfOrderCpu(program, config, tracer=tracer)
-    result = cpu.run(max_cycles=max_cycles, max_instructions=max_instructions)
+    result = cpu.run(
+        max_cycles=max_cycles,
+        max_instructions=max_instructions,
+        cycle_hook=timeline.observe if timeline is not None else None,
+    )
     acceptable = (TerminationKind.HALTED, TerminationKind.INTERVAL_END)
     if result.termination not in acceptable:
         raise RuntimeError(
@@ -72,4 +134,6 @@ def capture_golden(
         result=result,
         tracer=tracer if trace else None,
         commit_log=list(cpu.commit_log),
+        checkpoints=timeline,
+        max_instructions=max_instructions,
     )

@@ -14,6 +14,7 @@ from repro.faults.classification import (
 )
 from repro.faults.golden import GoldenRecord
 from repro.faults.model import FaultSpec
+from repro.uarch.checkpoint import CpuState, make_reconvergence_hook
 from repro.uarch.pipeline import OutOfOrderCpu, SimulationResult, TerminationKind
 from repro.uarch.stats import SimStats
 
@@ -46,6 +47,9 @@ def inject_fault(
     golden: GoldenRecord,
     fault: FaultSpec,
     simpoint_mode: bool = False,
+    fast_forward: bool = False,
+    checkpoint: Optional[CpuState] = None,
+    reuse_cpu: Optional[OutOfOrderCpu] = None,
 ) -> InjectionOutcome:
     """Run the workload with ``fault`` injected and classify the outcome.
 
@@ -53,14 +57,42 @@ def inject_fault(
     instruction count is reached and classifies with the reduced taxonomy of
     Section 4.4.3.4 (in addition to the full taxonomy, which is then based
     on the state observed at the interval end).
+
+    ``fast_forward`` enables the checkpoint engine: the run restores the
+    nearest golden checkpoint at-or-before the injection cycle instead of
+    cold-simulating from cycle 0, and ends early with the golden result if
+    the faulty state reconverges exactly onto a later golden checkpoint.
+    Both paths are bit-identical in classification and in every
+    :class:`SimulationResult` field (enforced by the differential harness
+    in ``tests/integration/test_checkpoint_equivalence.py``).
+    ``checkpoint`` lets a cycle-sorted campaign scheduler pass a pre-looked
+    -up checkpoint shared by a batch of faults, and ``reuse_cpu`` a pooled
+    CPU object to restore into (a checkpoint restore resets *all* machine
+    state, so reuse is exact; only used when a restore actually happens).
     """
     plan_cycle, flip = fault.as_plan_entry()
     fault_plan = {plan_cycle: [flip]}
     max_cycles = max(golden.timeout_cycles(TIMEOUT_FACTOR), fault.cycle + 1)
     max_instructions = golden.committed_instructions if simpoint_mode else None
+    timeline = golden.checkpoints if fast_forward else None
     try:
-        cpu = OutOfOrderCpu(golden.program, golden.config, fault_plan=fault_plan)
-        result = cpu.run(max_cycles=max_cycles, max_instructions=max_instructions)
+        cycle_hook = None
+        start = None
+        if timeline is not None and len(timeline):
+            start = checkpoint if checkpoint is not None else timeline.nearest(fault.cycle)
+            cycle_hook = make_reconvergence_hook(timeline, fault, golden.result)
+        if start is not None and reuse_cpu is not None:
+            cpu = reuse_cpu
+            cpu.fault_plan = fault_plan
+        else:
+            cpu = OutOfOrderCpu(golden.program, golden.config, fault_plan=fault_plan)
+        if start is not None:
+            cpu.restore(start)
+        result = cpu.run(
+            max_cycles=max_cycles,
+            max_instructions=max_instructions,
+            cycle_hook=cycle_hook,
+        )
     except Exception as failure:  # noqa: BLE001 - any escape is a simulator crash
         result = _simulator_crash_result(golden, repr(failure))
 

@@ -61,6 +61,24 @@ class MemoryImage:
         return clone
 
     # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, Dict[int, int]]:
+        """Capture the memory delta (word dictionary) for a checkpoint.
+
+        Snapshot/restore contract: the returned value is an independent,
+        picklable copy of every bit of state that can influence future
+        simulation, and snapshots taken from two simulations compare equal
+        (``==``) iff the memories are bit-identical.
+        """
+        return self.heap_end, dict(self._words)
+
+    def restore(self, state: Tuple[int, Dict[int, int]]) -> None:
+        """Restore the image in place from a :meth:`snapshot` value."""
+        self.heap_end, words = state
+        self._words = dict(words)
+
+    # ------------------------------------------------------------------
     # Region classification
     # ------------------------------------------------------------------
     def classify_access(self, address: int, size: int) -> AccessClass:

@@ -1,0 +1,122 @@
+"""Shared helpers for the test suite and the benchmark harness.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` used to carry their
+own copies of the small reference programs and of ad-hoc golden-run /
+fault-list plumbing; this module is the single home for those so both
+harnesses (and interactive exploration) build the exact same inputs.
+
+Golden runs and fault lists are memoised by their defining parameters —
+capturing a golden run costs a full cycle-level simulation, and many tests
+want the same one.  The cached :class:`~repro.faults.golden.GoldenRecord`
+objects are shared: treat them as read-only reference state (attaching a
+checkpoint timeline via ``ensure_checkpoints`` is fine — it is idempotent
+and does not perturb results).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.faults.golden import GoldenRecord, capture_golden
+from repro.faults.model import FaultList
+from repro.faults.sampling import generate_fault_list
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.isa.registers import Reg as R
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+__all__ = [
+    "build_loop_program",
+    "build_call_program",
+    "small_config",
+    "shared_loop_golden",
+    "shared_fault_list",
+]
+
+
+def build_loop_program(iterations: int = 30, name: str = "loop") -> Program:
+    """A small loop that loads, multiplies, stores and accumulates.
+
+    Shared by many microarchitecture and fault-injection tests: it exercises
+    the register file, the store queue and the L1D while staying only a few
+    hundred cycles long.
+    """
+    b = ProgramBuilder(name)
+    source = b.alloc_words("source", [(i * 7 + 3) % 101 for i in range(iterations)])
+    sink = b.alloc_space("sink", 8 * iterations)
+    b.movi(R.RDI, source)
+    b.movi(R.RSI, sink)
+    b.movi(R.RAX, 0)
+    b.movi(R.RCX, 0)
+    b.label("loop")
+    b.load(R.RDX, R.RDI, 0)
+    b.mul(R.RDX, R.RDX, 3)
+    b.add(R.RAX, R.RAX, R.RDX)
+    b.store(R.RDX, R.RSI, 0)
+    b.add(R.RAX, R.RAX, (R.RSI, 0))
+    b.add(R.RDI, R.RDI, 8)
+    b.add(R.RSI, R.RSI, 8)
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, iterations, "loop")
+    b.out(R.RAX)
+    b.halt()
+    return b.build()
+
+
+def build_call_program(calls: int = 10, name: str = "calls") -> Program:
+    """A program dominated by CALL/RET pairs (return-address stack traffic)."""
+    b = ProgramBuilder(name)
+    b.movi(R.RAX, 1)
+    b.movi(R.RCX, 0)
+    b.label("loop")
+    b.call("twice")
+    b.add(R.RCX, R.RCX, 1)
+    b.blt(R.RCX, calls, "loop")
+    b.out(R.RAX)
+    b.halt()
+    b.label("twice")
+    b.add(R.RAX, R.RAX, R.RAX)
+    b.and_(R.RAX, R.RAX, 0xFFFF)
+    b.ret()
+    return b.build()
+
+
+def small_config() -> MicroarchConfig:
+    """A configuration with small structures (fast, stresses resource limits)."""
+    return MicroarchConfig().with_register_file(64).with_store_queue(16).with_l1d(16)
+
+
+@lru_cache(maxsize=16)
+def shared_loop_golden(
+    iterations: int = 30,
+    config: Optional[MicroarchConfig] = None,
+    trace: bool = True,
+) -> GoldenRecord:
+    """A memoised golden run of :func:`build_loop_program`.
+
+    One cycle-level simulation per distinct (iterations, config, trace)
+    triple, shared across every test and benchmark that asks for it.
+    """
+    return capture_golden(
+        build_loop_program(iterations=iterations),
+        config if config is not None else small_config(),
+        trace=trace,
+    )
+
+
+def shared_fault_list(
+    golden: GoldenRecord,
+    structure: TargetStructure = TargetStructure.RF,
+    sample_size: int = 200,
+    seed: int = 0,
+) -> FaultList:
+    """A statistical fault list drawn against ``golden``'s geometry/length."""
+    geometry = structure_geometry(structure, golden.config)
+    return generate_fault_list(
+        geometry,
+        total_cycles=golden.cycles,
+        sample_size=sample_size,
+        seed=seed,
+    )

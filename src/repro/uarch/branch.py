@@ -91,6 +91,31 @@ class TournamentPredictor:
             self._global_table[global_idx], taken
         )
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple:
+        """Capture all pattern tables and the global history register.
+
+        (Named ``snapshot_state`` because :meth:`snapshot_history` already
+        names the per-branch history checkpoint used on squashes.)
+        Snapshot/restore contract: immutable, picklable, ``==`` iff the
+        predictors are bit-identical.
+        """
+        return (
+            tuple(self._local_table),
+            tuple(self._global_table),
+            tuple(self._chooser),
+            self.global_history,
+        )
+
+    def restore_state(self, state: Tuple) -> None:
+        """Restore the predictor in place from a :meth:`snapshot_state` value."""
+        local, global_, chooser, self.global_history = state
+        self._local_table = list(local)
+        self._global_table = list(global_)
+        self._chooser = list(chooser)
+
 
 class BranchTargetBuffer:
     """Direct-mapped BTB storing predicted targets for indirect control flow."""
@@ -115,6 +140,19 @@ class BranchTargetBuffer:
         idx = self._index(rip)
         self._tags[idx] = rip
         self._targets[idx] = target
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture tags and targets (immutable, picklable, exact)."""
+        return tuple(self._tags), tuple(self._targets)
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the BTB in place from a :meth:`snapshot` value."""
+        tags, targets = state
+        self._tags = list(tags)
+        self._targets = list(targets)
 
 
 class BranchUnit:
@@ -145,3 +183,16 @@ class BranchUnit:
         # Direct unconditional jump or call: target statically known.
         assert static_target is not None
         return static_target, True, history
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture predictor tables, global history and the BTB."""
+        return self.predictor.snapshot_state(), self.btb.snapshot()
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the branch unit in place from a :meth:`snapshot` value."""
+        predictor_state, btb_state = state
+        self.predictor.restore_state(predictor_state)
+        self.btb.restore(btb_state)

@@ -76,6 +76,28 @@ class TagOnlyCache:
             lru[victim] = self._tick
         return False
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture tags, LRU ticks and the tick counter.
+
+        Snapshot/restore contract: immutable, picklable, ``==`` iff the
+        caches are bit-identical (LRU state included — replacement
+        decisions shape future hit/miss timing).
+        """
+        return (
+            tuple(tuple(ways) for ways in self._tags),
+            tuple(tuple(ways) for ways in self._lru),
+            self._tick,
+        )
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the tag store in place from a :meth:`snapshot` value."""
+        tags, lru, self._tick = state
+        self._tags = [list(ways) for ways in tags]
+        self._lru = [list(ways) for ways in lru]
+
 
 @dataclass
 class CacheAccessResult:
@@ -260,6 +282,42 @@ class DataCache:
         touched = [self.entry_index(set_index, way, w) for w in self._touched_words(offset, size)]
         return CacheAccessResult(value=value, latency=latency, hit=hit, touched_entries=touched)
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture every line (tag/valid/dirty/data/LRU), the L2 tag store
+        and the tick counter.  The data bytes of *invalid* lines are
+        captured too: the array physically persists, so faults injected
+        there must survive a checkpoint round trip.
+
+        The backing :class:`MemoryImage` is shared with the pipeline and is
+        checkpointed separately by the CPU-level snapshot.
+        """
+        return (
+            tuple(
+                (line.tag, line.valid, line.dirty, bytes(line.data), line.last_use)
+                for ways in self.lines
+                for line in ways
+            ),
+            self.l2.snapshot(),
+            self._tick,
+        )
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the cache in place from a :meth:`snapshot` value."""
+        line_states, l2_state, self._tick = state
+        flat = iter(line_states)
+        for ways in self.lines:
+            for line in ways:
+                tag, valid, dirty, data, last_use = next(flat)
+                line.tag = tag
+                line.valid = valid
+                line.dirty = dirty
+                line.data[:] = data
+                line.last_use = last_use
+        self.l2.restore(l2_state)
+
     def flush_dirty_to_memory(self) -> None:
         """Write every dirty line back to memory (used at end of simulation)."""
         for set_index in range(self.num_sets):
@@ -286,3 +344,14 @@ class InstructionCache:
             return 0
         self.stats.l1i_misses += 1
         return self.config.l2_hit_latency
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture the tag store (fetch timing depends on its contents)."""
+        return self._cache.snapshot()
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the instruction cache in place from a snapshot."""
+        self._cache.restore(state)

@@ -1,0 +1,505 @@
+"""Checkpoint/restore fast-forward for fault-injection runs.
+
+The paper's premise is that every injection run redundantly re-simulates
+the fault-free prefix the golden run has already computed.  This module
+eliminates that prefix: during the golden run a :class:`CheckpointTimeline`
+snapshots the *complete* restorable machine state every K cycles at commit
+boundaries (the start of a cycle, before that cycle's fault application and
+commit); an injection run then restores the nearest checkpoint at-or-before
+its fault's injection cycle and simulates only the tail.
+
+Because a single-fault injection run is bit-identical to the golden run up
+to the injection cycle, restoring golden state is *exact* — not an
+approximation — and the differential harness in
+``tests/integration/test_checkpoint_equivalence.py`` enforces that the
+classification outcomes and every :class:`SimulationResult` field match the
+cold-start path bit for bit.
+
+Snapshot/restore contract
+-------------------------
+Every stateful microarchitectural component exposes ``snapshot()`` /
+``restore(state)`` (see :class:`~repro.uarch.regfile.PhysicalRegisterFile`,
+:class:`~repro.uarch.lsq.StoreQueue`, :class:`~repro.uarch.cache.DataCache`,
+:class:`~repro.uarch.branch.BranchUnit`,
+:class:`~repro.uarch.stats.SimStats`,
+:class:`~repro.isa.memory.MemoryImage`, …).  A snapshot must be
+
+* **complete** — capture every bit of state that can influence future
+  simulation behaviour or the final result (including "invisible" state
+  like LRU ticks, free-list order and the data latches of *free* SQ slots
+  and *invalid* cache lines, which faults can land in);
+* **pure data** — nested tuples/dicts/bytes/ints only, so it is picklable
+  and cheap to compare;
+* **canonical** — two snapshots compare ``==`` iff the underlying machine
+  states are bit-identical; and
+* **independent** — restoring never aliases mutable state with the
+  snapshot, so one checkpoint can seed many injection runs.
+
+The same contract extends to the whole CPU through
+:func:`capture_state` / :func:`restore_state` (also reachable as
+``OutOfOrderCpu.snapshot()`` / ``OutOfOrderCpu.restore(state)``), which
+additionally encode the in-flight pipeline state (ROB, issue queue, decode
+queue, pending completions) in a canonical order.
+
+Reconvergence early-exit
+------------------------
+Exact state equality also enables a second, larger saving: if at some
+checkpointed cycle *after* the flip the faulty machine state equals the
+golden state (the flipped bit was overwritten before ever being read —
+the dominant masking mechanism), determinism guarantees the rest of the
+run replays the golden run exactly, so the injection run can stop and
+return a copy of the golden result.  This is what pushes campaign-level
+speedups beyond the 2x bound of pure prefix skipping.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.uarch.pipeline import (
+    OutOfOrderCpu,
+    SimulationResult,
+    _InFlightUop,
+    _MacroContext,
+)
+from repro.uarch.stats import SimStats
+from repro.uarch.structures import TargetStructure
+
+#: Default snapshot spacing (cycles) when capturing inline during a golden
+#: run whose length is not yet known.
+DEFAULT_INTERVAL = 64
+
+#: Default bound on stored checkpoints; when exceeded the timeline thins
+#: itself (drops every other checkpoint and doubles the interval), so
+#: memory stays bounded for arbitrarily long golden runs.
+DEFAULT_MAX_CHECKPOINTS = 32
+
+
+# ----------------------------------------------------------------------
+# Whole-CPU state capture
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CpuState:
+    """A pure-data snapshot of the complete restorable machine state.
+
+    All fields are nested tuples/dicts/bytes of primitives; equality is
+    deep and exact, which both the differential tests and the
+    reconvergence early-exit rely on.  In-flight micro-ops are encoded by
+    value (``entries``) in ROB order, with the issue queue, pending
+    completions and macro contexts referring to them by index.
+    """
+
+    cycle: int
+    seq: int
+    fetch_pc: int
+    fetch_stall_until: int
+    halted: bool
+    exceptions: int
+    last_commit_cycle: int
+    output: Tuple[int, ...]
+    rename_map: Tuple[int, ...]
+    retirement_map: Tuple[int, ...]
+    memory: Tuple[int, Dict[int, int]]
+    prf: Tuple
+    free_list: Tuple[int, ...]
+    store_queue: Tuple
+    load_queue: Tuple[int, ...]
+    dcache: Tuple
+    icache: Tuple
+    branch: Tuple
+    stats: Tuple[int, ...]
+    macros: Tuple[Tuple, ...]
+    entries: Tuple[Tuple, ...]
+    rob_len: int
+    issue_queue: Tuple[int, ...]
+    completions: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    decode_queue: Tuple[int, ...]
+
+    def __eq__(self, other: object) -> bool:  # dict fields break the
+        if not isinstance(other, CpuState):   # generated __hash__ anyway,
+            return NotImplemented             # so spell equality out
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__dataclass_fields__
+        )
+
+    __hash__ = None  # type: ignore[assignment] - contains a dict
+
+
+def _encode_macro(macro: _MacroContext) -> Tuple:
+    return (
+        macro.rip,
+        macro.predicted_next,
+        macro.predicted_taken,
+        macro.history_snapshot,
+        macro.is_conditional,
+        tuple(macro.temp_map.items()),
+        tuple(macro.temp_allocs),
+        macro.sq_index,
+    )
+
+
+def _decode_macro(state: Tuple, program) -> _MacroContext:
+    (rip, predicted_next, predicted_taken, history_snapshot, is_conditional,
+     temp_map, temp_allocs, sq_index) = state
+    macro = _MacroContext(
+        rip=rip,
+        predicted_next=predicted_next,
+        predicted_taken=predicted_taken,
+        history_snapshot=history_snapshot,
+        is_conditional=is_conditional,
+    )
+    macro.temp_map = dict(temp_map)
+    macro.temp_allocs = list(temp_allocs)
+    macro.sq_index = sq_index
+    macro.uops = program.uops(rip)
+    return macro
+
+
+def _encode_entry(entry: _InFlightUop, macro_index: int, uop_pos: int) -> Tuple:
+    return (
+        uop_pos,
+        macro_index,
+        entry.seq,
+        entry.phys_dest,
+        entry.prev_phys,
+        tuple(entry.src_phys),
+        tuple(entry.src_imm),
+        entry.issued,
+        entry.complete,
+        entry.squashed,
+        entry.result,
+        entry.latency,
+        entry.demand,
+        entry.crash_reason,
+        tuple(entry.rf_reads),
+        tuple(entry.sq_reads),
+        tuple(entry.l1d_reads),
+        entry.actual_next,
+        entry.actual_taken,
+        entry.mem_address,
+        entry.lq_allocated,
+    )
+
+
+def _decode_entry(state: Tuple, macros: List[_MacroContext]) -> _InFlightUop:
+    (uop_pos, macro_index, seq, phys_dest, prev_phys, src_phys, src_imm,
+     issued, complete, squashed, result, latency, demand, crash_reason,
+     rf_reads, sq_reads, l1d_reads, actual_next, actual_taken, mem_address,
+     lq_allocated) = state
+    macro = macros[macro_index]
+    entry = _InFlightUop(macro.uops[uop_pos], macro, seq)
+    entry.phys_dest = phys_dest
+    entry.prev_phys = prev_phys
+    entry.src_phys = list(src_phys)
+    entry.src_imm = list(src_imm)
+    entry.issued = issued
+    entry.complete = complete
+    entry.squashed = squashed
+    entry.result = result
+    entry.latency = latency
+    entry.demand = demand
+    entry.crash_reason = crash_reason
+    entry.rf_reads = list(rf_reads)
+    entry.sq_reads = list(sq_reads)
+    entry.l1d_reads = list(l1d_reads)
+    entry.actual_next = actual_next
+    entry.actual_taken = actual_taken
+    entry.mem_address = mem_address
+    entry.lq_allocated = lq_allocated
+    return entry
+
+
+def capture_state(cpu: OutOfOrderCpu) -> CpuState:
+    """Snapshot ``cpu`` at a cycle boundary into a :class:`CpuState`.
+
+    Must be called between cycles (as :meth:`OutOfOrderCpu.run` does via
+    its ``cycle_hook``), never from inside ``_step``.  The access tracer
+    and the profiling ``commit_log`` are deliberately excluded: they do
+    not influence simulation dynamics, and restored CPUs never trace.
+    """
+    # Canonical in-flight enumeration: ROB order first, then any squashed
+    # micro-ops still awaiting their (ignored) completion slot, in
+    # completion order.  Identity sharing (one macro per several uops, one
+    # uop object in both ROB and issue queue) becomes index sharing.
+    entry_index: Dict[int, int] = {}
+    ordered_entries: List[_InFlightUop] = []
+
+    def index_of(entry: _InFlightUop) -> int:
+        key = id(entry)
+        if key not in entry_index:
+            entry_index[key] = len(ordered_entries)
+            ordered_entries.append(entry)
+        return entry_index[key]
+
+    for entry in cpu.rob:
+        index_of(entry)
+    rob_len = len(ordered_entries)
+    completions: List[Tuple[int, Tuple[int, ...]]] = []
+    for cycle, finishing in cpu._completions.items():
+        completions.append((cycle, tuple(index_of(entry) for entry in finishing)))
+
+    macro_index: Dict[int, int] = {}
+    ordered_macros: List[_MacroContext] = []
+
+    def macro_of(macro: _MacroContext) -> int:
+        key = id(macro)
+        if key not in macro_index:
+            macro_index[key] = len(ordered_macros)
+            ordered_macros.append(macro)
+        return macro_index[key]
+
+    encoded_entries = []
+    for entry in ordered_entries:
+        uop_pos = next(
+            pos for pos, uop in enumerate(entry.macro.uops) if uop is entry.uop
+        )
+        encoded_entries.append(_encode_entry(entry, macro_of(entry.macro), uop_pos))
+    decode_queue = tuple(macro_of(macro) for macro in cpu.decode_queue)
+
+    return CpuState(
+        cycle=cpu.cycle,
+        seq=cpu._seq,
+        fetch_pc=cpu.fetch_pc,
+        fetch_stall_until=cpu.fetch_stall_until,
+        halted=cpu.halted,
+        exceptions=cpu.exceptions,
+        last_commit_cycle=cpu._last_commit_cycle,
+        output=tuple(cpu.output),
+        rename_map=tuple(cpu.rename_map),
+        retirement_map=tuple(cpu.retirement_map),
+        memory=cpu.memory.snapshot(),
+        prf=cpu.prf.snapshot(),
+        free_list=cpu.free_list.snapshot(),
+        store_queue=cpu.store_queue.snapshot(),
+        load_queue=cpu.load_queue.snapshot(),
+        dcache=cpu.dcache.snapshot(),
+        icache=cpu.icache.snapshot(),
+        branch=cpu.branch_unit.snapshot(),
+        stats=cpu.stats.snapshot(),
+        macros=tuple(_encode_macro(macro) for macro in ordered_macros),
+        entries=tuple(encoded_entries),
+        rob_len=rob_len,
+        issue_queue=tuple(index_of(entry) for entry in cpu.issue_queue),
+        completions=tuple(completions),
+        decode_queue=decode_queue,
+    )
+
+
+def restore_state(cpu: OutOfOrderCpu, state: CpuState) -> None:
+    """Restore ``cpu`` in place from ``state``.
+
+    ``cpu`` must have been constructed for the same program and
+    configuration the state was captured from; its fault plan and tracer
+    are left untouched, so a freshly constructed injection CPU keeps its
+    pending flips after the restore.  Restoring resets *all* mutable
+    machine state, so one CPU object can be reused (restored repeatedly)
+    across many injection runs — the campaign scheduler does exactly that
+    to amortise construction cost.
+    """
+    cpu.cycle = state.cycle
+    cpu._seq = state.seq
+    cpu.fetch_pc = state.fetch_pc
+    cpu.fetch_stall_until = state.fetch_stall_until
+    cpu.halted = state.halted
+    cpu.exceptions = state.exceptions
+    cpu._last_commit_cycle = state.last_commit_cycle
+    cpu.output = list(state.output)
+    cpu.rename_map = list(state.rename_map)
+    cpu.retirement_map = list(state.retirement_map)
+    cpu.memory.restore(state.memory)
+    cpu.prf.restore(state.prf)
+    cpu.free_list.restore(state.free_list)
+    cpu.store_queue.restore(state.store_queue)
+    cpu.load_queue.restore(state.load_queue)
+    cpu.dcache.restore(state.dcache)
+    cpu.icache.restore(state.icache)
+    cpu.branch_unit.restore(state.branch)
+    # Install a *fresh* stats object rather than restoring in place: the
+    # SimulationResult of a previous run on a reused CPU aliases the old
+    # object, and must not be corrupted by the next restore.  The caches
+    # hold a reference to the stats, so they are re-pointed too.
+    stats = SimStats()
+    stats.restore(state.stats)
+    cpu.stats = stats
+    cpu.dcache.stats = stats
+    cpu.icache.stats = stats
+
+    macros = [_decode_macro(encoded, cpu.program) for encoded in state.macros]
+    entries = [_decode_entry(encoded, macros) for encoded in state.entries]
+    cpu.rob = deque(entries[:state.rob_len])
+    cpu.issue_queue = [entries[index] for index in state.issue_queue]
+    cpu._completions = {
+        cycle: [entries[index] for index in indices]
+        for cycle, indices in state.completions
+    }
+    cpu.decode_queue = deque(macros[index] for index in state.decode_queue)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint timeline
+# ----------------------------------------------------------------------
+class CheckpointTimeline:
+    """Evenly spaced golden-run checkpoints with bounded storage.
+
+    Capture via :meth:`observe`, passed as :meth:`OutOfOrderCpu.run`'s
+    ``cycle_hook`` during the golden run: it snapshots the machine every
+    ``interval`` cycles at commit boundaries.  When more than
+    ``max_checkpoints`` accumulate, every other checkpoint is dropped and
+    the interval doubles, so storage stays bounded without knowing the
+    run length in advance.
+    """
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL,
+                 max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS):
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        if max_checkpoints < 1:
+            raise ValueError("max_checkpoints must be >= 1")
+        self.interval = interval
+        self.max_checkpoints = max_checkpoints
+        self._states: List[CpuState] = []
+        self._cycles: List[int] = []
+        self._next_cycle = interval
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def cycles(self) -> List[int]:
+        """Checkpointed cycles, ascending."""
+        return list(self._cycles)
+
+    # ------------------------------------------------------------------
+    def observe(self, cpu: OutOfOrderCpu) -> None:
+        """Cycle hook: snapshot ``cpu`` when it reaches the next boundary."""
+        if cpu.cycle < self._next_cycle:
+            return None
+        state = capture_state(cpu)
+        self._states.append(state)
+        self._cycles.append(state.cycle)
+        self._next_cycle = state.cycle + self.interval
+        if len(self._states) > self.max_checkpoints:
+            self._thin()
+        return None
+
+    def _thin(self) -> None:
+        """Drop every other checkpoint and double the interval."""
+        self.interval *= 2
+        kept = [
+            (cycle, state)
+            for cycle, state in zip(self._cycles, self._states)
+            if cycle % self.interval == 0
+        ]
+        self._cycles = [cycle for cycle, _ in kept]
+        self._states = [state for _, state in kept]
+        last = self._cycles[-1] if self._cycles else 0
+        self._next_cycle = last + self.interval
+
+    # ------------------------------------------------------------------
+    def nearest(self, cycle: int) -> Optional[CpuState]:
+        """The latest checkpoint at-or-before ``cycle`` (None when absent).
+
+        A checkpoint taken *at* the injection cycle is usable: snapshots
+        capture the state at the start of a cycle, before that cycle's
+        fault application.
+        """
+        index = bisect.bisect_right(self._cycles, cycle) - 1
+        if index < 0:
+            return None
+        return self._states[index]
+
+    def state_at(self, cycle: int) -> Optional[CpuState]:
+        """The checkpoint taken exactly at ``cycle``, if any."""
+        index = bisect.bisect_left(self._cycles, cycle)
+        if index < len(self._cycles) and self._cycles[index] == cycle:
+            return self._states[index]
+        return None
+
+
+# ----------------------------------------------------------------------
+# Fast-forwarded injection support
+# ----------------------------------------------------------------------
+def clone_result(result: SimulationResult) -> SimulationResult:
+    """An independent deep copy of a :class:`SimulationResult`."""
+    return replace(result, output=list(result.output), stats=replace(result.stats))
+
+
+def _quick_mismatch(cpu: OutOfOrderCpu, state: CpuState) -> bool:
+    """Cheap scalar pre-check before a full state comparison.
+
+    Any microarchitecturally visible divergence from the golden run moves
+    at least one of these counters, so diverged runs skip the (heavier)
+    full-state comparison almost always.
+    """
+    return (
+        cpu._seq != state.seq
+        or cpu.fetch_pc != state.fetch_pc
+        or cpu.halted != state.halted
+        or cpu.exceptions != state.exceptions
+        or tuple(cpu.output) != state.output
+        or len(cpu.rob) != state.rob_len
+        or cpu.stats.snapshot() != state.stats
+    )
+
+
+def _flip_site_matches(cpu: OutOfOrderCpu, state: CpuState, fault) -> bool:
+    """O(1) filter: does the flipped cell itself match the golden state?
+
+    A flip that was never read and never overwritten persists in its
+    storage cell for the rest of the run; such a run can never reconverge,
+    so the (heavier) full-state comparison is pointless while the cell
+    still differs.  The tuple indices below mirror the component
+    ``snapshot()`` layouts in this module's contract: ``prf`` is
+    ``(values, ready)``, a store-queue slot is ``(valid, seq, address,
+    size, addr_ready, data, …)``, a cache line is ``(tag, valid, dirty,
+    data, last_use)`` flattened as ``set * assoc + way``.
+    """
+    structure = fault.structure
+    entry = fault.entry
+    if structure is TargetStructure.RF:
+        return cpu.prf.values[entry] == state.prf[0][entry]
+    if structure is TargetStructure.SQ:
+        return cpu.store_queue.slots[entry].data == state.store_queue[3][entry][5]
+    if structure is TargetStructure.L1D:
+        set_index, way, word = cpu.dcache.entry_location(entry)
+        line = cpu.dcache.lines[set_index][way]
+        stored = state.dcache[0][set_index * cpu.dcache.assoc + way][3]
+        lo, hi = word * 8, word * 8 + 8
+        return line.data[lo:hi] == stored[lo:hi]
+    return True
+
+
+def make_reconvergence_hook(
+    timeline: CheckpointTimeline,
+    fault,
+    golden_result: SimulationResult,
+) -> Callable[[OutOfOrderCpu], Optional[SimulationResult]]:
+    """Build a ``cycle_hook`` that ends a run early once it reconverges.
+
+    At every checkpointed cycle strictly after the flip of ``fault`` (a
+    :class:`~repro.faults.model.FaultSpec`), the live state is compared —
+    exactly, field by field — against the golden checkpoint.  On equality
+    the simulator is deterministic, so the rest of the run *is* the golden
+    run; a copy of the golden result is returned and the pipeline stops.
+    Runs that cannot have reconverged pay only O(1) pre-checks per
+    checkpoint (scalar divergence counters, then the flipped cell itself).
+    """
+    fault_cycle = fault.cycle
+
+    def hook(cpu: OutOfOrderCpu) -> Optional[SimulationResult]:
+        if cpu.cycle <= fault_cycle:
+            return None
+        state = timeline.state_at(cpu.cycle)
+        if state is None or _quick_mismatch(cpu, state):
+            return None
+        if not _flip_site_matches(cpu, state, fault):
+            return None
+        if capture_state(cpu) == state:
+            return clone_result(golden_result)
+        return None
+
+    return hook

@@ -184,6 +184,36 @@ class StoreQueue:
             raise ValueError(f"bit out of range: {bit}")
         self.slots[entry].data ^= 1 << bit
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        """Capture head/tail pointers and every slot, including the
+        persistent data latches of *free* slots (faults there matter).
+
+        Snapshot/restore contract: immutable, picklable, ``==`` iff the
+        queues are bit-identical.
+        """
+        return (
+            self.head,
+            self.tail,
+            self.occupancy,
+            tuple(
+                (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
+                 slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
+                 slot.demand, slot.crash)
+                for slot in self.slots
+            ),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        """Restore the store queue in place from a :meth:`snapshot` value."""
+        self.head, self.tail, self.occupancy, slot_states = state
+        for slot, fields in zip(self.slots, slot_states):
+            (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
+             slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
+             slot.demand, slot.crash) = fields
+
 
 class LoadQueue:
     """Load queue modelled for occupancy only (no data field in gem5 either)."""
@@ -212,3 +242,14 @@ class LoadQueue:
     @property
     def occupancy(self) -> int:
         return len(self._seqs)
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, ...]:
+        """Capture the in-flight load sequence numbers (insertion order)."""
+        return tuple(self._seqs)
+
+    def restore(self, state: Tuple[int, ...]) -> None:
+        """Restore the load queue in place from a :meth:`snapshot` value."""
+        self._seqs = list(state)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.isa.alu import apply_binary, apply_unary, evaluate_condition
 from repro.isa.errors import ProgramCrash, SimulatorAssertError
@@ -235,18 +235,33 @@ class OutOfOrderCpu:
     # Public API
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 2_000_000,
-            max_instructions: Optional[int] = None) -> SimulationResult:
+            max_instructions: Optional[int] = None,
+            cycle_hook: Optional[Callable[["OutOfOrderCpu"],
+                                          Optional[SimulationResult]]] = None,
+            ) -> SimulationResult:
         """Run until HALT commits, a crash/assert occurs or ``max_cycles`` pass.
 
         When ``max_instructions`` is given the run additionally stops once
         that many macro-instructions have committed (``INTERVAL_END``
         termination) — this models terminating a fault-injection run at the
         end of a SimPoint interval, as in Section 4.4.3.4 of the paper.
+
+        ``cycle_hook`` (if given) is invoked at every cycle boundary —
+        before the cycle's fault application and commit — with the CPU as
+        argument.  It is the checkpoint subsystem's attachment point: the
+        golden run passes :meth:`~repro.uarch.checkpoint.CheckpointTimeline.observe`
+        to snapshot state, and fast-forwarded injection runs pass a
+        reconvergence check that may return a :class:`SimulationResult` to
+        finish the run immediately with that result.
         """
         termination = TerminationKind.TIMEOUT
         crash_reason: Optional[str] = None
         try:
             while self.cycle < max_cycles:
+                if cycle_hook is not None:
+                    early = cycle_hook(self)
+                    if early is not None:
+                        return early
                 self._step()
                 if self.halted:
                     termination = TerminationKind.HALTED
@@ -279,6 +294,27 @@ class OutOfOrderCpu:
             stats=self.stats,
             memory_hash=self.memory.content_hash(),
         )
+
+    def snapshot(self):
+        """Snapshot the complete restorable machine state at a cycle boundary.
+
+        Delegates to :func:`repro.uarch.checkpoint.capture_state`; see that
+        module for the snapshot/restore contract.  Must only be called
+        between cycles (e.g. from a ``cycle_hook``), never mid-``_step``.
+        """
+        from repro.uarch.checkpoint import capture_state
+
+        return capture_state(self)
+
+    def restore(self, state) -> None:
+        """Restore this CPU in place from a :meth:`snapshot` value.
+
+        The CPU must target the same program and configuration the state
+        was captured from; the fault plan and tracer are preserved.
+        """
+        from repro.uarch.checkpoint import restore_state
+
+        restore_state(self, state)
 
     def _drain_remaining_stores(self) -> None:
         """Drain committed stores left in the SQ when the run stops.

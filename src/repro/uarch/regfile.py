@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Tuple
 
 from repro.isa.errors import SimulatorAssertError
 from repro.isa.registers import NUM_ARCH_REGS, WORD_MASK
@@ -44,6 +44,20 @@ class PhysicalRegisterFile:
             raise ValueError(f"bit out of range: {bit}")
         self.values[index] ^= 1 << bit
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[Tuple[int, ...], Tuple[bool, ...]]:
+        """Capture values and ready bits (snapshot/restore contract:
+        immutable, picklable, ``==`` iff states are bit-identical)."""
+        return tuple(self.values), tuple(self.ready)
+
+    def restore(self, state: Tuple[Tuple[int, ...], Tuple[bool, ...]]) -> None:
+        """Restore the register file in place from a :meth:`snapshot` value."""
+        values, ready = state
+        self.values = list(values)
+        self.ready = list(ready)
+
 
 class FreeList:
     """Free list of physical registers with underflow checking."""
@@ -71,3 +85,15 @@ class FreeList:
         self._free = deque(
             reg for reg in range(self.num_regs) if reg not in in_use
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, ...]:
+        """Capture the free list *in allocation order* (order matters: it
+        determines which physical register the next rename receives)."""
+        return tuple(self._free)
+
+    def restore(self, state: Tuple[int, ...]) -> None:
+        """Restore the free list in place from a :meth:`snapshot` value."""
+        self._free = deque(state)

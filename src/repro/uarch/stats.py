@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 
 @dataclass
@@ -52,6 +52,23 @@ class SimStats:
         if accesses == 0:
             return 0.0
         return self.l1d_misses / accesses
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, ...]:
+        """Capture every counter (field-declaration order).
+
+        Counters are part of the restorable machine state because the
+        classification-facing :class:`SimulationResult` embeds them — a
+        checkpoint-restored run must reproduce them bit-identically.
+        """
+        return tuple(getattr(self, name) for name in self.__dataclass_fields__)
+
+    def restore(self, state: Tuple[int, ...]) -> None:
+        """Restore all counters in place from a :meth:`snapshot` value."""
+        for name, value in zip(self.__dataclass_fields__, state):
+            setattr(self, name, value)
 
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary of all counters and derived rates."""

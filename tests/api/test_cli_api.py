@@ -36,6 +36,24 @@ def test_run_json_matches_python_api(capsys):
     assert payload["merlin"]["counts"] == outcome.merlin.counts
 
 
+def test_run_with_checkpoint_engine_matches_serial(capsys):
+    argv = [
+        "run", "--workload", "sha", "--structure", "RF",
+        "--registers", "64", "--faults", "60", "--scale", "1", "--json",
+    ]
+    code, serial_out = run_cli(capsys, argv)
+    assert code == 0
+    code, checkpoint_out = run_cli(
+        capsys, argv + ["--engine", "checkpoint", "--checkpoint-interval", "64"]
+    )
+    assert code == 0
+    serial_payload = json.loads(serial_out)
+    checkpoint_payload = json.loads(checkpoint_out)
+    assert checkpoint_payload["run_id"] == serial_payload["run_id"]
+    assert checkpoint_payload["merlin"]["counts"] == serial_payload["merlin"]["counts"]
+    assert checkpoint_payload["merlin"]["avf"] == serial_payload["merlin"]["avf"]
+
+
 def test_run_method_comprehensive(capsys):
     code, out = run_cli(capsys, [
         "run", "--workload", "sha", "--faults", "30", "--scale", "1",

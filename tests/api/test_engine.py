@@ -3,6 +3,8 @@
 import pytest
 
 from repro.api import (
+    CampaignSpec,
+    CheckpointEngine,
     ProcessPoolEngine,
     ResultStore,
     SerialEngine,
@@ -102,8 +104,67 @@ def test_serial_engine_honors_store_with_injected_session(tmp_path):
 def test_make_engine():
     assert isinstance(make_engine("serial"), SerialEngine)
     assert isinstance(make_engine("process", max_workers=3), ProcessPoolEngine)
+    checkpoint = make_engine("checkpoint", checkpoint_interval=50)
+    assert isinstance(checkpoint, CheckpointEngine)
+    assert checkpoint.checkpoint_interval == 50
     with pytest.raises(ValueError):
         make_engine("distributed")
+    # A checkpoint interval with a non-checkpoint engine is a user error,
+    # not something to accept and silently discard — as is a nonsensical
+    # interval value.
+    with pytest.raises(ValueError, match="checkpoint_interval"):
+        make_engine("serial", checkpoint_interval=50)
+    with pytest.raises(ValueError, match=">= 1"):
+        make_engine("checkpoint", checkpoint_interval=0)
+
+
+def test_process_engine_worker_failure_surfaces_and_does_not_hang():
+    """A worker raising mid-campaign must raise in the parent, promptly.
+
+    The spec passes validation but names a workload no worker can resolve,
+    so the failure happens inside the worker process itself.
+    """
+    bad = CampaignSpec(workload="no-such-workload", faults=10)
+    specs = tiny_sweep()[:1] + [bad] + tiny_sweep()[1:]
+    with pytest.raises(RuntimeError, match="failed in a worker"):
+        ProcessPoolEngine(max_workers=2).run(specs)
+
+
+def test_process_engine_failure_chains_the_worker_exception():
+    bad = CampaignSpec(workload="no-such-workload", faults=10)
+    try:
+        ProcessPoolEngine(max_workers=1).run([bad])
+    except RuntimeError as failure:
+        assert failure.__cause__ is not None
+        assert bad.run_id() in str(failure)
+    else:
+        pytest.fail("worker failure was silently dropped")
+
+
+def test_checkpoint_engine_matches_serial_bit_for_bit(tmp_path):
+    specs = tiny_sweep()
+    serial = SerialEngine().run(specs)
+    checkpoint = CheckpointEngine().run(
+        specs, store=ResultStore(tmp_path / "store")
+    )
+    assert len(checkpoint) == len(serial)
+    for left, right in zip(serial, checkpoint):
+        assert left.classification_fingerprint() == right.classification_fingerprint()
+
+
+def test_checkpoint_engine_configures_injected_session_for_the_run_only():
+    from repro.api import Session
+
+    session = Session()
+    engine = CheckpointEngine(session, checkpoint_interval=64)
+    engine.run(tiny_sweep()[:1])
+    # The run itself used checkpointing...
+    golden = next(iter(session._goldens.values()))
+    assert golden.checkpoints is not None and len(golden.checkpoints) > 0
+    # ...but the shared session is handed back unchanged, so a later
+    # SerialEngine batch through it stays on the cold-start path.
+    assert not session.checkpointing
+    assert session.checkpoint_interval is None
 
 
 def test_store_listing_and_delete(tmp_path):

@@ -1,60 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The program builders and golden-run/fault-list helpers live in
+:mod:`repro.testing` so the benchmark harness builds the exact same
+inputs; this conftest only adapts them into pytest fixtures (and re-exports
+the builders for tests that import them directly).
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.isa.builder import ProgramBuilder
+from repro.faults.golden import GoldenRecord
+from repro.faults.model import FaultList
 from repro.isa.program import Program
-from repro.isa.registers import Reg as R
+from repro.testing import (
+    build_call_program,
+    build_loop_program,
+    shared_fault_list,
+    shared_loop_golden,
+    small_config as make_small_config,
+)
 from repro.uarch.config import MicroarchConfig
 
-
-def build_loop_program(iterations: int = 30, name: str = "loop") -> Program:
-    """A small loop that loads, multiplies, stores and accumulates.
-
-    Shared by many microarchitecture and fault-injection tests: it exercises
-    the register file, the store queue and the L1D while staying only a few
-    hundred cycles long.
-    """
-    b = ProgramBuilder(name)
-    source = b.alloc_words("source", [(i * 7 + 3) % 101 for i in range(iterations)])
-    sink = b.alloc_space("sink", 8 * iterations)
-    b.movi(R.RDI, source)
-    b.movi(R.RSI, sink)
-    b.movi(R.RAX, 0)
-    b.movi(R.RCX, 0)
-    b.label("loop")
-    b.load(R.RDX, R.RDI, 0)
-    b.mul(R.RDX, R.RDX, 3)
-    b.add(R.RAX, R.RAX, R.RDX)
-    b.store(R.RDX, R.RSI, 0)
-    b.add(R.RAX, R.RAX, (R.RSI, 0))
-    b.add(R.RDI, R.RDI, 8)
-    b.add(R.RSI, R.RSI, 8)
-    b.add(R.RCX, R.RCX, 1)
-    b.blt(R.RCX, iterations, "loop")
-    b.out(R.RAX)
-    b.halt()
-    return b.build()
-
-
-def build_call_program(calls: int = 10, name: str = "calls") -> Program:
-    """A program dominated by CALL/RET pairs (return-address stack traffic)."""
-    b = ProgramBuilder(name)
-    b.movi(R.RAX, 1)
-    b.movi(R.RCX, 0)
-    b.label("loop")
-    b.call("twice")
-    b.add(R.RCX, R.RCX, 1)
-    b.blt(R.RCX, calls, "loop")
-    b.out(R.RAX)
-    b.halt()
-    b.label("twice")
-    b.add(R.RAX, R.RAX, R.RAX)
-    b.and_(R.RAX, R.RAX, 0xFFFF)
-    b.ret()
-    return b.build()
+__all__ = ["build_loop_program", "build_call_program"]
 
 
 @pytest.fixture
@@ -70,4 +38,16 @@ def call_program() -> Program:
 @pytest.fixture
 def small_config() -> MicroarchConfig:
     """A configuration with small structures (fast, stresses resource limits)."""
-    return MicroarchConfig().with_register_file(64).with_store_queue(16).with_l1d(16)
+    return make_small_config()
+
+
+@pytest.fixture(scope="session")
+def loop_golden() -> GoldenRecord:
+    """The memoised traced golden run of the default loop program."""
+    return shared_loop_golden()
+
+
+@pytest.fixture
+def loop_fault_list(loop_golden) -> FaultList:
+    """A small register-file fault list drawn against ``loop_golden``."""
+    return shared_fault_list(loop_golden, sample_size=120, seed=1)

@@ -1,0 +1,164 @@
+"""Edge cases of the ACE bound and the two-step grouping algorithm.
+
+Covers the previously untested paths: empty interval sets, single-fault
+groups, all-ACE-masked lists and fully vulnerable lists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ace import ace_like_avf, ace_like_fit
+from repro.core.grouping import group_faults
+from repro.core.intervals import IntervalSet, VulnerableInterval
+from repro.faults.model import FaultList, FaultSpec
+from repro.uarch.structures import StructureGeometry, TargetStructure
+
+GEOMETRY = StructureGeometry(TargetStructure.RF, num_entries=8)
+
+
+def empty_intervals() -> IntervalSet:
+    return IntervalSet(TargetStructure.RF, {})
+
+
+def interval(entry: int, start: int, end: int, rip: int = 4,
+             upc: int = 0) -> VulnerableInterval:
+    return VulnerableInterval(
+        structure=TargetStructure.RF, entry=entry,
+        start_cycle=start, end_cycle=end, rip=rip, upc=upc,
+    )
+
+
+def fault(fault_id: int, entry: int, cycle: int, bit: int = 0) -> FaultSpec:
+    return FaultSpec(fault_id=fault_id, structure=TargetStructure.RF,
+                     entry=entry, bit=bit, cycle=cycle)
+
+
+# ----------------------------------------------------------------------
+# ACE bound
+# ----------------------------------------------------------------------
+def test_ace_avf_of_empty_interval_set_is_zero():
+    assert ace_like_avf(empty_intervals(), GEOMETRY, total_cycles=100) == 0.0
+    assert ace_like_fit(empty_intervals(), GEOMETRY, total_cycles=100) == 0.0
+
+
+def test_ace_avf_rejects_non_positive_cycle_counts():
+    with pytest.raises(ValueError):
+        ace_like_avf(empty_intervals(), GEOMETRY, total_cycles=0)
+    with pytest.raises(ValueError):
+        ace_like_avf(empty_intervals(), GEOMETRY, total_cycles=-5)
+
+
+def test_ace_avf_is_capped_at_one():
+    # One entry vulnerable for far longer than the (tiny) total window.
+    intervals = IntervalSet(
+        TargetStructure.RF, {0: [interval(0, 0, 10_000)]}
+    )
+    assert ace_like_avf(intervals, GEOMETRY, total_cycles=10) == 1.0
+
+
+def test_ace_avf_counts_vulnerable_time_over_capacity():
+    intervals = IntervalSet(
+        TargetStructure.RF,
+        {0: [interval(0, 0, 10)], 3: [interval(3, 20, 30)]},
+    )
+    # 20 vulnerable cycles over 8 entries x 100 cycles of capacity.
+    assert ace_like_avf(intervals, GEOMETRY, total_cycles=100) == 20 / 800
+
+
+# ----------------------------------------------------------------------
+# Grouping
+# ----------------------------------------------------------------------
+def test_grouping_of_empty_fault_list():
+    grouped = group_faults(FaultList(TargetStructure.RF), empty_intervals())
+    assert grouped.initial_faults == 0
+    assert grouped.masked_fault_ids == []
+    assert grouped.groups == []
+    assert grouped.injections_required == 0
+    # Degenerate speedups stay finite and neutral.
+    assert grouped.ace_speedup == 1.0
+    assert grouped.total_speedup == 1.0
+    assert grouped.grouping_speedup == 1.0
+
+
+def test_grouping_with_no_intervals_masks_everything():
+    faults = FaultList(TargetStructure.RF, [fault(i, i % 8, 10 + i) for i in range(6)])
+    grouped = group_faults(faults, empty_intervals())
+    assert sorted(grouped.masked_fault_ids) == list(range(6))
+    assert grouped.groups == []
+    assert grouped.faults_after_ace == 0
+    assert grouped.injections_required == 0
+    # All-ACE-masked: the fault-list reduction is total.
+    assert grouped.ace_speedup == float(len(faults))
+    assert grouped.total_speedup == float(len(faults))
+
+
+def test_single_fault_group_elects_that_fault():
+    intervals = IntervalSet(TargetStructure.RF, {2: [interval(2, 5, 40)]})
+    faults = FaultList(TargetStructure.RF, [fault(7, 2, 12)])
+    grouped = group_faults(faults, intervals)
+    assert grouped.masked_fault_ids == []
+    assert len(grouped.groups) == 1
+    group = grouped.groups[0]
+    assert group.size == 1
+    assert group.representative == faults[0]
+    assert group.member_fault_ids() == [7]
+    assert grouped.injections_required == 1
+    assert grouped.grouping_speedup == 1.0
+
+
+def test_all_faults_in_intervals_no_ace_masking():
+    intervals = IntervalSet(
+        TargetStructure.RF,
+        {0: [interval(0, 0, 50, rip=4)], 1: [interval(1, 0, 50, rip=9)]},
+    )
+    faults = FaultList(
+        TargetStructure.RF,
+        [fault(0, 0, 10), fault(1, 0, 20), fault(2, 1, 10), fault(3, 1, 20)],
+    )
+    grouped = group_faults(faults, intervals)
+    assert grouped.masked_fault_ids == []
+    assert grouped.faults_after_ace == grouped.initial_faults == 4
+    assert grouped.ace_speedup == 1.0
+    # One (rip, upc, byte) group per entry; all members share byte 0.
+    assert grouped.num_groups == 2
+    assert grouped.faults_in_groups == 4
+    assert grouped.injections_required == 2
+    assert grouped.total_speedup == 2.0
+
+
+def test_byte_subgroups_split_and_prefer_distinct_instances():
+    # Two dynamic instances of the same reader, faults in two bytes.
+    intervals = IntervalSet(
+        TargetStructure.RF,
+        {4: [interval(4, 0, 20, rip=6), interval(4, 20, 40, rip=6)]},
+    )
+    faults = FaultList(
+        TargetStructure.RF,
+        [
+            fault(0, 4, 5, bit=0),    # byte 0, first instance
+            fault(1, 4, 25, bit=1),   # byte 0, second instance
+            fault(2, 4, 6, bit=8),    # byte 1, first instance
+            fault(3, 4, 26, bit=9),   # byte 1, second instance
+        ],
+    )
+    grouped = group_faults(faults, intervals)
+    assert grouped.num_groups == 2
+    representatives = {group.byte: group.representative for group in grouped.groups}
+    # Time diversity: the two byte sub-groups draw their representatives
+    # from different dynamic instances of the reader.
+    cycles = {representatives[0].cycle, representatives[1].cycle}
+    assert len(cycles) == 2
+
+
+def test_group_of_fault_mapping_covers_every_grouped_fault():
+    intervals = IntervalSet(TargetStructure.RF, {1: [interval(1, 0, 30)]})
+    faults = FaultList(
+        TargetStructure.RF,
+        [fault(0, 1, 3), fault(1, 1, 7), fault(2, 5, 9)],
+    )
+    grouped = group_faults(faults, intervals)
+    mapping = grouped.group_of_fault()
+    assert set(mapping) == {0, 1}
+    assert grouped.masked_fault_ids == [2]
+    assert grouped.group_sizes() == [2]
