@@ -15,7 +15,9 @@ This package is the one true entry point for running injection campaigns:
     Pluggable :class:`ExecutionEngine` implementations that run spec
     batches in-process, fanned out across cores, or serially with
     checkpoint fast-forwarded injection runs — all with progress hooks
-    and bit-identical outcomes.
+    and bit-identical outcomes.  ``make_engine("cluster")`` adds the
+    sharded intra-campaign engine from :mod:`repro.cluster` (artifact
+    cache, journaled resumable runs).
 :func:`sweep`
     Expands workloads x structures x configurations cross-products into
     spec lists for design-space exploration.
@@ -42,7 +44,7 @@ from repro.api.engine import (
 from repro.api.result import CampaignOutcome, ComprehensiveSummary, MerlinSummary
 from repro.api.session import CampaignExecution, PreparedCampaign, Session
 from repro.api.spec import METHODS, CampaignSpec, config_from_dict, config_to_dict
-from repro.api.store import ResultStore
+from repro.api.store import ResultStore, StoreError
 from repro.api.sweep import config_axis, sweep
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "ResultStore",
     "SerialEngine",
     "Session",
+    "StoreError",
     "config_axis",
     "config_from_dict",
     "config_to_dict",

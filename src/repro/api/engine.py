@@ -11,7 +11,11 @@ bit-identical to the serial engine's modulo wall-clock timings.
 :class:`CheckpointEngine` runs serially through a *checkpointing* session:
 injection runs fast-forward from golden-run machine-state checkpoints
 instead of cold-starting at cycle 0 (see :mod:`repro.uarch.checkpoint`),
-again with bit-identical outcomes.
+again with bit-identical outcomes.  The cluster engine
+(:class:`~repro.cluster.engine.ClusterEngine`, built via
+``make_engine("cluster")``) additionally parallelises *within* a campaign:
+fault lists shard across the worker pool, golden runs come from an on-disk
+artifact cache, and journaled runs are resumable after a kill.
 
 All engines report through the same progress hook: ``progress(done,
 total)`` fires as campaigns complete.
@@ -202,25 +206,46 @@ class ProcessPoolEngine:
 
 
 #: Engine names accepted by the CLI's ``--engine`` flag.
-ENGINES = ("serial", "process", "checkpoint")
+ENGINES = ("serial", "process", "checkpoint", "cluster")
 
 
 def make_engine(name: str, max_workers: Optional[int] = None,
-                checkpoint_interval: Optional[int] = None) -> ExecutionEngine:
+                checkpoint_interval: Optional[int] = None,
+                shard_size: Optional[int] = None,
+                cache_dir: Optional[str] = None,
+                resume: bool = False) -> ExecutionEngine:
     """Build an engine by CLI name."""
-    if checkpoint_interval is not None and name != "checkpoint":
+    if checkpoint_interval is not None and name not in ("checkpoint", "cluster"):
         raise ValueError(
-            f"checkpoint_interval only applies to the checkpoint engine, "
-            f"not {name!r}"
+            f"checkpoint_interval only applies to the checkpoint and "
+            f"cluster engines, not {name!r}"
         )
     if checkpoint_interval is not None and checkpoint_interval < 1:
         raise ValueError(
             f"checkpoint_interval must be >= 1 cycle, got {checkpoint_interval}"
         )
+    if name != "cluster":
+        for flag, value in (("shard_size", shard_size), ("cache_dir", cache_dir),
+                            ("resume", resume or None)):
+            if value is not None:
+                raise ValueError(
+                    f"{flag} only applies to the cluster engine, not {name!r}"
+                )
     if name == "serial":
         return SerialEngine()
     if name == "process":
         return ProcessPoolEngine(max_workers=max_workers)
     if name == "checkpoint":
         return CheckpointEngine(checkpoint_interval=checkpoint_interval)
+    if name == "cluster":
+        # Imported here: repro.cluster builds on this module's siblings.
+        from repro.cluster.engine import ClusterEngine
+
+        return ClusterEngine(
+            max_workers=max_workers,
+            shard_size=shard_size,
+            cache_dir=cache_dir,
+            resume=resume,
+            checkpoint_interval=checkpoint_interval,
+        )
     raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")

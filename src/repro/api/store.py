@@ -3,7 +3,11 @@
 A :class:`ResultStore` maps run identities to JSON artifacts: one
 ``<run_id>.json`` file per campaign under a root directory.  Writes are
 atomic (write-to-temp then rename) so a store shared by the process-pool
-engine's workers never exposes a half-written artifact.
+engine's workers never exposes a half-written artifact.  Read failures —
+a missing artifact, torn or foreign JSON, a payload that no longer matches
+the outcome schema — surface as a typed :class:`StoreError` naming the run
+id, never as a raw ``FileNotFoundError``/``JSONDecodeError`` leaking into
+callers like ``repro report``.
 """
 
 from __future__ import annotations
@@ -11,10 +15,54 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
 from repro.api.result import CampaignOutcome
+
+
+class StoreError(Exception):
+    """A stored outcome could not be read (missing, torn, or foreign)."""
+
+    def __init__(self, run_id: str, path: Path, reason: str):
+        self.run_id = run_id
+        self.path = path
+        self.reason = reason
+        super().__init__(f"stored outcome {run_id!r} ({path}): {reason}")
+
+
+def validate_run_id(run_id: str) -> str:
+    """Reject ids that could escape their directory; return the id."""
+    if not run_id or any(ch in run_id for ch in "/\\") or run_id.startswith("."):
+        raise ValueError(f"malformed run id {run_id!r}")
+    return run_id
+
+
+def atomic_write(path: Path, data: Union[str, bytes]) -> None:
+    """Write ``data`` to ``path`` atomically (temp file, then rename).
+
+    The dot-prefixed ``.tmp-*`` temp file lives in the target directory so
+    the rename never crosses filesystems; concurrent writers of the same
+    path race benignly (last rename wins, each file complete) and readers
+    never observe a half-written file.  Shared by the result store, the
+    artifact cache, and anything else persisting derived state.
+    """
+    binary = isinstance(data, bytes)
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
+    )
+    try:
+        with os.fdopen(handle, "wb" if binary else "w",
+                       **({} if binary else {"encoding": "utf-8"})) as stream:
+            stream.write(data)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 class ResultStore:
@@ -26,9 +74,7 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def _path(self, run_id: str) -> Path:
-        if not run_id or any(ch in run_id for ch in "/\\"):
-            raise ValueError(f"malformed run id {run_id!r}")
-        return self.root / f"{run_id}.json"
+        return self.root / f"{validate_run_id(run_id)}.json"
 
     def has(self, run_id: str) -> bool:
         return self._path(run_id).exists()
@@ -37,25 +83,25 @@ class ResultStore:
         """Atomically write ``outcome`` as ``<run_id>.json`` and return the path."""
         path = self._path(outcome.run_id)
         payload = json.dumps(outcome.to_dict(), indent=2, sort_keys=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(payload + "\n")
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write(path, payload + "\n")
         return path
 
     def load(self, run_id: str) -> CampaignOutcome:
+        """Load one stored outcome; raise :class:`StoreError` when unreadable."""
         path = self._path(run_id)
-        with open(path, "r", encoding="utf-8") as stream:
-            return CampaignOutcome.from_dict(json.load(stream))
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            raise StoreError(run_id, path, "no such stored outcome") from None
+        except json.JSONDecodeError as failure:
+            raise StoreError(run_id, path, f"not valid JSON ({failure})") from failure
+        try:
+            return CampaignOutcome.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as failure:
+            raise StoreError(
+                run_id, path, f"not a campaign outcome ({failure!r})"
+            ) from failure
 
     def get(self, run_id: str) -> Optional[CampaignOutcome]:
         """Like :meth:`load` but returns ``None`` when the artifact is absent."""
@@ -72,11 +118,36 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def run_ids(self) -> List[str]:
-        """Stored run ids, sorted for stable listings."""
+        """Stored run ids, sorted for stable listings.
+
+        Temp files from in-flight (or killed) :meth:`save` calls are
+        dot-prefixed ``.tmp-*`` names and never listed.
+        """
         return sorted(
             path.stem for path in self.root.glob("*.json")
             if not path.name.startswith(".")
         )
+
+    def gc(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove stale ``.tmp-*`` files left by killed writers.
+
+        Returns the number of files removed.  Only temp files older than
+        ``max_age_seconds`` are touched: an atomic write completes in
+        milliseconds, so a younger temp file may belong to a *live*
+        writer whose rename must not be sabotaged.  Pass ``0`` to sweep
+        everything when no writers can be running.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_seconds
+        for path in self.root.glob(".tmp-*"):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def __iter__(self) -> Iterator[CampaignOutcome]:
         for run_id in self.run_ids():

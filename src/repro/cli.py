@@ -28,10 +28,12 @@ from repro.api import (
     CampaignSpec,
     ENGINES,
     ResultStore,
+    StoreError,
     config_axis,
     make_engine,
     sweep,
 )
+from repro.cluster.journal import JournalError
 from repro.core.metrics import fit_rate, max_inaccuracy
 from repro.core.reporting import TableReport
 from repro.faults.classification import FaultEffectClass
@@ -88,6 +90,15 @@ def _print_outcome(outcome: CampaignOutcome) -> None:
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        store = ResultStore(args.store)
+        if args.json:
+            _emit_json(store.run_ids())
+            return 0
+        for outcome in store:
+            print(outcome.describe())
+        print(f"{len(store)} stored outcomes in {store.root}", file=sys.stderr)
+        return 0
     if args.json:
         _emit_json([
             {
@@ -115,7 +126,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         method=method,
     )
-    engine = make_engine(args.engine, checkpoint_interval=args.checkpoint_interval)
+    engine = make_engine(
+        args.engine, max_workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        shard_size=args.shard_size, cache_dir=args.cache_dir, resume=args.resume,
+    )
     outcome = engine.run([spec], store=_store_from(args))[0]
     if args.json:
         _emit_json(outcome.to_dict())
@@ -158,11 +173,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         faults=args.faults, seed=args.seed, scale=args.scale, method=args.method,
     )
     engine = make_engine(args.engine, max_workers=args.workers,
-                         checkpoint_interval=args.checkpoint_interval)
+                         checkpoint_interval=args.checkpoint_interval,
+                         shard_size=args.shard_size, cache_dir=args.cache_dir,
+                         resume=args.resume)
     progress = None
     if not args.json:
+        # The cluster engine reports finer-grained work units (shards).
+        unit = "shards" if args.engine == "cluster" else "campaigns"
+
         def progress(done: int, total: int) -> None:
-            print(f"\r{done}/{total} campaigns", end="", file=sys.stderr, flush=True)
+            print(f"\r{done}/{total} {unit}", end="", file=sys.stderr, flush=True)
     outcomes = engine.run(specs, store=_store_from(args), progress=progress)
     if progress is not None:
         print(file=sys.stderr)
@@ -191,19 +211,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _aggregate_outcomes(outcomes: List[CampaignOutcome]) -> List[dict]:
+    """Per-(workload, structure) summary rows over a whole store."""
+    buckets: dict = {}
+    for outcome in outcomes:
+        spec = outcome.spec
+        key = (spec.workload, spec.structure.short_name)
+        bucket = buckets.setdefault(key, {
+            "workload": spec.workload,
+            "structure": spec.structure.short_name,
+            "campaigns": 0,
+            "injections": 0,
+            "avf_sum": 0.0,
+            "speedup_sum": 0.0,
+            "merlin_campaigns": 0,
+        })
+        bucket["campaigns"] += 1
+        bucket["injections"] += outcome.injections
+        bucket["avf_sum"] += outcome.avf
+        if outcome.merlin is not None:
+            bucket["merlin_campaigns"] += 1
+            bucket["speedup_sum"] += outcome.merlin.total_speedup
+    rows = []
+    for key in sorted(buckets):
+        bucket = buckets[key]
+        rows.append({
+            "workload": bucket["workload"],
+            "structure": bucket["structure"],
+            "campaigns": bucket["campaigns"],
+            "injections": bucket["injections"],
+            "mean_avf": round(bucket["avf_sum"] / bucket["campaigns"], 4),
+            "mean_speedup": (
+                round(bucket["speedup_sum"] / bucket["merlin_campaigns"], 1)
+                if bucket["merlin_campaigns"] else None
+            ),
+        })
+    return rows
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if not Path(args.store).is_dir():
         raise ValueError(f"no result store at {args.store!r}")
     store = ResultStore(args.store)
     if args.run_id:
-        outcome = store.get(args.run_id)
-        if outcome is None:
+        if not store.has(args.run_id):
             print(f"no stored outcome {args.run_id!r} in {store.root}", file=sys.stderr)
             return 1
+        outcome = store.load(args.run_id)
         if args.json:
             _emit_json(outcome.to_dict())
         else:
             _print_outcome(outcome)
+        return 0
+
+    if args.all:
+        rows = _aggregate_outcomes(list(store))
+        if args.json:
+            _emit_json(rows)
+            return 0
+        table = TableReport(
+            title=f"aggregate over {len(store)} campaigns in {store.root}",
+            columns=["workload", "structure", "campaigns",
+                     "injections", "mean AVF", "mean speedup"],
+        )
+        for row in rows:
+            table.add_row([
+                row["workload"], row["structure"], row["campaigns"],
+                row["injections"], row["mean_avf"],
+                row["mean_speedup"] if row["mean_speedup"] is not None else "-",
+            ])
+        print(table.render())
         return 0
 
     outcomes = list(store)
@@ -230,6 +307,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Restart a killed cluster campaign from its journal."""
+    from repro.cluster import ClusterEngine, RunJournal
+
+    journal = RunJournal.load(Path(args.cache_dir) / "journals", args.run_id)
+    spec = journal.spec()
+    engine = ClusterEngine(
+        max_workers=args.workers,
+        shard_size=journal.shard_size,
+        cache_dir=args.cache_dir,
+        resume=True,
+        checkpoint_interval=journal.checkpoint_interval,
+    )
+    progress = None
+    if not args.json:
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} shards", end="", file=sys.stderr, flush=True)
+    outcome = engine.run([spec], store=_store_from(args), progress=progress)[0]
+    if progress is not None:
+        print(file=sys.stderr)
+        print(f"resumed {args.run_id}: {engine.stats['shards_reused']} shards "
+              f"from the journal, {engine.stats['shards_executed']} executed",
+              file=sys.stderr)
+    if args.json:
+        _emit_json(outcome.to_dict())
+        return 0
+    _print_outcome(outcome)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -240,12 +347,27 @@ def _add_common_flags(parser: argparse.ArgumentParser) -> None:
                         help="persist/reload outcomes as JSON artifacts under DIR")
 
 
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard-size", type=int, default=None, metavar="FAULTS",
+                        help="cluster engine: max faults per shard (default 250)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cluster engine: golden-artifact cache and "
+                             "journal directory (default .repro-cache)")
+    parser.add_argument("--resume", action="store_true",
+                        help="cluster engine: reuse journaled shards of a "
+                             "previous (killed) run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list the bundled workloads")
+    list_parser = subparsers.add_parser(
+        "list", help="list the bundled workloads (or, with --store, stored runs)")
     list_parser.add_argument("--json", action="store_true")
+    list_parser.add_argument("--store", default=None, metavar="DIR",
+                             help="list stored outcomes under DIR instead "
+                                  "of the workload registry")
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = subparsers.add_parser("run", help="run one campaign")
@@ -271,12 +393,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(shorthand for --method both)")
     run_parser.add_argument("--engine", default="serial", choices=list(ENGINES),
                             help="execution engine: serial cold-start, "
-                                 "process fan-out, or checkpoint "
-                                 "fast-forward (default serial)")
+                                 "process fan-out, checkpoint fast-forward, "
+                                 "or cluster sharded fan-out (default serial)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="process/cluster worker count (default: cores)")
     run_parser.add_argument("--checkpoint-interval", type=int, default=None,
                             metavar="CYCLES",
-                            help="checkpoint engine snapshot spacing "
+                            help="checkpoint/cluster engine snapshot spacing "
                                  "(default: ~32 checkpoints per golden run)")
+    _add_cluster_flags(run_parser)
     _add_common_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -303,8 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="process-engine worker count (default: cores)")
     sweep_parser.add_argument("--checkpoint-interval", type=int, default=None,
                               metavar="CYCLES",
-                              help="checkpoint engine snapshot spacing "
+                              help="checkpoint/cluster engine snapshot spacing "
                                    "(default: ~32 checkpoints per golden run)")
+    _add_cluster_flags(sweep_parser)
     _add_common_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -313,8 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--store", required=True, metavar="DIR")
     report_parser.add_argument("--run-id", default=None,
                                help="show one stored campaign in full")
+    report_parser.add_argument("--all", action="store_true",
+                               help="aggregate the whole store into a "
+                                    "per-workload/per-structure summary")
     report_parser.add_argument("--json", action="store_true")
     report_parser.set_defaults(func=_cmd_report)
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="restart a killed cluster campaign from its journal")
+    resume_parser.add_argument("run_id", metavar="RUN_ID",
+                               help="campaign run id (as journaled under "
+                                    "<cache-dir>/journals/)")
+    resume_parser.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                               help="cache/journal directory the run used "
+                                    "(default .repro-cache)")
+    resume_parser.add_argument("--workers", type=int, default=None,
+                               help="cluster worker count (default: cores)")
+    _add_common_flags(resume_parser)
+    resume_parser.set_defaults(func=_cmd_resume)
     return parser
 
 
@@ -323,6 +465,11 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (StoreError, JournalError) as error:
+        # One line naming the run id; exit 1 (an operational failure, not
+        # a usage error).
+        print(f"{parser.prog}: {error}", file=sys.stderr)
+        return 1
     except ValueError as error:
         parser.exit(2, f"{parser.prog}: error: {error}\n")
 

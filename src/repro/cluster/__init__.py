@@ -1,0 +1,38 @@
+"""`repro.cluster` — sharded campaign orchestration for production scale.
+
+The execution layer above the engines of :mod:`repro.api`: a single
+campaign's fault list is cut into deterministic, checkpoint-aligned
+:class:`FaultShard`s, golden runs and their checkpoint timelines are
+shared machine-wide through a content-addressed :class:`ArtifactCache`,
+per-shard outcomes are journaled append-only in a :class:`RunJournal`, and
+the :class:`ClusterEngine` fans the shards of a whole batch out across a
+worker pool — with ``repro resume <run_id>`` restarting a killed run from
+exactly the shards it was missing.  Merged outcomes are bit-identical to
+:class:`~repro.api.engine.SerialEngine`'s.
+"""
+
+from repro.cluster.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactCache,
+    golden_cache_key,
+)
+from repro.cluster.engine import DEFAULT_CACHE_DIR, ClusterEngine
+from repro.cluster.journal import JournalError, RunJournal, journal_path
+from repro.cluster.merge import MergeError, merge_shard_outcomes
+from repro.cluster.shards import DEFAULT_SHARD_SIZE, FaultShard, shard_faults
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactCache",
+    "ClusterEngine",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_SHARD_SIZE",
+    "FaultShard",
+    "JournalError",
+    "MergeError",
+    "RunJournal",
+    "golden_cache_key",
+    "journal_path",
+    "merge_shard_outcomes",
+    "shard_faults",
+]

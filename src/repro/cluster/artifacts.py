@@ -1,0 +1,205 @@
+"""Content-addressed on-disk cache for golden runs and their checkpoints.
+
+Capturing a traced golden run plus its :class:`CheckpointTimeline` is the
+expensive fixed cost of every campaign — PR 2 made injection cheap, which
+makes the golden build the dominant per-process cost of a fanned-out run.
+The :class:`ArtifactCache` amortises it to once per *machine*: the cluster
+coordinator builds each distinct golden once and stores it under a content
+hash of the spec's golden identity (workload, scale, configuration); pool
+workers then warm-start by loading the artifact instead of re-simulating.
+
+Artifacts are pickled payloads (trusted local cache, not an interchange
+format) written atomically — write to a temp file, then ``os.replace`` —
+exactly like :class:`~repro.api.store.ResultStore`, so concurrent writers
+of the same key race benignly (identical content, last rename wins) and a
+reader never observes a half-written file.  A corrupt or truncated
+artifact is treated as a miss and removed.  Total size is bounded by an
+LRU cap: loads touch the file's mtime, stores evict the least recently
+used artifacts once the cap is exceeded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.api.spec import CampaignSpec, config_to_dict
+from repro.api.store import atomic_write
+from repro.faults.golden import GoldenRecord
+from repro.uarch.checkpoint import CheckpointTimeline
+from repro.version import __version__
+
+#: Version folded into every artifact (and its key), so incompatible layout
+#: changes can never resurrect stale artifacts.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Default LRU size cap (bytes) for the golden-artifact directory.
+DEFAULT_MAX_BYTES = 4 * 1024 ** 3
+
+
+def golden_cache_key(spec: CampaignSpec,
+                     checkpoint_interval: Optional[int] = None) -> str:
+    """Content hash of the golden identity this cache speaks.
+
+    The identity is (workload, scale, config) *plus* everything that can
+    legitimately change what the artifact contains: the requested
+    checkpoint interval (different intervals produce different timelines —
+    a coarse cached timeline must never silently satisfy a
+    ``--checkpoint-interval`` request, nor derail a resumed run's
+    deterministic shard plan) and the package version (a simulator whose
+    semantics changed must never warm-start from a previous version's
+    golden, which would break the bit-identical-to-serial invariant).
+    """
+    payload = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "simulator": __version__,
+        "workload": spec.workload,
+        "scale": spec.scale,
+        "config": config_to_dict(spec.config),
+        "checkpoint_interval": checkpoint_interval,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class ArtifactCache:
+    """Persist and reload golden runs (with timelines) by content identity."""
+
+    def __init__(self, root: Union[str, Path],
+                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES):
+        self.root = Path(root)
+        self.golden_dir = self.root / "golden"
+        self.golden_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def golden_path(self, spec: CampaignSpec,
+                    checkpoint_interval: Optional[int] = None) -> Path:
+        return self.golden_dir / f"{golden_cache_key(spec, checkpoint_interval)}.pkl"
+
+    def has_golden(self, spec: CampaignSpec,
+                   checkpoint_interval: Optional[int] = None) -> bool:
+        return self.golden_path(spec, checkpoint_interval).exists()
+
+    def load_golden(self, spec: CampaignSpec,
+                    checkpoint_interval: Optional[int] = None,
+                    ) -> Optional[GoldenRecord]:
+        """The cached golden for the spec's identity, or ``None`` on a miss."""
+        key = golden_cache_key(spec, checkpoint_interval)
+        path = self.golden_dir / f"{key}.pkl"
+        try:
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+            golden = self._decode(payload, key)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write from a killed process, a foreign pickle, or a
+            # stale schema: a corrupt artifact is a miss, and leaving it on
+            # disk would make it a miss forever.
+            self.misses += 1
+            self._remove(path)
+            return None
+        self.hits += 1
+        self._touch(path)
+        return golden
+
+    def store_golden(self, spec: CampaignSpec, golden: GoldenRecord,
+                     checkpoint_interval: Optional[int] = None) -> Path:
+        """Atomically persist ``golden`` (timeline included) and return the path."""
+        key = golden_cache_key(spec, checkpoint_interval)
+        path = self.golden_dir / f"{key}.pkl"
+        payload = pickle.dumps(self._encode(golden, key),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write(path, payload)
+        self.stores += 1
+        self._evict_over_cap()
+        return path
+
+    # ------------------------------------------------------------------
+    # Artifact format
+    # ------------------------------------------------------------------
+    def _encode(self, golden: GoldenRecord, key: str) -> Dict[str, Any]:
+        timeline = golden.checkpoints
+        return {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "key": key,
+            # The timeline travels as its pure-data payload; the record
+            # itself is stored without it so the two halves stay decoupled.
+            "golden": dataclasses.replace(golden, checkpoints=None),
+            "timeline": timeline.to_payload() if timeline is not None else None,
+        }
+
+    def _decode(self, payload: Dict[str, Any], key: str) -> GoldenRecord:
+        if payload["schema"] != ARTIFACT_SCHEMA_VERSION or payload["key"] != key:
+            raise ValueError("artifact schema/key mismatch")
+        golden: GoldenRecord = payload["golden"]
+        if payload["timeline"] is not None:
+            golden.checkpoints = CheckpointTimeline.from_payload(payload["timeline"])
+        return golden
+
+    # ------------------------------------------------------------------
+    # LRU bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _artifacts(self):
+        """Finished artifacts only — never in-flight ``.tmp-*`` temp files
+        (unlinking a concurrent writer's temp file would abort its rename)."""
+        return (path for path in self.golden_dir.glob("*.pkl")
+                if not path.name.startswith("."))
+
+    def _evict_over_cap(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = []
+        for path in self._artifacts():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            self._remove(path)
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def describe(self) -> str:
+        artifacts = len(list(self._artifacts()))
+        return f"ArtifactCache({self.root}, {artifacts} goldens)"

@@ -1,0 +1,390 @@
+"""The cluster engine: intra-campaign fan-out with cache and journal.
+
+Where :class:`~repro.api.engine.ProcessPoolEngine` parallelises only
+*across* specs (a single 10k-fault campaign uses one core), the
+:class:`ClusterEngine` shards every campaign's injection targets into
+checkpoint-aligned :class:`~repro.cluster.shards.FaultShard`s and fans the
+shards of *all* campaigns in the batch out across one worker pool:
+
+1. The coordinator resolves each spec through a checkpointing
+   :class:`~repro.api.session.Session` backed by the on-disk
+   :class:`~repro.cluster.artifacts.ArtifactCache` — each distinct golden
+   run (and its checkpoint timeline) is built once per machine, then
+   warm-loaded by every worker process.
+2. Injection targets (the full fault list for comprehensive/both, the
+   MeRLiN group representatives for merlin-only) are sharded
+   deterministically and executed by pool workers, which restore from the
+   shared golden checkpoints and return per-fault outcomes.
+3. Every completed shard is journaled append-only
+   (:class:`~repro.cluster.journal.RunJournal`); a killed run resumes with
+   ``resume=True`` (CLI: ``repro resume <run_id>``), re-executing only the
+   missing shards.
+4. Shard outcomes merge into a :class:`~repro.api.result.CampaignOutcome`
+   bit-identical to :class:`~repro.api.engine.SerialEngine`'s — enforced
+   by ``tests/integration/test_cluster_equivalence.py``.
+
+Progress reports in work units: one unit per shard, plus one per campaign
+that is satisfied without sharding (reloaded from the result store).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.result import CampaignOutcome
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
+from repro.api.store import ResultStore
+from repro.cluster.artifacts import ArtifactCache
+from repro.cluster.journal import JournalError, RunJournal, ShardOutcomes
+from repro.cluster.merge import merge_shard_outcomes
+from repro.cluster.shards import DEFAULT_SHARD_SIZE, FaultShard, shard_faults
+from repro.core.grouping import GroupedFaults, group_faults
+from repro.core.intervals import build_interval_set
+from repro.faults.campaign import ComprehensiveCampaign, ProgressCallback
+from repro.faults.golden import GoldenRecord
+from repro.faults.model import FaultList
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+#: Default on-disk location for golden artifacts and run journals.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process sessions keyed by (cache dir, interval): a long-lived pool
+#: worker pays the artifact load once per distinct golden (the session's
+#: in-memory memo), not once per shard.
+_WORKER_SESSIONS: Dict[Tuple[str, Optional[int]], Session] = {}
+
+
+def _worker_golden(spec: CampaignSpec, cache_dir: str,
+                   checkpoint_interval: Optional[int]) -> Tuple[GoldenRecord, bool]:
+    """The golden for ``spec`` in this worker process: memo, cache, or build.
+
+    Uses the *same* :meth:`Session.golden` lookup path as the coordinator
+    (identical interval resolution and artifact identity), so the two can
+    never drift.  Returns ``(golden, machine_cache_hit)``; the coordinator
+    stores every golden before sharding, so the build fallback only fires
+    when the artifact was evicted (or an external process wiped the cache)
+    between planning and execution — correctness never depends on the
+    cache.
+    """
+    key = (str(cache_dir), checkpoint_interval)
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = Session(
+            checkpointing=True,
+            checkpoint_interval=checkpoint_interval,
+            artifact_cache=ArtifactCache(cache_dir),
+        )
+        _WORKER_SESSIONS[key] = session
+    misses_before = session.artifact_cache.misses
+    golden = session.golden(spec)
+    return golden, session.artifact_cache.misses == misses_before
+
+
+def _run_shard_worker(spec_dict: Dict[str, Any], shard_dict: Dict[str, Any],
+                      cache_dir: str,
+                      checkpoint_interval: Optional[int]) -> Dict[str, Any]:
+    """Pool worker: warm-load the golden, inject one shard, return outcomes.
+
+    Module-level so it pickles by reference; everything crossing the
+    process boundary is plain JSON-shaped data.
+    """
+    spec = CampaignSpec.from_dict(spec_dict)
+    shard = FaultShard.from_dict(shard_dict)
+    golden, cache_hit = _worker_golden(spec, cache_dir, checkpoint_interval)
+    faults = shard.fault_specs()
+    campaign = ComprehensiveCampaign(
+        golden,
+        FaultList(TargetStructure[shard.structure], faults),
+        use_checkpoints=True,
+    )
+    outcomes = campaign.run_shard(faults)
+    return {
+        "shard_id": shard.shard_id(),
+        "golden_cache_hit": cache_hit,
+        "outcomes": {
+            str(fault_id): [outcome.effect.value, outcome.result.cycles]
+            for fault_id, outcome in outcomes.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+@dataclass
+class _CampaignPlan:
+    """One spec's resolved inputs and shard plan."""
+
+    index: int
+    spec: CampaignSpec
+    golden: GoldenRecord
+    fault_list: FaultList
+    grouped: Optional[GroupedFaults]
+    shards: List[FaultShard]
+    journal: RunJournal
+    outcomes: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    pending: Dict[str, FaultShard] = field(default_factory=dict)
+    started: float = 0.0
+
+
+class ClusterEngine:
+    """Shard campaigns across a worker pool, with cache and resume.
+
+    ``shard_size`` bounds faults per shard (default
+    :data:`~repro.cluster.shards.DEFAULT_SHARD_SIZE`); ``cache_dir`` holds
+    the golden artifacts and run journals.  A killed run's journaled
+    shards are always preserved and reused on the next run of the same
+    plan (see :meth:`_journal_for`); ``resume=True`` makes that strict —
+    the journal must exist and match the plan, or the run fails instead
+    of starting over.  ``checkpoint_interval`` tunes golden snapshot
+    spacing exactly as for the checkpoint engine.  Custom
+    (session-registered) programs are not resolvable in workers; use
+    :class:`SerialEngine` for those.
+
+    After each :meth:`run`, :attr:`stats` holds the run's bookkeeping
+    (shards executed/reused, golden builds, worker cache hits, ...) —
+    deliberately *not* folded into the outcomes, which stay bit-identical
+    to the serial engine's.
+    """
+
+    name = "cluster"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 shard_size: Optional[int] = None,
+                 cache_dir: Union[str, Path, None] = None,
+                 resume: bool = False,
+                 checkpoint_interval: Optional[int] = None):
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.max_workers = max_workers
+        self.shard_size = shard_size if shard_size is not None else DEFAULT_SHARD_SIZE
+        self.cache_dir = Path(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+        self.resume = resume
+        self.checkpoint_interval = checkpoint_interval
+        self.stats: Dict[str, int] = {}
+
+    @property
+    def journal_dir(self) -> Path:
+        return self.cache_dir / "journals"
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[CampaignSpec],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[CampaignOutcome]:
+        cache = ArtifactCache(self.cache_dir)
+        session = Session(
+            store=None,  # outcome persistence is the coordinator's job
+            checkpointing=True,
+            checkpoint_interval=self.checkpoint_interval,
+            artifact_cache=cache,
+        )
+        self.stats = {
+            "campaigns": len(specs),
+            "campaigns_from_store": 0,
+            "golden_builds": 0,
+            "shards_total": 0,
+            "shards_executed": 0,
+            "shards_reused": 0,
+            "worker_cache_hits": 0,
+            "worker_cache_misses": 0,
+        }
+
+        outcomes: List[Optional[CampaignOutcome]] = [None] * len(specs)
+        plans: List[_CampaignPlan] = []
+
+        # Phase 1 — resolve and shard every campaign (coordinator, serial).
+        for index, spec in enumerate(specs):
+            if store is not None:
+                cached = store.get(spec.run_id())
+                if cached is not None:
+                    outcomes[index] = cached
+                    self.stats["campaigns_from_store"] += 1
+                    continue
+            plans.append(self._plan(index, spec, session))
+        self.stats["golden_builds"] = cache.misses
+        self.stats["shards_total"] = sum(len(plan.shards) for plan in plans)
+        self.stats["shards_reused"] = sum(
+            len(plan.shards) - len(plan.pending) for plan in plans
+        )
+
+        total_units = self.stats["campaigns_from_store"] + self.stats["shards_total"]
+        done_units = (
+            self.stats["campaigns_from_store"] + self.stats["shards_reused"]
+        )
+        if progress is not None and done_units:
+            progress(done_units, total_units)
+
+        # Campaigns whose shards are all journaled (or empty) merge now.
+        for plan in plans:
+            if not plan.pending:
+                outcomes[plan.index] = self._finish(plan, store)
+
+        # Phase 2 — execute the missing shards of all campaigns in one pool.
+        pending_plans = [plan for plan in plans if plan.pending]
+        if pending_plans:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {}
+                for plan in pending_plans:
+                    plan.started = time.perf_counter()
+                    for shard in plan.pending.values():
+                        future = pool.submit(
+                            _run_shard_worker,
+                            plan.spec.to_dict(),
+                            shard.to_dict(),
+                            str(self.cache_dir),
+                            self.checkpoint_interval,
+                        )
+                        futures[future] = (plan, shard)
+                try:
+                    while futures:
+                        finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            plan, shard = futures.pop(future)
+                            try:
+                                payload = future.result()
+                            except Exception as failure:
+                                raise RuntimeError(
+                                    f"campaign {plan.spec.describe()} "
+                                    f"{shard.describe()} failed in a worker "
+                                    f"process: {failure!r}"
+                                ) from failure
+                            self._absorb(plan, shard, payload)
+                            done_units += 1
+                            if progress is not None:
+                                progress(done_units, total_units)
+                            if not plan.pending:
+                                outcomes[plan.index] = self._finish(plan, store)
+                except BaseException:
+                    # Don't wait for queued shards once one has failed; the
+                    # journal keeps everything already completed.
+                    for future in futures:
+                        future.cancel()
+                    raise
+
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # ------------------------------------------------------------------
+    def _plan(self, index: int, spec: CampaignSpec,
+              session: Session) -> _CampaignPlan:
+        """Resolve one spec into golden, targets, shards and journal."""
+        golden = session.golden(spec)
+        fault_list = session.fault_list(spec)
+
+        grouped: Optional[GroupedFaults] = None
+        if spec.runs_merlin:
+            if golden.tracer is None:
+                raise ValueError(
+                    f"campaign {spec.run_id()}: merlin needs a traced golden run"
+                )
+            intervals = build_interval_set(golden.tracer, spec.structure)
+            grouped = group_faults(fault_list, intervals)
+
+        if spec.runs_comprehensive:
+            targets = list(fault_list)
+        else:
+            targets = [
+                group.representative for group in grouped.groups
+                if group.representative is not None
+            ]
+        shards = shard_faults(
+            spec.run_id(), targets, golden.checkpoints, self.shard_size
+        )
+
+        journal = self._journal_for(spec, shards)
+
+        plan = _CampaignPlan(
+            index=index, spec=spec, golden=golden, fault_list=fault_list,
+            grouped=grouped, shards=shards, journal=journal,
+        )
+        for shard in shards:
+            journaled = journal.completed.get(shard.shard_id())
+            if journaled is not None:
+                plan.outcomes.update(journaled)
+            else:
+                plan.pending[shard.shard_id()] = shard
+        return plan
+
+    def _journal_for(self, spec: CampaignSpec,
+                     shards: List[FaultShard]) -> RunJournal:
+        """Open (preserving a killed run's shards) or start this run's journal.
+
+        An *unmerged* journal whose plan matches is a killed run: its
+        completed shards are reused even without ``resume=True`` — shard
+        outcomes are deterministic, so reuse changes nothing but wall
+        clock, and truncating it would destroy exactly the work the
+        journal exists to protect.  A *merged* journal is a finished
+        campaign: re-running the spec (past the store) is an explicit
+        request to re-execute, so a fresh journal is started.  With
+        ``resume=True`` the journal must exist and match the plan — a
+        mismatch (different knobs) or a missing journal raises instead of
+        silently starting over.
+        """
+        existing: Optional[RunJournal] = None
+        if RunJournal.exists(self.journal_dir, spec.run_id()):
+            try:
+                existing = RunJournal.load(self.journal_dir, spec.run_id())
+                existing.validate_plan(spec, shards)
+            except JournalError:
+                if self.resume:
+                    raise
+                existing = None  # unreadable or foreign plan: start over
+        elif self.resume:
+            raise JournalError(
+                f"no journal for run {spec.run_id()!r} under "
+                f"{self.journal_dir}; nothing to resume"
+            )
+        if existing is not None and (self.resume or not existing.merged):
+            return existing
+        return RunJournal.create(
+            self.journal_dir, spec, shards,
+            shard_size=self.shard_size,
+            checkpoint_interval=self.checkpoint_interval,
+        )
+
+    def _absorb(self, plan: _CampaignPlan, shard: FaultShard,
+                payload: Dict[str, Any]) -> None:
+        """Journal and accumulate one completed shard's outcomes."""
+        outcomes: ShardOutcomes = {
+            int(fault_id): (effect, cycles)
+            for fault_id, (effect, cycles) in payload["outcomes"].items()
+        }
+        cache_hit = bool(payload.get("golden_cache_hit"))
+        plan.journal.record_shard(shard, outcomes, golden_cache_hit=cache_hit)
+        plan.outcomes.update(outcomes)
+        del plan.pending[shard.shard_id()]
+        self.stats["shards_executed"] += 1
+        key = "worker_cache_hits" if cache_hit else "worker_cache_misses"
+        self.stats[key] += 1
+
+    def _finish(self, plan: _CampaignPlan,
+                store: Optional[ResultStore]) -> CampaignOutcome:
+        """Merge a completed campaign, persist it, and close its journal."""
+        elapsed = time.perf_counter() - plan.started if plan.started else 0.0
+        outcome = merge_shard_outcomes(
+            plan.spec,
+            plan.golden,
+            structure_geometry(plan.spec.structure, plan.spec.config),
+            plan.fault_list,
+            plan.grouped,
+            plan.outcomes,
+            wall_clock_seconds=elapsed,
+        )
+        if store is not None:
+            store.save(outcome)
+        plan.journal.record_merged({
+            "shards": len(plan.shards),
+            "wall_clock_seconds": round(elapsed, 3),
+        })
+        return outcome

@@ -1,0 +1,256 @@
+"""Append-only, crash-safe journal of a sharded campaign run.
+
+A :class:`RunJournal` is one JSON-lines file per campaign run id: a header
+line pinning the campaign's identity (spec, shard plan, engine knobs)
+followed by one line per completed shard carrying that shard's per-fault
+outcomes, and finally a ``merged`` marker once the campaign's outcome has
+been assembled and persisted.  Every append is flushed and fsynced, so a
+killed run loses at most the line being written — and the reader tolerates
+exactly that, ignoring a torn trailing line.
+
+``repro resume <run_id>`` rebuilds the spec from the header, re-derives
+the shard plan (sharding is deterministic), verifies it matches the
+journaled plan, replays the journaled shard outcomes, and executes only
+the missing shards — producing a merged outcome bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.spec import CampaignSpec
+from repro.api.store import validate_run_id
+from repro.cluster.shards import FaultShard
+from repro.version import __version__
+
+#: Journal layout version; bump on incompatible format changes so resume
+#: never misreads an old journal.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: fault_id -> (effect label, simulated cycles) for every fault of a shard.
+ShardOutcomes = Dict[int, Tuple[str, int]]
+
+
+class JournalError(Exception):
+    """A journal is missing, unreadable, or names a different run plan."""
+
+
+def journal_path(journal_dir: Union[str, Path], run_id: str) -> Path:
+    try:
+        validate_run_id(run_id)
+    except ValueError as failure:
+        raise JournalError(str(failure)) from None
+    return Path(journal_dir) / f"{run_id}.jsonl"
+
+
+class RunJournal:
+    """One campaign's append-only shard-outcome log."""
+
+    def __init__(self, path: Path, header: Dict[str, Any],
+                 completed: Optional[Dict[str, ShardOutcomes]] = None,
+                 cache_hits: int = 0, merged: bool = False):
+        self.path = path
+        self.header = header
+        #: shard_id -> journaled per-fault outcomes.
+        self.completed: Dict[str, ShardOutcomes] = dict(completed or {})
+        self.worker_cache_hits = cache_hits
+        self.merged = merged
+
+    # ------------------------------------------------------------------
+    # Creation / resumption
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        journal_dir: Union[str, Path],
+        spec: CampaignSpec,
+        shards: Sequence[FaultShard],
+        shard_size: int,
+        checkpoint_interval: Optional[int] = None,
+    ) -> "RunJournal":
+        """Start a fresh journal (truncating any previous one for this run)."""
+        path = journal_path(journal_dir, spec.run_id())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "header",
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "simulator": __version__,
+            "run_id": spec.run_id(),
+            "spec": spec.to_dict(),
+            "shard_size": shard_size,
+            "checkpoint_interval": checkpoint_interval,
+            "total_shards": len(shards),
+            "shard_ids": [shard.shard_id() for shard in shards],
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            cls._append_line(stream, header)
+        return cls(path, header)
+
+    @classmethod
+    def load(cls, journal_dir: Union[str, Path], run_id: str) -> "RunJournal":
+        """Parse an existing journal, tolerating a torn trailing line.
+
+        A torn trailing line (the append a killed run was in the middle
+        of) is *truncated away*, not just skipped: a later
+        :meth:`record_shard` appends at EOF, and gluing a new record onto
+        the fragment would turn a harmless torn tail into a corrupt
+        mid-file line that poisons every subsequent load.
+        """
+        path = journal_path(journal_dir, run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                lines = stream.readlines()
+        except OSError as failure:
+            raise JournalError(
+                f"no journal for run {run_id!r} under {Path(journal_dir)}"
+            ) from failure
+        if lines and not lines[-1].endswith("\n"):
+            # A kill can also land exactly between the record and its
+            # newline; restore the terminator so a future append starts
+            # on a fresh line (an unparseable tail is truncated below).
+            try:
+                json.loads(lines[-1])
+            except json.JSONDecodeError:
+                pass
+            else:
+                with open(path, "a", encoding="utf-8") as stream:
+                    stream.write("\n")
+                lines[-1] += "\n"
+
+        header: Optional[Dict[str, Any]] = None
+        completed: Dict[str, ShardOutcomes] = {}
+        cache_hits = 0
+        merged = False
+        for position, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    valid_bytes = sum(
+                        len(kept.encode("utf-8")) for kept in lines[:position]
+                    )
+                    with open(path, "a", encoding="utf-8") as stream:
+                        stream.truncate(valid_bytes)
+                    continue
+                raise JournalError(
+                    f"corrupt journal line {position + 1} in {path}"
+                ) from None
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("schema") != JOURNAL_SCHEMA_VERSION:
+                    raise JournalError(
+                        f"journal {path} has schema {record.get('schema')!r}, "
+                        f"expected {JOURNAL_SCHEMA_VERSION}"
+                    )
+                if record.get("simulator") != __version__:
+                    # Mirrors the artifact cache: outcomes journaled by a
+                    # different simulator version must never merge with
+                    # this version's (the result would be reproducible by
+                    # no engine at all).
+                    raise JournalError(
+                        f"journal {path} was written by simulator version "
+                        f"{record.get('simulator')!r}, this is {__version__}"
+                    )
+                header = record
+            elif kind == "shard":
+                completed[record["shard_id"]] = {
+                    int(fault_id): (effect, cycles)
+                    for fault_id, (effect, cycles) in record["outcomes"].items()
+                }
+                if record.get("golden_cache_hit"):
+                    cache_hits += 1
+            elif kind == "merged":
+                merged = True
+        if header is None:
+            raise JournalError(f"journal {path} has no header line")
+        return cls(path, header, completed, cache_hits, merged)
+
+    @staticmethod
+    def exists(journal_dir: Union[str, Path], run_id: str) -> bool:
+        return journal_path(journal_dir, run_id).exists()
+
+    # ------------------------------------------------------------------
+    # Appends (flushed and fsynced: crash loses at most the torn line)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _append_line(stream, record: Dict[str, Any]) -> None:
+        stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+
+    def record_shard(self, shard: FaultShard, outcomes: ShardOutcomes,
+                     golden_cache_hit: bool = False) -> None:
+        shard_id = shard.shard_id()
+        record = {
+            "kind": "shard",
+            "shard_id": shard_id,
+            "index": shard.index,
+            "golden_cache_hit": bool(golden_cache_hit),
+            "outcomes": {
+                str(fault_id): [effect, cycles]
+                for fault_id, (effect, cycles) in outcomes.items()
+            },
+        }
+        with open(self.path, "a", encoding="utf-8") as stream:
+            self._append_line(stream, record)
+        self.completed[shard_id] = dict(outcomes)
+        if golden_cache_hit:
+            self.worker_cache_hits += 1
+
+    def record_merged(self, stats: Optional[Dict[str, Any]] = None) -> None:
+        record = {"kind": "merged", "run_id": self.run_id, "stats": stats or {}}
+        with open(self.path, "a", encoding="utf-8") as stream:
+            self._append_line(stream, record)
+        self.merged = True
+
+    # ------------------------------------------------------------------
+    # Header accessors / validation
+    # ------------------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        return self.header["run_id"]
+
+    @property
+    def shard_ids(self) -> List[str]:
+        return list(self.header["shard_ids"])
+
+    @property
+    def shard_size(self) -> int:
+        return self.header["shard_size"]
+
+    @property
+    def checkpoint_interval(self) -> Optional[int]:
+        return self.header.get("checkpoint_interval")
+
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec.from_dict(self.header["spec"])
+
+    def missing_shard_ids(self) -> List[str]:
+        return [sid for sid in self.shard_ids if sid not in self.completed]
+
+    def validate_plan(self, spec: CampaignSpec,
+                      shards: Sequence[FaultShard]) -> None:
+        """Check the journal describes exactly this (spec, shard) plan.
+
+        Sharding is deterministic, so a mismatch means the journal belongs
+        to a different campaign or was produced with different engine knobs
+        (shard size, checkpoint interval) — resuming over it would merge
+        outcomes of the wrong faults.
+        """
+        if self.header["spec"] != spec.to_dict():
+            raise JournalError(
+                f"journal {self.path} was written for a different spec; "
+                f"refusing to resume run {spec.run_id()}"
+            )
+        planned = [shard.shard_id() for shard in shards]
+        if planned != self.shard_ids:
+            raise JournalError(
+                f"journal {self.path} shard plan does not match "
+                f"(journaled {len(self.shard_ids)} shards, derived "
+                f"{len(planned)}); was it written with a different "
+                f"--shard-size or checkpoint interval?"
+            )

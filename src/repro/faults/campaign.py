@@ -186,6 +186,28 @@ class ComprehensiveCampaign:
                 yield fault, batch.checkpoint
 
     # ------------------------------------------------------------------
+    def run_shard(self, faults: Iterable[FaultSpec]) -> Dict[int, InjectionOutcome]:
+        """Inject exactly ``faults`` and return per-fault outcomes by id.
+
+        The shard-level unit of work of the cluster engine: no aggregate
+        timing or classification, just the raw per-fault outcomes the
+        coordinator needs to merge shards bit-identically.  Scheduling is
+        the same as :meth:`run` (cycle-sorted checkpoint batches with a
+        pooled restore CPU on the fast-forward path), so a shard costs no
+        more per fault than a whole campaign would.
+        """
+        shard = list(faults)
+        reuse_cpu = None
+        if self.use_checkpoints:
+            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
+        outcomes: Dict[int, InjectionOutcome] = {}
+        for fault, checkpoint in self._schedule(shard):
+            outcomes[fault.fault_id] = self.run_fault(
+                fault, checkpoint=checkpoint, reuse_cpu=reuse_cpu
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
     def cached_outcomes(self) -> Dict[int, InjectionOutcome]:
         """Return the memoised per-fault outcomes (used by accuracy studies)."""
         return dict(self._outcome_cache)

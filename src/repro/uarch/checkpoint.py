@@ -419,6 +419,39 @@ class CheckpointTimeline:
             return self._states[index]
         return None
 
+    # ------------------------------------------------------------------
+    # Serialization (artifact cache / cross-process shipping)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Tuple:
+        """Encode the timeline as pure data (nested tuples of primitives).
+
+        :class:`CpuState` fields are already pure data by the snapshot
+        contract, so flattening them into field tuples yields a payload
+        that pickles compactly, compares by value, and carries no live
+        object references — the on-disk artifact format of
+        :class:`~repro.cluster.artifacts.ArtifactCache`.
+        """
+        field_names = tuple(CpuState.__dataclass_fields__)
+        return (
+            self.interval,
+            self.max_checkpoints,
+            self._next_cycle,
+            tuple(
+                tuple(getattr(state, name) for name in field_names)
+                for state in self._states
+            ),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "CheckpointTimeline":
+        """Inverse of :meth:`to_payload`."""
+        interval, max_checkpoints, next_cycle, states = payload
+        timeline = cls(interval, max_checkpoints)
+        timeline._states = [CpuState(*fields) for fields in states]
+        timeline._cycles = [state.cycle for state in timeline._states]
+        timeline._next_cycle = next_cycle
+        return timeline
+
 
 # ----------------------------------------------------------------------
 # Fast-forwarded injection support

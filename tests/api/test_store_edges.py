@@ -1,0 +1,82 @@
+"""ResultStore edge cases: typed errors, concurrent writers, stale temps."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api import CampaignOutcome, CampaignSpec, ResultStore, StoreError
+from repro.uarch.structures import TargetStructure
+
+
+def outcome_for(seed: int = 0) -> CampaignOutcome:
+    spec = CampaignSpec(workload="sha", structure=TargetStructure.RF,
+                        faults=10, scale=1, seed=seed)
+    return CampaignOutcome(
+        spec=spec, golden_cycles=100, committed_instructions=50, total_bits=4096,
+    )
+
+
+def test_load_missing_raises_typed_store_error(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(StoreError) as failure:
+        store.load("cafebabe0000")
+    assert failure.value.run_id == "cafebabe0000"
+    assert "no such stored outcome" in str(failure.value)
+    # get() still maps a plain miss to None.
+    assert store.get("cafebabe0000") is None
+
+
+def test_load_corrupt_json_raises_store_error(tmp_path):
+    store = ResultStore(tmp_path)
+    (tmp_path / "deadbeef.json").write_text("{broken")
+    with pytest.raises(StoreError, match="not valid JSON"):
+        store.load("deadbeef")
+    with pytest.raises(StoreError):
+        store.get("deadbeef")
+
+
+def test_load_foreign_payload_raises_store_error(tmp_path):
+    store = ResultStore(tmp_path)
+    (tmp_path / "feedface.json").write_text(json.dumps({"spec": {}}))
+    with pytest.raises(StoreError, match="not a campaign outcome"):
+        store.load("feedface")
+
+
+def _saver(args):
+    """Process worker: hammer the same run id with repeated saves."""
+    root, seed, repeats = args
+    store = ResultStore(root)
+    outcome = outcome_for(seed)
+    for _ in range(repeats):
+        store.save(outcome)
+    return outcome.run_id
+
+
+def test_concurrent_saves_of_same_run_id_never_tear(tmp_path):
+    """Two processes racing save() on one run id: last rename wins, the
+    artifact is always complete JSON, and no temp files leak."""
+    args = [(str(tmp_path), 0, 25), (str(tmp_path), 0, 25)]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        run_ids = list(pool.map(_saver, args))
+    assert run_ids[0] == run_ids[1]
+    loaded = ResultStore(tmp_path).load(run_ids[0])
+    assert loaded.to_dict() == outcome_for(0).to_dict()
+    assert list(tmp_path.glob(".tmp-*")) == []
+
+
+def test_stale_tmp_files_ignored_and_collected(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save(outcome_for(1))
+    (tmp_path / ".tmp-abcd.json").write_text("half-written")
+    (tmp_path / ".tmp-efgh.json").write_text("")
+    assert store.run_ids() == [outcome_for(1).run_id]
+
+    # Fresh temp files may belong to a live writer: default gc spares them.
+    assert store.gc() == 0
+    removed = store.gc(max_age_seconds=0)
+    assert removed == 2
+    assert list(tmp_path.glob(".tmp-*")) == []
+    # Real artifacts survive collection.
+    assert store.run_ids() == [outcome_for(1).run_id]
+    assert store.gc(max_age_seconds=0) == 0

@@ -1,0 +1,177 @@
+"""ClusterEngine wiring: registry, stores, progress, failures, resume guards."""
+
+import pytest
+
+from repro.api import CampaignSpec, ResultStore, make_engine
+from repro.cluster import ClusterEngine, JournalError, RunJournal
+from repro.uarch.structures import TargetStructure
+
+
+def tiny_spec(**overrides):
+    payload = dict(workload="sha", structure=TargetStructure.RF,
+                   faults=30, scale=1, seed=0)
+    payload.update(overrides)
+    return CampaignSpec(**payload)
+
+
+def test_make_engine_builds_cluster(tmp_path):
+    engine = make_engine("cluster", max_workers=2, shard_size=9,
+                         cache_dir=str(tmp_path), checkpoint_interval=50)
+    assert isinstance(engine, ClusterEngine)
+    assert engine.shard_size == 9
+    assert engine.max_workers == 2
+    assert engine.checkpoint_interval == 50
+    assert not engine.resume
+
+
+def test_make_engine_rejects_cluster_flags_elsewhere(tmp_path):
+    with pytest.raises(ValueError, match="shard_size"):
+        make_engine("serial", shard_size=10)
+    with pytest.raises(ValueError, match="cache_dir"):
+        make_engine("process", cache_dir=str(tmp_path))
+    with pytest.raises(ValueError, match="resume"):
+        make_engine("checkpoint", resume=True)
+    with pytest.raises(ValueError, match="shard_size"):
+        ClusterEngine(shard_size=0)
+
+
+def test_empty_batch(tmp_path):
+    assert ClusterEngine(cache_dir=tmp_path).run([]) == []
+
+
+def test_store_short_circuits_a_stored_campaign(tmp_path):
+    spec = tiny_spec()
+    store = ResultStore(tmp_path / "store")
+    engine = ClusterEngine(max_workers=1, shard_size=10,
+                           cache_dir=tmp_path / "cache")
+    first = engine.run([spec], store=store)[0]
+    assert engine.stats["campaigns_from_store"] == 0
+    again = engine.run([spec], store=store)[0]
+    assert engine.stats["campaigns_from_store"] == 1
+    assert engine.stats["shards_executed"] == 0
+    assert again.to_dict() == first.to_dict()
+
+
+def test_progress_counts_shards_and_finishes_complete(tmp_path):
+    spec = tiny_spec(seed=1)
+    events = []
+    engine = ClusterEngine(max_workers=2, shard_size=5,
+                           cache_dir=tmp_path / "cache")
+    engine.run([spec], progress=lambda done, total: events.append((done, total)))
+    assert events, "progress hook never fired"
+    totals = {total for _, total in events}
+    assert totals == {engine.stats["shards_total"]}
+    dones = [done for done, _ in events]
+    assert dones == sorted(dones)
+    assert events[-1] == (engine.stats["shards_total"], engine.stats["shards_total"])
+
+
+def test_worker_failure_surfaces_and_cancels(tmp_path, monkeypatch):
+    """A failing shard must raise promptly, naming campaign and shard.
+
+    The worker function is monkeypatched in the parent; the fork-started
+    pool children inherit the patched module.
+    """
+    import repro.cluster.engine as engine_module
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected shard failure")
+
+    monkeypatch.setattr(engine_module, "_run_shard_worker", boom)
+    engine = ClusterEngine(max_workers=1, shard_size=5,
+                           cache_dir=tmp_path / "cache")
+    with pytest.raises(RuntimeError, match="failed in a worker"):
+        engine.run([tiny_spec(seed=2)])
+
+
+def test_resume_rejects_a_mismatched_plan(tmp_path):
+    spec = tiny_spec(seed=3)
+    engine = ClusterEngine(max_workers=1, shard_size=5,
+                           cache_dir=tmp_path / "cache")
+    engine.run([spec])
+    assert RunJournal.exists(engine.journal_dir, spec.run_id())
+    mismatched = ClusterEngine(max_workers=1, shard_size=7,
+                               cache_dir=tmp_path / "cache", resume=True)
+    with pytest.raises(JournalError, match="shard plan"):
+        mismatched.run([spec])
+
+
+def test_rerun_without_resume_preserves_a_killed_runs_shards(tmp_path):
+    """Re-running the same command after a kill must not truncate the
+    journal the crash-safety story depends on."""
+    import json
+
+    from repro.cluster import journal_path
+
+    spec = tiny_spec(seed=6)
+    cache = tmp_path / "cache"
+    first = ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache)
+    outcome = first.run([spec])[0]
+    shards = first.stats["shards_total"]
+
+    # Fake a kill: the merged marker never landed and one shard is missing.
+    path = journal_path(first.journal_dir, spec.run_id())
+    lines = [line for line in path.read_text().splitlines(True)
+             if json.loads(line).get("kind") != "merged"]
+    path.write_text("".join(lines[:-1]))
+
+    rerun = ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache)
+    again = rerun.run([spec])[0]
+    assert rerun.stats["shards_reused"] == shards - 1
+    assert rerun.stats["shards_executed"] == 1
+    assert again.classification_fingerprint() == outcome.classification_fingerprint()
+
+
+def test_rerun_after_a_finished_run_starts_fresh(tmp_path):
+    """A merged journal is a completed campaign: re-running re-executes."""
+    spec = tiny_spec(seed=6)
+    cache = tmp_path / "cache"
+    ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache).run([spec])
+    rerun = ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache)
+    rerun.run([spec])
+    assert rerun.stats["shards_reused"] == 0
+    assert rerun.stats["shards_executed"] == rerun.stats["shards_total"]
+
+
+def test_resume_without_journal_raises(tmp_path):
+    engine = ClusterEngine(max_workers=1, cache_dir=tmp_path / "cache",
+                           resume=True)
+    with pytest.raises(JournalError, match="nothing to resume"):
+        engine.run([tiny_spec(seed=7)])
+
+
+def test_resume_of_a_complete_journal_reuses_everything(tmp_path):
+    spec = tiny_spec(seed=4)
+    cache = tmp_path / "cache"
+    first = ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache)
+    outcome = first.run([spec])[0]
+    resumed = ClusterEngine(max_workers=1, shard_size=5, cache_dir=cache,
+                            resume=True)
+    again = resumed.run([spec])[0]
+    assert resumed.stats["shards_executed"] == 0
+    assert resumed.stats["shards_reused"] == resumed.stats["shards_total"] > 0
+    assert again.classification_fingerprint() == outcome.classification_fingerprint()
+
+
+def test_checkpoint_interval_is_part_of_artifact_identity(tmp_path):
+    """--checkpoint-interval must never be silently satisfied by a cached
+    golden captured at a different spacing."""
+    spec = tiny_spec(seed=5)
+    cache = tmp_path / "cache"
+    coarse = ClusterEngine(max_workers=1, cache_dir=cache, checkpoint_interval=48)
+    coarse.run([spec])
+    assert coarse.stats["golden_builds"] == 1
+
+    fine = ClusterEngine(max_workers=1, cache_dir=cache, checkpoint_interval=16)
+    fine.run([spec])
+    assert fine.stats["golden_builds"] == 1, "different interval, new artifact"
+
+    warm = ClusterEngine(max_workers=1, cache_dir=cache, checkpoint_interval=16)
+    warm.run([spec])
+    assert warm.stats["golden_builds"] == 0
+
+
+def test_unknown_workload_fails_in_planning(tmp_path):
+    engine = ClusterEngine(max_workers=1, cache_dir=tmp_path / "cache")
+    with pytest.raises(KeyError):
+        engine.run([CampaignSpec(workload="no-such-workload", faults=10)])

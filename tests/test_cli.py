@@ -43,3 +43,114 @@ def test_parser_rejects_unknown_workload():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         cli.main([])
+
+
+def test_cluster_flags_rejected_for_other_engines():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--workload", "sha", "--faults", "10", "--scale", "1",
+                  "--engine", "serial", "--resume"])
+
+
+# ----------------------------------------------------------------------
+# Cluster engine + resume through the CLI
+# ----------------------------------------------------------------------
+def test_run_cluster_engine_and_resume(tmp_path, capsys):
+    import json
+
+    from repro.cluster import journal_path
+
+    store = str(tmp_path / "store")
+    cache = str(tmp_path / "cache")
+    base = [
+        "run", "--workload", "sha", "--structure", "RF", "--registers", "64",
+        "--faults", "40", "--scale", "1", "--engine", "cluster",
+        "--workers", "1", "--shard-size", "9", "--cache-dir", cache,
+        "--store", store,
+    ]
+    assert cli.main(base + ["--json"]) == 0
+    reference = json.loads(capsys.readouterr().out)
+    run_id = reference["run_id"]
+
+    # Simulate a kill: the stored outcome never landed and the journal
+    # kept only the header plus its first shard.
+    (tmp_path / "store" / f"{run_id}.json").unlink()
+    path = journal_path(tmp_path / "cache" / "journals", run_id)
+    lines = path.read_text().splitlines(True)
+    path.write_text("".join(lines[:2]))
+
+    assert cli.main(["resume", run_id, "--cache-dir", cache,
+                     "--store", store, "--json"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    reference["merlin"].pop("wall_clock_seconds")
+    resumed["merlin"].pop("wall_clock_seconds")
+    assert resumed == reference
+
+
+def test_resume_without_journal_fails_with_one_line(tmp_path, capsys):
+    code = cli.main(["resume", "cafebabe0000", "--cache-dir", str(tmp_path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "no journal" in err and "cafebabe0000" in err
+
+
+# ----------------------------------------------------------------------
+# Store-wide reporting and typed store errors
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def populated_store(tmp_path):
+    store = str(tmp_path / "store")
+    for workload, seed in (("sha", 0), ("sha", 1), ("qsort", 0)):
+        assert cli.main([
+            "run", "--workload", workload, "--structure", "RF",
+            "--registers", "64", "--faults", "30", "--scale", "1",
+            "--seed", str(seed), "--store", store,
+        ]) == 0
+    return store
+
+
+def test_report_all_aggregates_per_workload(populated_store, capsys):
+    import json
+
+    capsys.readouterr()
+    assert cli.main(["report", "--store", populated_store, "--all", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [(row["workload"], row["structure"]) for row in rows] == [
+        ("qsort", "RF"), ("sha", "RF"),
+    ]
+    sha_row = rows[1]
+    assert sha_row["campaigns"] == 2
+    assert sha_row["injections"] > 0
+    assert 0.0 <= sha_row["mean_avf"] <= 1.0
+    assert sha_row["mean_speedup"] >= 1.0
+
+    assert cli.main(["report", "--store", populated_store, "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate over 3 campaigns" in out
+    assert "qsort" in out and "sha" in out
+
+
+def test_list_store_mode(populated_store, capsys):
+    capsys.readouterr()
+    assert cli.main(["list", "--store", populated_store]) == 0
+    out = capsys.readouterr().out
+    assert out.count("\n") == 3
+    assert "sha/RF" in out and "qsort/RF" in out
+
+
+def test_report_corrupt_artifact_exits_one_with_run_id(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    store_dir.mkdir()
+    (store_dir / "deadbeef.json").write_text("{broken")
+    code = cli.main(["report", "--store", str(store_dir), "--run-id", "deadbeef"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "deadbeef" in err and "JSON" in err
+
+
+def test_report_missing_run_id_still_exits_one(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    store_dir.mkdir()
+    code = cli.main(["report", "--store", str(store_dir), "--run-id", "none"])
+    assert code == 1
+    assert "no stored outcome" in capsys.readouterr().err
