@@ -78,6 +78,7 @@ class PreparedCampaign:
                 confidence=self.spec.confidence,
                 seed=self.spec.seed,
                 use_checkpoints=self.use_checkpoints,
+                fault_model=self.spec.fault_model_instance(),
             ),
             golden=self.golden,
             baseline=baseline,
@@ -228,7 +229,13 @@ class Session:
         return golden
 
     def fault_list(self, spec: CampaignSpec) -> FaultList:
-        """The initial statistical fault list for the spec (memoised)."""
+        """The initial statistical fault list for the spec (memoised).
+
+        The spec's fault model shapes both the draws (anchor-bit range,
+        per-model population sizing) and the materialised scenarios; the
+        model identity is part of the memo key, so campaigns differing
+        only in model never share a list.
+        """
         key = spec.fault_list_key()
         if key not in self._fault_lists:
             golden = self.golden(spec)
@@ -240,6 +247,7 @@ class Session:
                 error_margin=spec.error_margin,
                 confidence=spec.confidence,
                 seed=spec.seed,
+                model=spec.fault_model_instance(),
             )
         return self._fault_lists[key]
 

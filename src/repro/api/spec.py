@@ -17,12 +17,17 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults.models import DEFAULT_MODEL, FaultModel, get_model
 from repro.faults.sampling import BASELINE_CONFIDENCE, BASELINE_ERROR_MARGIN
 from repro.uarch.config import FunctionalUnitPool, MicroarchConfig
 from repro.uarch.structures import TargetStructure
 
 #: Schema version folded into the run-identity hash; bump on incompatible
 #: changes to the spec layout so stale stored artifacts are not reused.
+#: (The fault-model fields are additive: they enter the canonical form
+#: only when non-default, so every pre-existing single-bit run id is
+#: unchanged — enforced by the golden fixture in the differential
+#: harness.)
 SPEC_SCHEMA_VERSION = 1
 
 #: The campaign methods a spec may request.
@@ -49,9 +54,14 @@ class CampaignSpec:
 
     ``faults`` is the explicit initial fault-list size; when ``None`` the
     statistically required size is derived from ``error_margin`` and
-    ``confidence`` (Leveugle et al.), exactly as in the paper's campaigns.
-    ``method`` selects what to run: MeRLiN, the comprehensive baseline, or
-    both over the same shared fault list.
+    ``confidence`` (Leveugle et al.) over the fault model's population,
+    exactly as in the paper's campaigns.  ``method`` selects what to run:
+    MeRLiN, the comprehensive baseline, or both over the same shared
+    fault list.  ``fault_model`` names a registered model of the zoo in
+    :mod:`repro.faults.models` (default: the paper's single-bit
+    transient) and ``model_params`` its parameters as a sorted tuple of
+    ``(name, value)`` pairs — a dict is accepted and canonicalised, so
+    two specs naming the same parametrisation hash identically.
     """
 
     workload: str
@@ -63,6 +73,8 @@ class CampaignSpec:
     confidence: float = BASELINE_CONFIDENCE
     seed: int = 0
     method: str = "merlin"
+    fault_model: str = DEFAULT_MODEL
+    model_params: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.workload:
@@ -77,13 +89,43 @@ class CampaignSpec:
             raise ValueError("error margin must be in (0, 1)")
         if not 0.0 < self.confidence < 1.0:
             raise ValueError("confidence must be in (0, 1)")
+        if isinstance(self.model_params, dict):
+            params: Any = self.model_params
+        else:
+            params = dict(self.model_params)
+        def as_int(value: Any) -> int:
+            # Accept ints and integer-valued strings/floats (hand-edited
+            # JSON); reject anything whose value would silently change.
+            coerced = int(value)
+            if isinstance(value, float) and coerced != value:
+                raise ValueError(value)
+            return coerced
+
+        try:
+            canonical = tuple(sorted(
+                (str(key), as_int(value)) for key, value in params.items()
+            ))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"model_params values must be integers, got {params!r}"
+            ) from None
+        object.__setattr__(self, "model_params", canonical)
+        # Resolving the model validates both the name and its parameters
+        # at construction time — a bad spec never reaches an engine.
+        self.fault_model_instance()
 
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-serializable form (enums by name, config nested)."""
-        return {
+        """Canonical JSON-serializable form (enums by name, config nested).
+
+        The fault-model fields appear only when they differ from the
+        single-bit default: the default form — and hence every
+        pre-generalization run id, stored artifact and journal header —
+        is byte-for-byte unchanged.
+        """
+        payload = {
             "workload": self.workload,
             "structure": self.structure.name,
             "config": config_to_dict(self.config),
@@ -94,6 +136,10 @@ class CampaignSpec:
             "seed": self.seed,
             "method": self.method,
         }
+        if self.fault_model != DEFAULT_MODEL or self.model_params:
+            payload["fault_model"] = self.fault_model
+            payload["model_params"] = [list(pair) for pair in self.model_params]
+        return payload
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "CampaignSpec":
@@ -117,6 +163,10 @@ class CampaignSpec:
             confidence=payload.get("confidence", BASELINE_CONFIDENCE),
             seed=payload.get("seed", 0),
             method=payload.get("method", "merlin"),
+            fault_model=payload.get("fault_model", DEFAULT_MODEL),
+            # A dict, a list of pairs (JSON) or a tuple of pairs are all
+            # accepted; __post_init__ canonicalises whichever arrives.
+            model_params=payload.get("model_params", ()),
         )
 
     def canonical_json(self) -> str:
@@ -141,7 +191,12 @@ class CampaignSpec:
         return (
             self.workload, self.scale, self.config, self.structure,
             self.faults, self.error_margin, self.confidence, self.seed,
+            self.fault_model, self.model_params,
         )
+
+    def fault_model_instance(self) -> FaultModel:
+        """The resolved fault model this campaign injects with."""
+        return get_model(self.fault_model, **dict(self.model_params))
 
     # ------------------------------------------------------------------
     # Convenience derivations
@@ -162,7 +217,10 @@ class CampaignSpec:
         budget = str(self.faults) if self.faults is not None else (
             f"e={self.error_margin:.2%}@{self.confidence:.1%}"
         )
+        model = ""
+        if self.fault_model != DEFAULT_MODEL or self.model_params:
+            model = f" model={self.fault_model_instance().describe()}"
         return (
             f"{self.run_id()} {self.workload}/{self.structure.short_name} "
-            f"faults={budget} seed={self.seed} method={self.method}"
+            f"faults={budget} seed={self.seed} method={self.method}{model}"
         )

@@ -9,9 +9,10 @@ design-space exploration plugs into the façade.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.spec import CampaignSpec
+from repro.faults.models import DEFAULT_MODEL
 from repro.faults.sampling import BASELINE_CONFIDENCE, BASELINE_ERROR_MARGIN
 from repro.uarch.config import MicroarchConfig
 from repro.uarch.structures import TargetStructure
@@ -40,13 +41,17 @@ def sweep(
     seed: int = 0,
     scale: Optional[int] = None,
     method: str = "merlin",
+    fault_model: str = DEFAULT_MODEL,
+    model_params: Optional[Dict[str, int]] = None,
 ) -> List[CampaignSpec]:
     """Expand a cross-product of campaign axes into a spec list.
 
     The expansion order is workloads-major (all structures and configs of
     one workload are adjacent), which keeps the serial engine's golden-run
     cache hot: every (workload, config) pair's profiling run is captured
-    once and shared by its structures.
+    once and shared by its structures.  ``fault_model``/``model_params``
+    apply to every spec of the sweep (sweeping the model axis itself is a
+    matter of concatenating sweeps).
     """
     config_axis: Sequence[MicroarchConfig] = (
         configs if configs is not None else (MicroarchConfig(),)
@@ -66,6 +71,8 @@ def sweep(
                     confidence=confidence,
                     seed=seed,
                     method=method,
+                    fault_model=fault_model,
+                    model_params=model_params or {},
                 ))
     return specs
 

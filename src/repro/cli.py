@@ -35,6 +35,7 @@ from repro.api import (
 )
 from repro.cluster.journal import JournalError
 from repro.core.metrics import fit_rate, max_inaccuracy
+from repro.faults.models import DEFAULT_MODEL, model_names
 from repro.core.reporting import TableReport
 from repro.faults.classification import FaultEffectClass
 from repro.uarch.structures import TargetStructure, structure_config_label
@@ -52,6 +53,24 @@ def _build_config(args: argparse.Namespace):
 
 def _store_from(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(args.store) if getattr(args, "store", None) else None
+
+
+def _parse_model_params(pairs: Optional[List[str]]) -> dict:
+    """Parse repeated ``--model-param NAME=VALUE`` flags (integer values)."""
+    params: dict = {}
+    for pair in pairs or ():
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(
+                f"--model-param expects NAME=VALUE, got {pair!r}"
+            )
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"--model-param {name!r} needs an integer value, got {value!r}"
+            ) from None
+    return params
 
 
 def _emit_json(payload) -> None:
@@ -125,6 +144,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         seed=args.seed,
         method=method,
+        fault_model=args.fault_model,
+        model_params=_parse_model_params(args.model_param),
     )
     engine = make_engine(
         args.engine, max_workers=args.workers,
@@ -171,6 +192,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = sweep(
         workloads, structures, configs,
         faults=args.faults, seed=args.seed, scale=args.scale, method=args.method,
+        fault_model=args.fault_model,
+        model_params=_parse_model_params(args.model_param),
     )
     engine = make_engine(args.engine, max_workers=args.workers,
                          checkpoint_interval=args.checkpoint_interval,
@@ -347,6 +370,17 @@ def _add_common_flags(parser: argparse.ArgumentParser) -> None:
                         help="persist/reload outcomes as JSON artifacts under DIR")
 
 
+def _add_model_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-model", default=DEFAULT_MODEL,
+                        choices=list(model_names()),
+                        help="fault model to inject with (default single-bit "
+                             "transient, the paper's model)")
+    parser.add_argument("--model-param", action="append", default=None,
+                        metavar="NAME=VALUE",
+                        help="fault-model parameter, repeatable (e.g. "
+                             "--fault-model multi-bit --model-param width=4)")
+
+
 def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard-size", type=int, default=None, metavar="FAULTS",
                         help="cluster engine: max faults per shard (default 250)")
@@ -401,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="CYCLES",
                             help="checkpoint/cluster engine snapshot spacing "
                                  "(default: ~32 checkpoints per golden run)")
+    _add_model_flags(run_parser)
     _add_cluster_flags(run_parser)
     _add_common_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -430,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="CYCLES",
                               help="checkpoint/cluster engine snapshot spacing "
                                    "(default: ~32 checkpoints per golden run)")
+    _add_model_flags(sweep_parser)
     _add_cluster_flags(sweep_parser)
     _add_common_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)

@@ -27,20 +27,32 @@ from repro.uarch.structures import TargetStructure
 DEFAULT_SHARD_SIZE = 250
 
 
+def _jsonable(value: Any) -> Any:
+    """Tuples (possibly nested, as in fault payloads) to JSON arrays."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
 @dataclass(frozen=True)
 class FaultShard:
     """A contiguous, cycle-sorted slice of one campaign's injection targets.
 
-    ``faults`` carries the full ``(fault_id, entry, bit, cycle)`` payload so
-    a worker needs nothing beyond the shard and the campaign spec to run it
-    — no fault-list regeneration, no grouping.  ``campaign_run_id`` ties the
+    ``faults`` carries each fault's full payload
+    (:meth:`~repro.faults.model.FaultSpec.to_payload`) so a worker needs
+    nothing beyond the shard and the campaign spec to run it — no
+    fault-list regeneration, no grouping, no model-registry lookup.
+    Single-bit transients keep the seed's ``(fault_id, entry, bit,
+    cycle)`` 4-tuple encoding, so their shard ids (and therefore journaled
+    runs) are unchanged by the fault-model generalization; windowed and
+    multi-site faults carry extended tuples.  ``campaign_run_id`` ties the
     shard to its campaign; :meth:`shard_id` content-hashes the whole thing.
     """
 
     campaign_run_id: str
     index: int
     structure: str
-    faults: Tuple[Tuple[int, int, int, int], ...]
+    faults: Tuple[Tuple, ...]
 
     def __len__(self) -> int:
         return len(self.faults)
@@ -51,13 +63,14 @@ class FaultShard:
 
     @property
     def cycle_range(self) -> Tuple[int, int]:
-        """(first, last) injection cycle covered (shard faults are cycle-sorted)."""
+        """(first, last) anchor cycle covered (shard faults are cycle-sorted)."""
         return self.faults[0][3], self.faults[-1][3]
 
     def shard_id(self) -> str:
         """Deterministic content hash of this shard's identity and payload."""
         canonical = json.dumps(
-            [self.campaign_run_id, self.index, self.structure, list(self.faults)],
+            [self.campaign_run_id, self.index, self.structure,
+             _jsonable(self.faults)],
             separators=(",", ":"),
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
@@ -66,9 +79,8 @@ class FaultShard:
         """Materialise the shard's payload back into :class:`FaultSpec`s."""
         structure = TargetStructure[self.structure]
         return [
-            FaultSpec(fault_id=fault_id, structure=structure,
-                      entry=entry, bit=bit, cycle=cycle)
-            for fault_id, entry, bit, cycle in self.faults
+            FaultSpec.from_payload(structure, payload)
+            for payload in self.faults
         ]
 
     # ------------------------------------------------------------------
@@ -77,16 +89,24 @@ class FaultShard:
             "campaign_run_id": self.campaign_run_id,
             "index": self.index,
             "structure": self.structure,
-            "faults": [list(fault) for fault in self.faults],
+            "faults": _jsonable(self.faults),
         }
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "FaultShard":
+        # Payload tuples survive JSON as (possibly nested) lists; the
+        # canonical in-memory form is nested tuples, restored here so
+        # shard ids and equality are stable across the round-trip.
+        def as_tuple(value: Any) -> Any:
+            if isinstance(value, (list, tuple)):
+                return tuple(as_tuple(item) for item in value)
+            return value
+
         return FaultShard(
             campaign_run_id=data["campaign_run_id"],
             index=data["index"],
             structure=data["structure"],
-            faults=tuple(tuple(fault) for fault in data["faults"]),
+            faults=as_tuple(data["faults"]),
         )
 
     def describe(self) -> str:
@@ -148,9 +168,6 @@ def shard_faults(
             campaign_run_id=campaign_run_id,
             index=index,
             structure=members[0].structure.name,
-            faults=tuple(
-                (fault.fault_id, fault.entry, fault.bit, fault.cycle)
-                for fault in members
-            ),
+            faults=tuple(fault.to_payload() for fault in members),
         ))
     return shards

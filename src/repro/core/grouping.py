@@ -13,6 +13,16 @@ Step 2 splits each (RIP, uPC) group by the byte position of the flipped bit
 byte sub-group, preferring representatives from *different dynamic
 instances* of the same static instruction to increase time diversity
 (Figure 5).
+
+Generalized fault models flow through both steps keyed by their *first
+vulnerable application* — the earliest (active cycle, flip entry) pair in
+plan order that lands inside a vulnerable interval (for the paper's
+single-bit transients this is the classic single anchor lookup).  A fault
+is ACE-masked only when *every* application of its window misses every
+interval; grouping and the byte split then use the keying interval and
+the anchor's byte.  Representative propagation within a group stays exact
+because every member of a group applies the same model with the same
+geometry relative to its anchor.
 """
 
 from __future__ import annotations
@@ -158,13 +168,34 @@ def _select_representative(members: List[GroupedFault],
     return best.fault
 
 
+def first_vulnerable_interval(fault: FaultSpec,
+                              intervals: IntervalSet) -> Optional[VulnerableInterval]:
+    """The first vulnerable interval any application of ``fault`` lands in.
+
+    Applications are scanned in plan order — active cycles outermost,
+    flip entries in spec order within a cycle — so a single-bit transient
+    reduces to the classic one-lookup anchor check, while a windowed
+    fault (intermittent re-application, stuck-at pin) is prunable only if
+    *every* application misses every vulnerable interval: a pin whose
+    anchor lands in dead time but whose window covers a later interval of
+    the entry corrupts a consumed value and must not be ACE-masked.
+    """
+    entries = fault.flip_entries()
+    for cycle in fault.active_cycles():
+        for entry in entries:
+            interval = intervals.find(entry, cycle)
+            if interval is not None:
+                return interval
+    return None
+
+
 def group_faults(fault_list: FaultList, intervals: IntervalSet) -> GroupedFaults:
     """Run both grouping steps over ``fault_list``."""
     masked_ids: List[int] = []
     step1: Dict[Tuple[int, int], List[GroupedFault]] = defaultdict(list)
 
     for fault in fault_list:
-        interval = intervals.find(fault.entry, fault.cycle)
+        interval = first_vulnerable_interval(fault, intervals)
         if interval is None:
             masked_ids.append(fault.fault_id)
             continue

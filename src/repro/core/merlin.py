@@ -27,6 +27,7 @@ from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord, capture_golden
 from repro.faults.injector import inject_fault
 from repro.faults.model import FaultList
+from repro.faults.models import FaultModel
 from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
 from repro.uarch.config import MicroarchConfig
@@ -47,6 +48,11 @@ class MerlinConfig:
     #: Fast-forward representative injections from golden checkpoints
     #: (cycle-sorted; bit-identical outcomes, shorter wall clock).
     use_checkpoints: bool = False
+    #: Fault model the initial list is drawn with (None: the paper's
+    #: single-bit transient).  Grouping keys off each fault's anchor —
+    #: the first flip site — so every model flows through the same
+    #: two-step reduction.
+    fault_model: Optional[FaultModel] = None
 
 
 @dataclass
@@ -140,6 +146,7 @@ class MerlinCampaign:
                 error_margin=self.merlin_config.error_margin,
                 confidence=self.merlin_config.confidence,
                 seed=self.merlin_config.seed,
+                model=self.merlin_config.fault_model,
             )
         return self._fault_list
 

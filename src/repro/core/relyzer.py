@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.grouping import GroupedFault
+from repro.core.grouping import GroupedFault, first_vulnerable_interval
 from repro.core.intervals import IntervalSet
 from repro.faults.campaign import ComprehensiveCampaign
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
@@ -167,7 +167,10 @@ class RelyzerCampaign:
         masked_ids: List[int] = []
         grouped: Dict[Tuple[int, Tuple[int, ...]], List[GroupedFault]] = defaultdict(list)
         for fault in self.fault_list:
-            interval = self.intervals.find(fault.entry, fault.cycle)
+            # Same windowed-model-aware pruning as MeRLiN's grouping: a
+            # fault is non-ACE only if every application of its window
+            # misses every vulnerable interval.
+            interval = first_vulnerable_interval(fault, self.intervals)
             if interval is None:
                 masked_ids.append(fault.fault_id)
                 continue

@@ -2,10 +2,15 @@
 
 The framework provides:
 
-* the single-bit transient fault model used by the paper
-  (:class:`repro.faults.model.FaultSpec`: structure, entry, bit, cycle);
+* the generalized fault specification
+  (:class:`repro.faults.model.FaultSpec`: an ordered flip set over an
+  active-cycle window) and the pluggable model zoo that builds scenarios
+  from it — single-bit transients (the paper's model and the default),
+  multi-bit adjacent bursts, intermittent re-applications and stuck-at
+  windows (:mod:`repro.faults.models`);
 * statistical fault sampling following Leveugle et al. (DATE 2009), the
-  paper's reference [26] (:mod:`repro.faults.sampling`);
+  paper's reference [26], with per-model population sizing
+  (:mod:`repro.faults.sampling`);
 * golden-run capture with structure access tracing
   (:mod:`repro.faults.golden`);
 * per-fault injection runs and the six-class fault-effect taxonomy of
@@ -15,6 +20,17 @@ The framework provides:
 """
 
 from repro.faults.model import FaultList, FaultSpec
+from repro.faults.models import (
+    DEFAULT_MODEL,
+    FaultModel,
+    IntermittentBurst,
+    MultiBitAdjacent,
+    SingleBitTransient,
+    StuckAt0,
+    StuckAt1,
+    get_model,
+    model_names,
+)
 from repro.faults.sampling import (
     SamplingPlan,
     required_sample_size,
@@ -34,6 +50,15 @@ from repro.faults.campaign import CampaignResult, ComprehensiveCampaign
 __all__ = [
     "FaultList",
     "FaultSpec",
+    "FaultModel",
+    "SingleBitTransient",
+    "MultiBitAdjacent",
+    "IntermittentBurst",
+    "StuckAt0",
+    "StuckAt1",
+    "DEFAULT_MODEL",
+    "get_model",
+    "model_names",
     "SamplingPlan",
     "required_sample_size",
     "generate_fault_list",

@@ -58,10 +58,18 @@ def inject_fault(
     Section 4.4.3.4 (in addition to the full taxonomy, which is then based
     on the state observed at the interval end).
 
+    The fault may be any :class:`~repro.faults.model.FaultSpec` scenario —
+    single-bit transient, multi-bit burst, intermittent re-application or
+    stuck-at window — the whole plan (every flip site at every active
+    cycle) is handed to the pipeline.  A window extending past the run's
+    end is legal: late applications simply never fire.
+
     ``fast_forward`` enables the checkpoint engine: the run restores the
     nearest golden checkpoint at-or-before the injection cycle instead of
     cold-simulating from cycle 0, and ends early with the golden result if
-    the faulty state reconverges exactly onto a later golden checkpoint.
+    the faulty state reconverges exactly onto a later golden checkpoint
+    (only *after* the fault's active window has closed — a still-open
+    window could re-perturb matched state).
     Both paths are bit-identical in classification and in every
     :class:`SimulationResult` field (enforced by the differential harness
     in ``tests/integration/test_checkpoint_equivalence.py``).
@@ -70,8 +78,7 @@ def inject_fault(
     CPU object to restore into (a checkpoint restore resets *all* machine
     state, so reuse is exact; only used when a restore actually happens).
     """
-    plan_cycle, flip = fault.as_plan_entry()
-    fault_plan = {plan_cycle: [flip]}
+    fault_plan = fault.plan()
     max_cycles = max(golden.timeout_cycles(TIMEOUT_FACTOR), fault.cycle + 1)
     max_instructions = golden.committed_instructions if simpoint_mode else None
     timeline = golden.checkpoints if fast_forward else None

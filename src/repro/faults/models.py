@@ -1,0 +1,279 @@
+"""Pluggable fault models: the scenario axes beyond single-bit transients.
+
+The paper's evaluation (Table 2, Figures 8-17) is built entirely on
+single-bit transient flips.  This module generalizes the campaign space
+along the standard scenario axes of the fault-injection literature while
+keeping the single-bit model bit-for-bit identical to the seed behaviour:
+
+* :class:`SingleBitTransient` — one bit of one entry flips at one cycle
+  (the paper's model; the default everywhere);
+* :class:`MultiBitAdjacent` — an MBU-style burst of 2-8 adjacent bits of
+  one entry flipping together at one cycle;
+* :class:`IntermittentBurst` — the same bit re-flipped several times over
+  a cycle window (a marginal cell that keeps glitching);
+* :class:`StuckAt0` / :class:`StuckAt1` — a bit pinned to a value for a
+  window of cycles (applied at every cycle boundary of the window, the
+  discrete-time approximation of a stuck cell).
+
+A model is a small factory: it knows its legal anchor positions (so
+statistical sampling draws only constructible faults), its exhaustive
+population size (Leveugle sizing is per-model), and how to materialise a
+drawn ``(entry, bit, cycle)`` anchor into a full
+:class:`~repro.faults.model.FaultSpec` — which carries the ordered flip
+set and the active-cycle window explicitly, so specs survive shard/journal
+round-trips without consulting the registry.
+
+Models are addressable by name through :func:`get_model` (the CLI's
+``--fault-model`` / ``--model-param`` flags and
+:class:`~repro.api.spec.CampaignSpec.fault_model` resolve here), and every
+engine is proven bit-identical on every model by the generalized
+differential harness in ``tests/integration/test_faultmodel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.faults.model import SINGLE_BIT_MODEL, FaultSpec
+from repro.uarch.structures import StructureGeometry, TargetStructure
+
+
+class FaultModel:
+    """Base class of the pluggable fault models.
+
+    Subclasses are immutable value objects: two instances with the same
+    name and parameters describe the same model (and hash identically in
+    campaign-spec identities).
+    """
+
+    #: Registry name (CLI ``--fault-model`` value); set by subclasses.
+    name: str = ""
+
+    def params(self) -> Dict[str, int]:
+        """The model's parameters, canonically ordered (empty if none)."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Sampling geometry
+    # ------------------------------------------------------------------
+    def bit_positions(self, geometry: StructureGeometry) -> int:
+        """Number of legal anchor-bit positions per entry.
+
+        The statistical sampler draws the anchor bit uniformly from
+        ``range(bit_positions)``, so a model whose flip set would spill
+        past the entry boundary (e.g. a 4-bit burst anchored at bit 62)
+        shrinks this instead of clamping draws — clamping would silently
+        bias the sample toward the boundary.
+        """
+        return geometry.bits_per_entry
+
+    def population(self, geometry: StructureGeometry, total_cycles: int) -> int:
+        """Size of this model's exhaustive fault population.
+
+        Per-model Leveugle sizing: every legal (entry, anchor bit, cycle)
+        triple is one distinct fault.
+        """
+        return geometry.num_entries * self.bit_positions(geometry) * total_cycles
+
+    # ------------------------------------------------------------------
+    # Fault construction
+    # ------------------------------------------------------------------
+    def make_fault(self, fault_id: int, structure: TargetStructure,
+                   entry: int, bit: int, cycle: int) -> FaultSpec:
+        """Materialise one drawn anchor into a full :class:`FaultSpec`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        params = self.params()
+        if not params:
+            return self.name
+        rendered = ",".join(f"{key}={value}" for key, value in params.items())
+        return f"{self.name}({rendered})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultModel):
+            return NotImplemented
+        return self.name == other.name and self.params() == other.params()
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self.params().items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultModel {self.describe()}>"
+
+
+class SingleBitTransient(FaultModel):
+    """The paper's model: one transient bit flip (the default everywhere).
+
+    Faults it builds are canonical single-bit specs, so campaigns using it
+    are bit-for-bit identical to the pre-model-zoo seed behaviour — the
+    golden-fixture check in the differential harness enforces this.
+    """
+
+    name = SINGLE_BIT_MODEL
+
+    def make_fault(self, fault_id: int, structure: TargetStructure,
+                   entry: int, bit: int, cycle: int) -> FaultSpec:
+        return FaultSpec(fault_id=fault_id, structure=structure,
+                         entry=entry, bit=bit, cycle=cycle)
+
+
+class MultiBitAdjacent(FaultModel):
+    """An MBU-style burst: ``width`` adjacent bits of one entry flip together.
+
+    ``width`` of 2 or 4 models the dominant multi-bit upset patterns;
+    anything from 2 to 8 is accepted.  The burst anchors at the drawn bit
+    and extends upward, so the anchor range shrinks by ``width - 1``.
+    """
+
+    name = "multi-bit"
+
+    def __init__(self, width: int = 2):
+        if not 2 <= width <= 8:
+            raise ValueError(f"multi-bit width must be in 2..8, got {width}")
+        self.width = width
+
+    def params(self) -> Dict[str, int]:
+        return {"width": self.width}
+
+    def bit_positions(self, geometry: StructureGeometry) -> int:
+        positions = geometry.bits_per_entry - self.width + 1
+        if positions < 1:
+            raise ValueError(
+                f"entry width {geometry.bits_per_entry} cannot host a "
+                f"{self.width}-bit burst"
+            )
+        return positions
+
+    def make_fault(self, fault_id: int, structure: TargetStructure,
+                   entry: int, bit: int, cycle: int) -> FaultSpec:
+        return FaultSpec(
+            fault_id=fault_id, structure=structure,
+            entry=entry, bit=bit, cycle=cycle,
+            model=self.name,
+            flips=tuple((entry, bit + offset) for offset in range(self.width)),
+        )
+
+
+class IntermittentBurst(FaultModel):
+    """A marginal cell: the same bit re-flips ``count`` times, ``period`` apart.
+
+    The active-cycle window spans ``(count - 1) * period + 1`` cycles; the
+    flip is re-applied at the start of every ``period``-th cycle in it.
+    Re-application windows may extend past the golden run's end — flips
+    scheduled after the run stops simply never land (tested explicitly in
+    the injector edge-case suite).
+    """
+
+    name = "intermittent"
+
+    def __init__(self, count: int = 3, period: int = 2):
+        if count < 2:
+            raise ValueError(f"intermittent count must be >= 2, got {count}")
+        if period < 1:
+            raise ValueError(f"intermittent period must be >= 1, got {period}")
+        self.count = count
+        self.period = period
+
+    def params(self) -> Dict[str, int]:
+        return {"count": self.count, "period": self.period}
+
+    def make_fault(self, fault_id: int, structure: TargetStructure,
+                   entry: int, bit: int, cycle: int) -> FaultSpec:
+        return FaultSpec(
+            fault_id=fault_id, structure=structure,
+            entry=entry, bit=bit, cycle=cycle,
+            model=self.name,
+            window=(self.count - 1) * self.period + 1,
+            period=self.period,
+        )
+
+
+class _StuckAt(FaultModel):
+    """A bit pinned to ``value`` for ``duration`` cycles.
+
+    Pinning is applied at every cycle boundary of the window (before that
+    cycle's commit), the discrete-time approximation of a stuck cell: a
+    write landing mid-cycle survives until the next boundary re-pins it.
+    """
+
+    stuck_value: int = 0
+
+    def __init__(self, duration: int = 16):
+        if duration < 1:
+            raise ValueError(f"stuck-at duration must be >= 1, got {duration}")
+        self.duration = duration
+
+    def params(self) -> Dict[str, int]:
+        return {"duration": self.duration}
+
+    def make_fault(self, fault_id: int, structure: TargetStructure,
+                   entry: int, bit: int, cycle: int) -> FaultSpec:
+        return FaultSpec(
+            fault_id=fault_id, structure=structure,
+            entry=entry, bit=bit, cycle=cycle,
+            model=self.name,
+            window=self.duration,
+            stuck_value=self.stuck_value,
+        )
+
+
+class StuckAt0(_StuckAt):
+    name = "stuck-at-0"
+    stuck_value = 0
+
+
+class StuckAt1(_StuckAt):
+    name = "stuck-at-1"
+    stuck_value = 1
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: Name -> model class, in presentation order (CLI choices, README zoo).
+MODEL_TYPES: Dict[str, Type[FaultModel]] = {
+    SingleBitTransient.name: SingleBitTransient,
+    MultiBitAdjacent.name: MultiBitAdjacent,
+    IntermittentBurst.name: IntermittentBurst,
+    StuckAt0.name: StuckAt0,
+    StuckAt1.name: StuckAt1,
+}
+
+#: The model every spec and CLI invocation defaults to.
+DEFAULT_MODEL = SingleBitTransient.name
+
+
+def model_names() -> Tuple[str, ...]:
+    """Registered model names, in presentation order."""
+    return tuple(MODEL_TYPES)
+
+
+def get_model(name: str, **params: int) -> FaultModel:
+    """Build a fault model by registry name.
+
+    Raises :class:`ValueError` for unknown names, for parameters the
+    model does not accept, and for parameter values the model rejects —
+    the same error surface whether the request arrives via the Python
+    API, a campaign spec, or the CLI.  Unknown parameters are detected
+    against the model's own parameter set (every registered model is
+    default-constructible, an invariant of the registry), so a model's
+    validation errors (bad widths, zero durations) propagate with their
+    real cause instead of being misread as unknown names.
+    """
+    try:
+        model_type = MODEL_TYPES[name]
+    except KeyError:
+        known = ", ".join(model_names())
+        raise ValueError(
+            f"unknown fault model {name!r}; expected one of: {known}"
+        ) from None
+    accepted = sorted(model_type().params())
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"fault model {name!r} does not accept parameters "
+            f"{unknown}; it accepts {accepted}"
+        )
+    return model_type(**params)

@@ -22,7 +22,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.faults.model import FaultList, FaultSpec
+from repro.faults.model import FaultList
+from repro.faults.models import FaultModel, SingleBitTransient
 from repro.uarch.structures import StructureGeometry, TargetStructure
 
 #: Error margin / confidence level of the paper's baseline 60K-fault campaign.
@@ -85,7 +86,14 @@ def required_sample_size(
 
 @dataclass(frozen=True)
 class SamplingPlan:
-    """A fully specified statistical sampling of the exhaustive fault list."""
+    """A fully specified statistical sampling of the exhaustive fault list.
+
+    ``bit_positions`` is the number of legal anchor-bit positions per
+    entry under the campaign's fault model (``None`` means every bit, the
+    single-bit default); population sizing is per-model, so a multi-bit
+    burst that cannot anchor in the top bits has a correspondingly
+    smaller exhaustive population.
+    """
 
     structure: TargetStructure
     num_entries: int
@@ -94,10 +102,22 @@ class SamplingPlan:
     error_margin: float = BASELINE_ERROR_MARGIN
     confidence: float = BASELINE_CONFIDENCE
     sample_size_override: Optional[int] = None
+    model_name: str = "single"
+    bit_positions: Optional[int] = None
+    population_override: Optional[int] = None
+
+    @property
+    def anchor_bits(self) -> int:
+        """Legal anchor-bit positions per entry (model-dependent)."""
+        return (self.bit_positions if self.bit_positions is not None
+                else self.bits_per_entry)
 
     @property
     def population(self) -> int:
-        return self.num_entries * self.bits_per_entry * self.total_cycles
+        """Exhaustive population: the model's own sizing when provided."""
+        if self.population_override is not None:
+            return self.population_override
+        return self.num_entries * self.anchor_bits * self.total_cycles
 
     @property
     def sample_size(self) -> int:
@@ -107,7 +127,8 @@ class SamplingPlan:
 
     def describe(self) -> str:
         return (
-            f"{self.structure.short_name}: population={self.population:.3e}, "
+            f"{self.structure.short_name}[{self.model_name}]: "
+            f"population={self.population:.3e}, "
             f"margin={self.error_margin:.2%}, confidence={self.confidence:.1%}, "
             f"sample={self.sample_size}"
         )
@@ -120,15 +141,24 @@ def generate_fault_list(
     error_margin: float = BASELINE_ERROR_MARGIN,
     confidence: float = BASELINE_CONFIDENCE,
     seed: int = 0,
+    model: Optional[FaultModel] = None,
 ) -> FaultList:
-    """Draw a uniform random fault list over (entry, bit, cycle).
+    """Draw a uniform random fault list over (entry, anchor bit, cycle).
 
-    When ``sample_size`` is None it is computed from the sampling formula;
-    experiments at reduced scale pass an explicit size and report the
-    statistically required size separately.
+    When ``sample_size`` is None it is computed from the sampling formula
+    over the *model's* exhaustive population (Leveugle sizing is
+    per-model); experiments at reduced scale pass an explicit size and
+    report the statistically required size separately.
+
+    ``model`` (default :class:`~repro.faults.models.SingleBitTransient`)
+    materialises each drawn anchor into a full fault scenario.  The draw
+    sequence itself is model-independent except for the anchor-bit range,
+    so the single-bit model reproduces the seed's draws bit for bit.
     """
     if total_cycles <= 0:
         raise ValueError("total_cycles must be positive")
+    if model is None:
+        model = SingleBitTransient()
     plan = SamplingPlan(
         structure=geometry.structure,
         num_entries=geometry.num_entries,
@@ -137,19 +167,22 @@ def generate_fault_list(
         error_margin=error_margin,
         confidence=confidence,
         sample_size_override=sample_size,
+        model_name=model.name,
+        bit_positions=model.bit_positions(geometry),
+        population_override=model.population(geometry, total_cycles),
     )
     count = plan.sample_size
     rng = np.random.default_rng(seed)
     entries = rng.integers(0, geometry.num_entries, size=count)
-    bits = rng.integers(0, geometry.bits_per_entry, size=count)
+    bits = rng.integers(0, plan.anchor_bits, size=count)
     cycles = rng.integers(0, total_cycles, size=count)
     faults = [
-        FaultSpec(
-            fault_id=index,
-            structure=geometry.structure,
-            entry=int(entries[index]),
-            bit=int(bits[index]),
-            cycle=int(cycles[index]),
+        model.make_fault(
+            index,
+            geometry.structure,
+            int(entries[index]),
+            int(bits[index]),
+            int(cycles[index]),
         )
         for index in range(count)
     ]

@@ -166,6 +166,21 @@ class DataCache:
         byte_index = word * 8 + bit // 8
         line.data[byte_index] ^= 1 << (bit % 8)
 
+    def set_bit(self, entry: int, bit: int, value: int) -> None:
+        """Pin one bit of the data array (stuck-at fault hook).
+
+        Invalid lines are legal targets — their data latches persist and
+        become visible if the line is later filled without a full
+        overwrite, exactly as for :meth:`flip_bit`.
+        """
+        set_index, way, word = self.entry_location(entry)
+        line = self.lines[set_index][way]
+        byte_index = word * 8 + bit // 8
+        if value:
+            line.data[byte_index] |= 1 << (bit % 8)
+        else:
+            line.data[byte_index] &= ~(1 << (bit % 8)) & 0xFF
+
     # ------------------------------------------------------------------
     # Line management
     # ------------------------------------------------------------------

@@ -480,29 +480,34 @@ def _quick_mismatch(cpu: OutOfOrderCpu, state: CpuState) -> bool:
 
 
 def _flip_site_matches(cpu: OutOfOrderCpu, state: CpuState, fault) -> bool:
-    """O(1) filter: does the flipped cell itself match the golden state?
+    """O(flip sites) filter: do the faulted cells themselves match golden?
 
     A flip that was never read and never overwritten persists in its
     storage cell for the rest of the run; such a run can never reconverge,
-    so the (heavier) full-state comparison is pointless while the cell
-    still differs.  The tuple indices below mirror the component
+    so the (heavier) full-state comparison is pointless while any faulted
+    cell still differs.  Every distinct entry of the fault's flip set is
+    checked (a multi-bit burst has one, an unlikely hand-built spec may
+    span several).  The tuple indices below mirror the component
     ``snapshot()`` layouts in this module's contract: ``prf`` is
     ``(values, ready)``, a store-queue slot is ``(valid, seq, address,
     size, addr_ready, data, …)``, a cache line is ``(tag, valid, dirty,
     data, last_use)`` flattened as ``set * assoc + way``.
     """
     structure = fault.structure
-    entry = fault.entry
-    if structure is TargetStructure.RF:
-        return cpu.prf.values[entry] == state.prf[0][entry]
-    if structure is TargetStructure.SQ:
-        return cpu.store_queue.slots[entry].data == state.store_queue[3][entry][5]
-    if structure is TargetStructure.L1D:
-        set_index, way, word = cpu.dcache.entry_location(entry)
-        line = cpu.dcache.lines[set_index][way]
-        stored = state.dcache[0][set_index * cpu.dcache.assoc + way][3]
-        lo, hi = word * 8, word * 8 + 8
-        return line.data[lo:hi] == stored[lo:hi]
+    for entry in fault.flip_entries():
+        if structure is TargetStructure.RF:
+            if cpu.prf.values[entry] != state.prf[0][entry]:
+                return False
+        elif structure is TargetStructure.SQ:
+            if cpu.store_queue.slots[entry].data != state.store_queue[3][entry][5]:
+                return False
+        elif structure is TargetStructure.L1D:
+            set_index, way, word = cpu.dcache.entry_location(entry)
+            line = cpu.dcache.lines[set_index][way]
+            stored = state.dcache[0][set_index * cpu.dcache.assoc + way][3]
+            lo, hi = word * 8, word * 8 + 8
+            if line.data[lo:hi] != stored[lo:hi]:
+                return False
     return True
 
 
@@ -513,18 +518,21 @@ def make_reconvergence_hook(
 ) -> Callable[[OutOfOrderCpu], Optional[SimulationResult]]:
     """Build a ``cycle_hook`` that ends a run early once it reconverges.
 
-    At every checkpointed cycle strictly after the flip of ``fault`` (a
-    :class:`~repro.faults.model.FaultSpec`), the live state is compared —
-    exactly, field by field — against the golden checkpoint.  On equality
-    the simulator is deterministic, so the rest of the run *is* the golden
-    run; a copy of the golden result is returned and the pipeline stops.
-    Runs that cannot have reconverged pay only O(1) pre-checks per
-    checkpoint (scalar divergence counters, then the flipped cell itself).
+    At every checkpointed cycle strictly after the *active window* of
+    ``fault`` (a :class:`~repro.faults.model.FaultSpec`) has closed, the
+    live state is compared — exactly, field by field — against the golden
+    checkpoint.  On equality the simulator is deterministic, so the rest
+    of the run *is* the golden run; a copy of the golden result is
+    returned and the pipeline stops.  Checkpoints inside a still-open
+    window are never candidates: a later re-application (intermittent) or
+    re-pin (stuck-at) could diverge state that momentarily matched.  Runs
+    that cannot have reconverged pay only O(1) pre-checks per checkpoint
+    (scalar divergence counters, then the faulted cells themselves).
     """
-    fault_cycle = fault.cycle
+    last_active = fault.last_active_cycle
 
     def hook(cpu: OutOfOrderCpu) -> Optional[SimulationResult]:
-        if cpu.cycle <= fault_cycle:
+        if cpu.cycle <= last_active:
             return None
         state = timeline.state_at(cpu.cycle)
         if state is None or _quick_mismatch(cpu, state):

@@ -184,6 +184,19 @@ class StoreQueue:
             raise ValueError(f"bit out of range: {bit}")
         self.slots[entry].data ^= 1 << bit
 
+    def set_bit(self, entry: int, bit: int, value: int) -> None:
+        """Pin one bit of a slot's data latch (stuck-at fault hook).
+
+        Works on free slots too — their latches persist, exactly like
+        :meth:`flip_bit` faults landing in them.
+        """
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit out of range: {bit}")
+        if value:
+            self.slots[entry].data |= 1 << bit
+        else:
+            self.slots[entry].data &= ~(1 << bit) & 0xFFFF_FFFF_FFFF_FFFF
+
     # ------------------------------------------------------------------
     # Checkpoint hooks
     # ------------------------------------------------------------------

@@ -10,9 +10,10 @@ write-back L1 data cache.
 Everything the fault-injection framework and the ACE-like analysis need is
 exposed here:
 
-* a *fault plan* (cycle -> list of bit flips) applied at the start of the
-  target cycle to the physical register file, the store-queue data latches
-  or the L1D data array;
+* a *fault plan* (cycle -> list of bit operations: transient flips or
+  stuck-at set0/set1 pins) applied at the start of each target cycle to
+  the physical register file, the store-queue data latches or the L1D
+  data array;
 * an :class:`repro.uarch.trace.AccessTracer` that records physical writes
   and committed reads of those structures, with the (RIP, uPC) of the
   reading micro-operation;
@@ -40,7 +41,7 @@ from repro.uarch.config import MicroarchConfig
 from repro.uarch.lsq import LoadQueue, StoreQueue
 from repro.uarch.regfile import FreeList, PhysicalRegisterFile
 from repro.uarch.stats import SimStats
-from repro.uarch.structures import TargetStructure
+from repro.uarch.structures import BitOp, TargetStructure
 from repro.uarch.trace import AccessKind, AccessTracer
 
 
@@ -185,7 +186,7 @@ class OutOfOrderCpu:
         program: Program,
         config: Optional[MicroarchConfig] = None,
         tracer: Optional[AccessTracer] = None,
-        fault_plan: Optional[Dict[int, List[Tuple[TargetStructure, int, int]]]] = None,
+        fault_plan: Optional[Dict[int, List[Tuple]]] = None,
     ):
         self.program = program
         self.config = config or MicroarchConfig()
@@ -359,15 +360,27 @@ class OutOfOrderCpu:
         flips = self.fault_plan.get(self.cycle)
         if not flips:
             return
-        for structure, entry, bit in flips:
+        for flip in flips:
+            # Legacy 3-tuple plans mean a transient XOR; generalized plans
+            # carry an explicit BitOp (flip, or set0/set1 for stuck-at
+            # windows re-applied at every cycle boundary of the window).
+            if len(flip) == 3:
+                structure, entry, bit = flip
+                op = BitOp.FLIP
+            else:
+                structure, entry, bit, op = flip
             if structure is TargetStructure.RF:
-                self.prf.flip_bit(entry, bit)
+                target = self.prf
             elif structure is TargetStructure.SQ:
-                self.store_queue.flip_bit(entry, bit)
+                target = self.store_queue
             elif structure is TargetStructure.L1D:
-                self.dcache.flip_bit(entry, bit)
+                target = self.dcache
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown fault target {structure}")
+            if op is BitOp.FLIP:
+                target.flip_bit(entry, bit)
+            else:
+                target.set_bit(entry, bit, 1 if op is BitOp.SET1 else 0)
 
     # ------------------------------------------------------------------
     # Commit

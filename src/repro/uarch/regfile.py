@@ -44,6 +44,15 @@ class PhysicalRegisterFile:
             raise ValueError(f"bit out of range: {bit}")
         self.values[index] ^= 1 << bit
 
+    def set_bit(self, index: int, bit: int, value: int) -> None:
+        """Pin one bit of a physical register (stuck-at fault hook)."""
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit out of range: {bit}")
+        if value:
+            self.values[index] |= 1 << bit
+        else:
+            self.values[index] &= ~(1 << bit) & 0xFFFF_FFFF_FFFF_FFFF
+
     # ------------------------------------------------------------------
     # Checkpoint hooks
     # ------------------------------------------------------------------

@@ -37,6 +37,19 @@ class TargetStructure(enum.Enum):
         return self.name
 
 
+class BitOp(enum.Enum):
+    """Bit-level operations a fault plan can apply to a storage cell.
+
+    ``FLIP`` is the transient-upset XOR of the paper's model; ``SET0`` /
+    ``SET1`` pin a cell for stuck-at windows (re-applied at every cycle
+    boundary of the fault's active window).
+    """
+
+    FLIP = "flip"
+    SET0 = "set0"
+    SET1 = "set1"
+
+
 @dataclass(frozen=True)
 class StructureGeometry:
     """Entry count and bit geometry of a fault-target structure."""

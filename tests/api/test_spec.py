@@ -41,9 +41,80 @@ def test_run_id_is_short_hex():
     {"method": "both"},
     {"error_margin": 0.01},
     {"confidence": 0.95},
+    {"fault_model": "multi-bit", "model_params": (("width", 2),)},
+    {"fault_model": "stuck-at-1"},
 ])
 def test_run_id_changes_with_every_field(change):
     assert make_spec().run_id() != make_spec(**change).run_id()
+
+
+def test_model_params_change_run_id_and_fault_list_key():
+    two = make_spec(fault_model="multi-bit", model_params={"width": 2})
+    four = make_spec(fault_model="multi-bit", model_params={"width": 4})
+    assert two.run_id() != four.run_id()
+    assert two.fault_list_key() != four.fault_list_key()
+    assert make_spec().fault_list_key() != two.fault_list_key()
+
+
+def test_model_params_dict_is_canonicalised():
+    """A dict and the equivalent sorted tuple name the same campaign."""
+    from_dict = make_spec(fault_model="intermittent",
+                          model_params={"period": 2, "count": 3})
+    from_tuple = make_spec(fault_model="intermittent",
+                           model_params=(("count", 3), ("period", 2)))
+    assert from_dict.model_params == (("count", 3), ("period", 2))
+    assert from_dict.run_id() == from_tuple.run_id()
+
+
+def test_fault_model_round_trips_through_dict():
+    spec = make_spec(fault_model="multi-bit", model_params={"width": 4})
+    restored = CampaignSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert restored.run_id() == spec.run_id()
+    assert restored.fault_model_instance().describe() == "multi-bit(width=4)"
+    assert "multi-bit" in spec.describe()
+
+
+def test_default_model_is_omitted_from_canonical_form():
+    """Single-bit specs keep their pre-generalization canonical JSON."""
+    payload = make_spec().to_dict()
+    assert "fault_model" not in payload
+    assert "model_params" not in payload
+
+
+def test_spec_rejects_bad_fault_model():
+    with pytest.raises(ValueError, match="unknown fault model"):
+        make_spec(fault_model="bitrot")
+    with pytest.raises(ValueError):
+        make_spec(fault_model="multi-bit", model_params={"width": 99})
+
+
+def test_model_param_values_are_coerced_to_int():
+    """Hand-edited spec JSON with string values canonicalises identically."""
+    spec = CampaignSpec.from_dict({
+        "workload": "sha", "fault_model": "multi-bit",
+        "model_params": [["width", "4"]],
+    })
+    assert spec.model_params == (("width", 4),)
+    # The natural JSON-object form is accepted too.
+    as_dict = CampaignSpec.from_dict({
+        "workload": "sha", "fault_model": "multi-bit",
+        "model_params": {"width": 4},
+    })
+    assert as_dict == spec and as_dict.run_id() == spec.run_id()
+    assert spec.run_id() == make_spec(
+        workload="sha", structure=TargetStructure.RF,
+        config=MicroarchConfig(), scale=None, faults=None, seed=0,
+        fault_model="multi-bit", model_params={"width": 4},
+    ).run_id()
+    with pytest.raises(ValueError, match="must be integers"):
+        make_spec(fault_model="stuck-at-0", model_params={"duration": "soon"})
+    # A fractional float must be rejected, never silently truncated.
+    with pytest.raises(ValueError, match="must be integers"):
+        make_spec(fault_model="multi-bit", model_params={"width": 2.9})
+    # An integer-valued float is value-preserving and therefore accepted.
+    assert make_spec(fault_model="multi-bit",
+                     model_params={"width": 2.0}).model_params == (("width", 2),)
 
 
 def test_dict_round_trip_preserves_spec_and_identity():

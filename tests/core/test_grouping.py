@@ -156,3 +156,50 @@ def test_grouping_partition_property(triples):
             assert member.fault.byte == group.byte
     assert grouped.injections_required <= max(1, grouped.faults_after_ace)
     assert grouped.total_speedup >= grouped.ace_speedup or grouped.faults_after_ace == 0
+
+
+# ----------------------------------------------------------------------
+# Windowed fault models through the ACE-like pruning
+# ----------------------------------------------------------------------
+def test_windowed_fault_anchored_in_dead_time_is_not_pruned():
+    """A pin/re-flip whose window reaches a later interval must group.
+
+    Anchor cycle 25 lies between entry 0's two intervals (dead time), but
+    the 10-cycle stuck-at window re-pins the bit at cycles 25..34 — and
+    cycles 31..34 land inside the (30, 40] interval, whose terminating
+    read consumes the corrupted value.  ACE-masking it would report
+    Masked for a fault the comprehensive campaign classifies by actually
+    injecting the window.
+    """
+    windowed = FaultSpec(0, TargetStructure.RF, entry=0, bit=0, cycle=25,
+                         model="stuck-at-0", window=10, stuck_value=0)
+    anchored_only = FaultSpec(1, TargetStructure.RF, entry=0, bit=0, cycle=25)
+    grouped = group_faults(
+        FaultList(TargetStructure.RF, [windowed, anchored_only]), INTERVALS
+    )
+    assert grouped.masked_fault_ids == [1]
+    assert grouped.num_groups == 1
+    (group,) = grouped.groups
+    # Keyed by the first vulnerable application's interval: (rip 5, upc 0).
+    assert group.reader_key == (5, 0)
+    assert group.members[0].interval.end_cycle == 40
+
+
+def test_windowed_fault_missing_every_interval_is_still_pruned():
+    """Every application misses every interval: prunable exactly as before."""
+    glitch = FaultSpec(0, TargetStructure.RF, entry=0, bit=0, cycle=21,
+                       model="intermittent", window=8, period=7)
+    # Active cycles 21 and 28 both fall in entry 0's dead time (20, 30].
+    grouped = group_faults(FaultList(TargetStructure.RF, [glitch]), INTERVALS)
+    assert grouped.masked_fault_ids == [0]
+    assert grouped.num_groups == 0
+
+
+def test_multi_entry_flip_set_prunes_against_every_entry():
+    """A flip set spanning entries groups via its first vulnerable entry."""
+    fault = FaultSpec(0, TargetStructure.RF, entry=3, bit=0, cycle=15,
+                      model="multi-bit", flips=((3, 0), (2, 0)))
+    grouped = group_faults(FaultList(TargetStructure.RF, [fault]), INTERVALS)
+    # Entry 3 has no intervals, but entry 2's (5, 50] covers cycle 15.
+    assert grouped.masked_fault_ids == []
+    assert grouped.groups[0].reader_key == (9, 0)

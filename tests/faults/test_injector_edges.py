@@ -1,0 +1,125 @@
+"""Injector edge cases for the generalized fault models.
+
+The scenarios here are the awkward corners the model zoo opens up: active
+windows outliving the program, flip sites whose owning entry is freed (or
+was never valid) mid-window, and stuck-at pins on cache lines that are
+invalid for the whole run.  Each case must complete, classify, and stay
+bit-identical between the cold-start and checkpoint fast-forward paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.classification import FaultEffectClass
+from repro.faults.golden import capture_golden
+from repro.faults.injector import inject_fault
+from repro.faults.model import FaultSpec
+from repro.faults.models import IntermittentBurst, StuckAt0, StuckAt1
+from repro.testing import build_loop_program, small_config
+from repro.uarch.structures import TargetStructure, structure_geometry
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return capture_golden(build_loop_program(30), small_config(), trace=False)
+
+
+@pytest.fixture(scope="module")
+def golden_warm():
+    return capture_golden(build_loop_program(30), small_config(), trace=False,
+                          checkpoint_interval=24)
+
+
+def both_paths(golden_cold, golden_warm, fault):
+    cold = inject_fault(golden_cold, fault)
+    warm = inject_fault(golden_warm, fault, fast_forward=True)
+    assert cold.effect == warm.effect, fault.describe()
+    for name in cold.result.__dataclass_fields__:
+        assert getattr(cold.result, name) == getattr(warm.result, name), (
+            f"{fault.describe()}: SimulationResult.{name} differs"
+        )
+    return cold
+
+
+def test_stuck_at_window_extending_past_program_end(golden, golden_warm):
+    """A pin that outlives the run: applications after halt never fire."""
+    fault = StuckAt1(duration=10 * golden.cycles).make_fault(
+        0, TargetStructure.RF, entry=60, bit=63, cycle=golden.cycles - 5
+    )
+    assert fault.last_active_cycle > golden.cycles
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.effect in set(FaultEffectClass)
+    assert outcome.result.cycles <= golden.timeout_cycles()
+
+
+def test_intermittent_reapplications_past_program_end(golden, golden_warm):
+    """Late re-flips of an intermittent burst simply never land."""
+    fault = IntermittentBurst(count=4, period=golden.cycles).make_fault(
+        0, TargetStructure.RF, entry=2, bit=0, cycle=golden.cycles - 2
+    )
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.effect in set(FaultEffectClass)
+
+
+def test_window_opening_exactly_on_last_cycle(golden, golden_warm):
+    """Anchor on the final golden cycle is legal (validate allows it)."""
+    geometry = structure_geometry(TargetStructure.RF, golden.config)
+    fault = StuckAt0(duration=3).make_fault(
+        0, TargetStructure.RF, entry=0, bit=0, cycle=golden.cycles - 1
+    )
+    from repro.faults.model import FaultList
+    flist = FaultList(TargetStructure.RF, [fault])
+    flist.validate(geometry, total_cycles=golden.cycles)
+    both_paths(golden, golden_warm, fault)
+
+
+def test_stuck_at_on_entry_freed_mid_window(golden, golden_warm):
+    """A store-queue slot's latch pinned across allocate/free churn.
+
+    SQ slots are freed at drain but their data latches persist; a window
+    spanning many allocate/free generations must keep re-pinning without
+    tripping any simulator assertion.
+    """
+    fault = StuckAt1(duration=max(64, golden.cycles // 2)).make_fault(
+        0, TargetStructure.SQ, entry=3, bit=17, cycle=5
+    )
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.effect in set(FaultEffectClass)
+
+
+def test_stuck_at_on_invalid_cache_line(golden, golden_warm):
+    """Pinning a bit of a line the program never fills stays masked.
+
+    The loop program touches only the bottom of the L1D index space; the
+    last entry of the top set stays invalid for the whole run, so a pin
+    there must classify as Masked — and must not crash the cache model.
+    """
+    geometry = structure_geometry(TargetStructure.L1D, golden.config)
+    fault = StuckAt1(duration=golden.cycles).make_fault(
+        0, TargetStructure.L1D, entry=geometry.num_entries - 1, bit=8, cycle=0
+    )
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.effect is FaultEffectClass.MASKED
+
+
+def test_flip_window_covering_whole_run_still_terminates(golden, golden_warm):
+    """An intermittent fault glitching every other cycle for the whole run."""
+    fault = FaultSpec(
+        0, TargetStructure.RF, entry=1, bit=4, cycle=0,
+        model="intermittent", window=golden.cycles, period=2,
+    )
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.result.cycles <= golden.timeout_cycles()
+
+
+def test_multi_entry_flip_set_is_applied_and_prefiltered(golden, golden_warm):
+    """A hand-built spec spanning two entries exercises the multi-site
+    reconvergence pre-filter (every distinct entry checked)."""
+    fault = FaultSpec(
+        0, TargetStructure.RF, entry=58, bit=0, cycle=10,
+        model="multi-bit", flips=((58, 0), (59, 0)),
+    )
+    assert fault.flip_entries() == (58, 59)
+    outcome = both_paths(golden, golden_warm, fault)
+    assert outcome.effect in set(FaultEffectClass)

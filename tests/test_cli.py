@@ -40,6 +40,52 @@ def test_parser_rejects_unknown_workload():
         cli.main(["run", "--workload", "doom"])
 
 
+def test_run_command_with_fault_model(capsys):
+    code = cli.main([
+        "run", "--workload", "sha", "--structure", "RF",
+        "--registers", "64", "--faults", "40", "--scale", "1",
+        "--fault-model", "multi-bit", "--model-param", "width=4",
+        "--json",
+    ])
+    assert code == 0
+    import json as _json
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["spec"]["fault_model"] == "multi-bit"
+    assert payload["spec"]["model_params"] == [["width", 4]]
+
+
+def test_parser_rejects_unknown_fault_model():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--workload", "sha", "--fault-model", "bitrot"])
+
+
+def test_run_rejects_malformed_model_param(capsys):
+    with pytest.raises(SystemExit):
+        cli.main([
+            "run", "--workload", "sha", "--scale", "1", "--faults", "10",
+            "--fault-model", "stuck-at-0", "--model-param", "duration",
+        ])
+    assert "NAME=VALUE" in capsys.readouterr().err
+
+
+def test_run_rejects_non_integer_model_param(capsys):
+    with pytest.raises(SystemExit):
+        cli.main([
+            "run", "--workload", "sha", "--scale", "1", "--faults", "10",
+            "--fault-model", "stuck-at-0", "--model-param", "duration=soon",
+        ])
+    assert "integer" in capsys.readouterr().err
+
+
+def test_run_rejects_param_the_model_does_not_take(capsys):
+    with pytest.raises(SystemExit):
+        cli.main([
+            "run", "--workload", "sha", "--scale", "1", "--faults", "10",
+            "--fault-model", "single", "--model-param", "width=2",
+        ])
+    assert "does not accept" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         cli.main([])

@@ -6,6 +6,7 @@ import pickle
 
 import pytest
 
+from repro.faults.model import FaultSpec
 from repro.testing import build_call_program, build_loop_program, small_config
 from repro.uarch.checkpoint import (
     CheckpointTimeline,
@@ -250,13 +251,8 @@ def test_reconvergence_hook_returns_golden_result_for_identical_run():
     timeline = CheckpointTimeline(interval=40, max_checkpoints=64)
     golden = fresh_cpu().run(cycle_hook=timeline.observe)
 
-    class NeverReadFault:
-        structure = TargetStructure.RF
-        entry = 0
-        bit = 0
-        cycle = 0
-
-    hook = make_reconvergence_hook(timeline, NeverReadFault, golden)
+    never_read = FaultSpec(0, TargetStructure.RF, entry=0, bit=0, cycle=0)
+    hook = make_reconvergence_hook(timeline, never_read, golden)
     # A fresh fault-free run IS the golden run: the hook must fire at the
     # first checkpoint after the (trivial) fault cycle.
     early = fresh_cpu().run(cycle_hook=hook)
@@ -269,14 +265,11 @@ def test_reconvergence_hook_never_fires_for_diverged_run():
     timeline = CheckpointTimeline(interval=40, max_checkpoints=64)
     golden = fresh_cpu().run(cycle_hook=timeline.observe)
 
-    class Fault:
-        structure = TargetStructure.RF
-        entry = 2  # low physical register: very likely live in the loop
-        bit = 0
-        cycle = 120
+    # Low physical register: very likely live in the loop.
+    fault = FaultSpec(0, TargetStructure.RF, entry=2, bit=0, cycle=120)
 
     fired = []
-    hook = make_reconvergence_hook(timeline, Fault, golden)
+    hook = make_reconvergence_hook(timeline, fault, golden)
 
     def spying(cpu):
         result = hook(cpu)
@@ -284,7 +277,6 @@ def test_reconvergence_hook_never_fires_for_diverged_run():
             fired.append(cpu.cycle)
         return result
 
-    flip = (Fault.structure, Fault.entry, Fault.bit)
-    faulty = fresh_cpu(fault_plan={Fault.cycle: [flip]}).run(cycle_hook=spying)
+    faulty = fresh_cpu(fault_plan=fault.plan()).run(cycle_hook=spying)
     if faulty.output != golden.output:
         assert not fired, "diverged run must never adopt the golden result"
