@@ -42,7 +42,7 @@ from repro.faults.model import FaultList
 from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
 from repro.uarch.structures import StructureGeometry, structure_geometry
-from repro.workloads import get_workload
+from repro.workloads import build_cached, get_workload
 
 
 @dataclass
@@ -164,7 +164,13 @@ class Session:
         self._custom_programs[program.name] = program
 
     def program(self, workload: str, scale: Optional[int] = None) -> Program:
-        """The program for ``workload`` at ``scale`` (memoised)."""
+        """The program for ``workload`` at ``scale`` (memoised).
+
+        Registry workloads come from the process-wide decoded-program
+        cache (:func:`repro.workloads.build_cached`), so sessions,
+        engines and pool workers in one process share a single immutable
+        instance per (workload, scale).
+        """
         if workload in self._custom_programs:
             if scale is not None:
                 raise ValueError(
@@ -176,7 +182,7 @@ class Session:
         if key not in self._programs:
             spec = get_workload(workload)
             build_scale = scale if scale is not None else spec.default_scale
-            self._programs[key] = spec.build(build_scale)
+            self._programs[key] = build_cached(workload, build_scale)
         return self._programs[key]
 
     def golden(self, spec: CampaignSpec) -> GoldenRecord:

@@ -31,7 +31,6 @@ from repro.faults.models import FaultModel
 from repro.faults.sampling import generate_fault_list
 from repro.isa.program import Program
 from repro.uarch.config import MicroarchConfig
-from repro.uarch.pipeline import OutOfOrderCpu
 from repro.uarch.structures import TargetStructure, structure_geometry
 
 
@@ -113,6 +112,21 @@ class MerlinCampaign:
         self._baseline = baseline
         self._intervals: Optional[IntervalSet] = None
         self._fault_list: Optional[FaultList] = None
+        # Pooled restore CPU (and its cycle-0 state) shared by every
+        # representative injection this campaign runs itself; see
+        # ComprehensiveCampaign for the restore-reuse contract.
+        self._pooled_cpu = None
+        self._initial_state = None
+
+    def _restore_pool(self):
+        if self._pooled_cpu is None:
+            from repro.uarch.checkpoint import new_restore_pool
+
+            self._pooled_cpu, self._initial_state = new_restore_pool(
+                self.golden.program, self.golden.config,
+                record_reads=self.merlin_config.use_checkpoints,
+            )
+        return self._pooled_cpu, self._initial_state
 
     # ------------------------------------------------------------------
     # Phase 1: preprocessing
@@ -189,24 +203,33 @@ class MerlinCampaign:
         use_checkpoints = self.merlin_config.use_checkpoints
         reuse_cpu = None
         schedule = [(group, None) for group in injection_groups]
-        if use_checkpoints and self._baseline is None:
-            # The comprehensive campaign's cycle-sorted scheduler, applied
-            # to the representatives: injections sharing a golden
-            # checkpoint run back to back with the restore point resolved
-            # once per batch, restoring into one pooled CPU (a restore
-            # resets all machine state, so reuse is exact).  Aggregation
-            # is order-insensitive.
-            timeline = self.golden.ensure_checkpoints()
-            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
-            group_of = {
-                group.representative.fault_id: group for group in injection_groups
-            }
-            representatives = [group.representative for group in injection_groups]
-            schedule = [
-                (group_of[fault.fault_id], batch.checkpoint)
-                for batch in schedule_by_checkpoint(representatives, timeline)
-                for fault in batch.faults
-            ]
+        if self._baseline is None and injection_groups:
+            reuse_cpu, initial_state = self._restore_pool()
+            if use_checkpoints:
+                # The comprehensive campaign's cycle-sorted scheduler,
+                # applied to the representatives: injections sharing a
+                # golden checkpoint run back to back with the restore point
+                # resolved once per batch, restoring into one pooled CPU (a
+                # restore resets all machine state, so reuse is exact).
+                # Representatives earlier than the first checkpoint restore
+                # the pooled CPU's cycle-0 state.  Aggregation is
+                # order-insensitive.
+                timeline = self.golden.ensure_checkpoints()
+                group_of = {
+                    group.representative.fault_id: group for group in injection_groups
+                }
+                representatives = [group.representative for group in injection_groups]
+                schedule = [
+                    (group_of[fault.fault_id],
+                     batch.checkpoint if batch.checkpoint is not None else initial_state)
+                    for batch in schedule_by_checkpoint(representatives, timeline)
+                    for fault in batch.faults
+                ]
+            else:
+                # Cold campaign: every representative restores the pristine
+                # initial state into the pooled CPU — bit-identical to a
+                # fresh construction per injection, without the cost.
+                schedule = [(group, initial_state) for group in injection_groups]
 
         for group, checkpoint in schedule:
             representative = group.representative

@@ -17,7 +17,7 @@ from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord
 from repro.faults.injector import InjectionOutcome, inject_fault
 from repro.faults.model import FaultList, FaultSpec
-from repro.uarch.checkpoint import CheckpointTimeline, CpuState
+from repro.uarch.checkpoint import CheckpointTimeline, CpuState, new_restore_pool
 from repro.uarch.pipeline import OutOfOrderCpu
 
 #: Optional progress callback: (faults done, faults total).
@@ -101,6 +101,22 @@ class ComprehensiveCampaign:
         self.simpoint_mode = simpoint_mode
         self.use_checkpoints = use_checkpoints
         self._outcome_cache: Dict[int, InjectionOutcome] = {}
+        # One pooled restore CPU (plus its pristine cycle-0 state) shared
+        # by every run/run_shard call of this campaign: every injection
+        # restores either a golden checkpoint or the initial state into it,
+        # so construction cost is paid once per campaign instead of once
+        # per fault, batch or shard.
+        self._pooled_cpu: Optional[OutOfOrderCpu] = None
+        self._initial_state: Optional[CpuState] = None
+
+    def _restore_pool(self) -> Tuple[OutOfOrderCpu, CpuState]:
+        """The campaign's pooled CPU and its captured cycle-0 state."""
+        if self._pooled_cpu is None:
+            self._pooled_cpu, self._initial_state = new_restore_pool(
+                self.golden.program, self.golden.config,
+                record_reads=self.use_checkpoints,
+            )
+        return self._pooled_cpu, self._initial_state
 
     # ------------------------------------------------------------------
     def run_fault(self, fault: FaultSpec,
@@ -116,6 +132,13 @@ class ComprehensiveCampaign:
         cached = self._outcome_cache.get(fault.fault_id)
         if cached is not None:
             return cached
+        if checkpoint is None and reuse_cpu is None:
+            # Direct (unscheduled) calls still benefit from the pool: cold
+            # runs restore the pristine initial state, checkpointed runs
+            # let the injector resolve the restore point itself.
+            reuse_cpu, initial_state = self._restore_pool()
+            if not self.use_checkpoints:
+                checkpoint = initial_state
         outcome = inject_fault(
             self.golden, fault,
             simpoint_mode=self.simpoint_mode,
@@ -142,12 +165,7 @@ class ComprehensiveCampaign:
         simulated_cycles = 0
         started = time.perf_counter()
         done = 0
-        reuse_cpu = None
-        if self.use_checkpoints:
-            # One pooled CPU restored per fault: a checkpoint restore
-            # resets all machine state, so reuse is exact and saves the
-            # per-fault construction cost.
-            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
+        reuse_cpu, _ = self._restore_pool()
         for fault, checkpoint in self._schedule(target):
             outcome = self.run_fault(fault, checkpoint=checkpoint,
                                      reuse_cpu=reuse_cpu)
@@ -170,20 +188,26 @@ class ComprehensiveCampaign:
 
     # ------------------------------------------------------------------
     def _schedule(self, target) -> Iterable[Tuple[FaultSpec, Optional[CpuState]]]:
-        """Yield (fault, restore checkpoint) pairs in injection order.
+        """Yield (fault, restore state) pairs in injection order.
 
-        The cold path preserves the fault list's own order; the checkpoint
-        path yields cycle-sorted batches so faults sharing a restore point
-        run back to back.  Aggregated results are order-insensitive.
+        The cold path preserves the fault list's own order and restores
+        the pooled CPU to the captured cycle-0 state before every run —
+        bit-identical to constructing a fresh CPU, without re-building the
+        whole machine per fault.  The checkpoint path yields cycle-sorted
+        batches so faults sharing a restore point run back to back (faults
+        earlier than the first checkpoint fall back to the initial state).
+        Aggregated results are order-insensitive.
         """
+        _, initial_state = self._restore_pool()
         if not self.use_checkpoints:
             for fault in target:
-                yield fault, None
+                yield fault, initial_state
             return
         timeline = self.golden.ensure_checkpoints()
         for batch in schedule_by_checkpoint(target, timeline):
+            checkpoint = batch.checkpoint if batch.checkpoint is not None else initial_state
             for fault in batch.faults:
-                yield fault, batch.checkpoint
+                yield fault, checkpoint
 
     # ------------------------------------------------------------------
     def run_shard(self, faults: Iterable[FaultSpec]) -> Dict[int, InjectionOutcome]:
@@ -197,9 +221,7 @@ class ComprehensiveCampaign:
         more per fault than a whole campaign would.
         """
         shard = list(faults)
-        reuse_cpu = None
-        if self.use_checkpoints:
-            reuse_cpu = OutOfOrderCpu(self.golden.program, self.golden.config)
+        reuse_cpu, _ = self._restore_pool()
         outcomes: Dict[int, InjectionOutcome] = {}
         for fault, checkpoint in self._schedule(shard):
             outcomes[fault.fault_id] = self.run_fault(

@@ -75,7 +75,9 @@ class GoldenRecord:
         if interval is None:
             interval = max(16, self.cycles // max_checkpoints)
         timeline = CheckpointTimeline(interval, max_checkpoints)
-        cpu = OutOfOrderCpu(self.program, self.config)
+        # Replays record structure reads: the timeline's snapshots must be
+        # comparable against fast-forwarded injection runs, which record.
+        cpu = OutOfOrderCpu(self.program, self.config, record_reads=True)
         replay = cpu.run(
             max_cycles=self.cycles + 2,
             max_instructions=self.max_instructions,
@@ -116,7 +118,8 @@ def capture_golden(
     timeline: Optional[CheckpointTimeline] = None
     if checkpoint_interval is not None:
         timeline = CheckpointTimeline(checkpoint_interval, max_checkpoints)
-    cpu = OutOfOrderCpu(program, config, tracer=tracer)
+    cpu = OutOfOrderCpu(program, config, tracer=tracer,
+                        record_reads=True if timeline is not None else None)
     result = cpu.run(
         max_cycles=max_cycles,
         max_instructions=max_instructions,

@@ -74,9 +74,11 @@ def inject_fault(
     :class:`SimulationResult` field (enforced by the differential harness
     in ``tests/integration/test_checkpoint_equivalence.py``).
     ``checkpoint`` lets a cycle-sorted campaign scheduler pass a pre-looked
-    -up checkpoint shared by a batch of faults, and ``reuse_cpu`` a pooled
-    CPU object to restore into (a checkpoint restore resets *all* machine
-    state, so reuse is exact; only used when a restore actually happens).
+    -up restore point shared by a batch of faults — on the cold path the
+    campaign passes the cycle-0 initial state, so pooled runs stay exact —
+    and ``reuse_cpu`` a pooled CPU object to restore into (a restore
+    resets *all* machine state, so reuse is exact; only used when a
+    restore actually happens).
     """
     fault_plan = fault.plan()
     max_cycles = max(golden.timeout_cycles(TIMEOUT_FACTOR), fault.cycle + 1)
@@ -84,15 +86,27 @@ def inject_fault(
     timeline = golden.checkpoints if fast_forward else None
     try:
         cycle_hook = None
-        start = None
+        start = checkpoint
         if timeline is not None and len(timeline):
-            start = checkpoint if checkpoint is not None else timeline.nearest(fault.cycle)
+            if start is None:
+                start = timeline.nearest(fault.cycle)
             cycle_hook = make_reconvergence_hook(timeline, fault, golden.result)
         if start is not None and reuse_cpu is not None:
             cpu = reuse_cpu
             cpu.fault_plan = fault_plan
+            if cycle_hook is not None:
+                # Reconvergence compares snapshots against the golden
+                # timeline, whose entries carry structure-read logs; a
+                # pooled CPU built without recording would silently never
+                # reconverge, so the invariant is enforced here (the
+                # restore below rebuilds all in-flight state, so flipping
+                # the flag is safe).
+                cpu.record_reads = True
         else:
-            cpu = OutOfOrderCpu(golden.program, golden.config, fault_plan=fault_plan)
+            # Fast-forwarded runs must record structure reads so their
+            # snapshots stay comparable against the golden timeline's.
+            cpu = OutOfOrderCpu(golden.program, golden.config, fault_plan=fault_plan,
+                                record_reads=cycle_hook is not None or None)
         if start is not None:
             cpu.restore(start)
         result = cpu.run(

@@ -13,8 +13,8 @@ from repro.isa.registers import WORD_MASK, to_signed, to_unsigned
 
 def apply_binary(op: Opcode, a: int, b: int) -> int:
     """Apply a two-source ALU operation and return the 64-bit result."""
-    a = to_unsigned(a)
-    b = to_unsigned(b)
+    a &= WORD_MASK
+    b &= WORD_MASK
     if op is Opcode.ADD:
         return (a + b) & WORD_MASK
     if op is Opcode.SUB:
@@ -54,7 +54,7 @@ def apply_binary(op: Opcode, a: int, b: int) -> int:
 
 def apply_unary(op: Opcode, a: int) -> int:
     """Apply a single-source ALU operation and return the 64-bit result."""
-    a = to_unsigned(a)
+    a &= WORD_MASK
     if op is Opcode.MOV:
         return a
     if op is Opcode.NOT:
@@ -66,12 +66,13 @@ def apply_unary(op: Opcode, a: int) -> int:
 
 def evaluate_condition(cond: BranchCondition, a: int, b: int) -> bool:
     """Evaluate a branch condition on two 64-bit operands."""
-    ua, ub = to_unsigned(a), to_unsigned(b)
-    sa, sb = to_signed(ua), to_signed(ub)
+    ua = a & WORD_MASK
+    ub = b & WORD_MASK
     if cond is BranchCondition.EQ:
         return ua == ub
     if cond is BranchCondition.NE:
         return ua != ub
+    sa, sb = to_signed(ua), to_signed(ub)
     if cond is BranchCondition.LT:
         return sa < sb
     if cond is BranchCondition.LE:

@@ -31,6 +31,7 @@ immediate syntax, e.g. ``mov rdi, @table``.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.builder import ProgramBuilder
@@ -262,6 +263,18 @@ class Assembler:
             return _parse_int(token, line_no)
 
 
-def assemble(text: str, name: str = "asm") -> Program:
-    """Assemble ``text`` into a finalised :class:`Program`."""
+@lru_cache(maxsize=64)
+def _assemble_cached(text: str, name: str) -> Program:
     return Assembler(name).assemble(text)
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble ``text`` into a finalised :class:`Program`.
+
+    Memoised process-wide by (text, name): a finalised program is
+    immutable (instructions, micro-op decodings, fetch metadata and the
+    initial memory image are fixed at construction), so repeated
+    assemblies of the same source — one per golden run and injection in
+    ad-hoc experiments — share one decode.
+    """
+    return _assemble_cached(text, name)

@@ -19,7 +19,7 @@ Accesses outside ``[0, MEM_LIMIT)`` raise :class:`ProgramCrash`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.isa.errors import ProgramCrash
 
@@ -48,11 +48,24 @@ class AccessClass(enum.Enum):
 
 
 class MemoryImage:
-    """Little-endian byte-addressable memory backed by a word dictionary."""
+    """Little-endian byte-addressable memory backed by a word dictionary.
 
-    def __init__(self, heap_end: int = DATA_BASE):
-        self._words: Dict[int, int] = {}
+    ``initial_words`` seeds the image with a (copied) pre-built word
+    dictionary — the decoded-program cache hands every fresh CPU the same
+    immutable initial image this way instead of re-installing segments
+    byte by byte.
+    """
+
+    def __init__(self, heap_end: int = DATA_BASE,
+                 initial_words: Optional[Dict[int, int]] = None):
+        self._words: Dict[int, int] = (
+            dict(initial_words) if initial_words is not None else {}
+        )
         self.heap_end = max(heap_end, DATA_BASE)
+        # Delta-checkpoint support: when tracking is enabled every mutated
+        # word address is recorded so a checkpoint can capture only the
+        # words touched since the previous one.
+        self._dirty: Optional[set] = None
 
     def copy(self) -> "MemoryImage":
         """Return an independent copy of this image."""
@@ -77,6 +90,24 @@ class MemoryImage:
         """Restore the image in place from a :meth:`snapshot` value."""
         self.heap_end, words = state
         self._words = dict(words)
+        self._dirty = None
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated word addresses (delta checkpoints)."""
+        self._dirty = set()
+
+    def drain_dirty(self) -> Set[int]:
+        """Return and clear the word addresses mutated since the last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
+
+    def word_at(self, address: int) -> int:
+        """The 64-bit word at an aligned ``address`` (0 when untouched)."""
+        return self._words.get(address, 0)
 
     # ------------------------------------------------------------------
     # Region classification
@@ -107,6 +138,8 @@ class MemoryImage:
         """Write the low ``size`` bytes of ``value`` at ``address``."""
         if size == 8 and address % 8 == 0:
             self._words[address] = value & 0xFFFFFFFFFFFFFFFF
+            if self._dirty is not None:
+                self._dirty.add(address)
             return
         for i in range(size):
             self._write_byte(address + i, (value >> (8 * i)) & 0xFF)
@@ -121,6 +154,8 @@ class MemoryImage:
         word = self._words.get(base, 0)
         word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
         self._words[base] = word
+        if self._dirty is not None:
+            self._dirty.add(base)
 
     # ------------------------------------------------------------------
     # Checked access helpers used by the functional simulator
@@ -149,12 +184,30 @@ class MemoryImage:
     # Bulk helpers
     # ------------------------------------------------------------------
     def load_bytes(self, address: int, data: bytes) -> None:
-        """Install raw bytes at ``address`` (used when materialising programs)."""
+        """Install raw bytes at ``address`` (programs, cache write-backs)."""
+        if address % 8 == 0 and len(data) % 8 == 0:
+            # Word-aligned bulk path: cache-line write-backs and most data
+            # segments land here.
+            words = self._words
+            dirty = self._dirty
+            for offset in range(0, len(data), 8):
+                base = address + offset
+                words[base] = int.from_bytes(data[offset:offset + 8], "little")
+                if dirty is not None:
+                    dirty.add(base)
+            return
         for offset, byte in enumerate(data):
             self._write_byte(address + offset, byte)
 
     def read_bytes(self, address: int, length: int) -> bytes:
         """Read ``length`` raw bytes starting at ``address``."""
+        if address % 8 == 0 and length % 8 == 0:
+            # Word-aligned bulk path (cache line fills).
+            words = self._words
+            return b"".join(
+                words.get(address + offset, 0).to_bytes(8, "little")
+                for offset in range(0, length, 8)
+            )
         return bytes(self._read_byte(address + i) for i in range(length))
 
     def words(self) -> Iterable[Tuple[int, int]]:

@@ -81,6 +81,40 @@ class ValueRef:
         return self.kind is RefKind.IMM
 
 
+#: Issue-port class per micro-op kind; ALU micro-ops whose macro opcode is
+#: MUL/DIV/MOD are overridden to "complex" in ``MicroOp.__post_init__``.
+FU_CLASS_BY_KIND = {
+    MicroOpKind.ALU: "alu",
+    MicroOpKind.LOAD: "load",
+    MicroOpKind.STORE_ADDR: "store",
+    MicroOpKind.STORE_DATA: "store",
+    MicroOpKind.BRANCH: "branch",
+    MicroOpKind.JUMP: "branch",
+    MicroOpKind.OUT: "alu",
+    MicroOpKind.NOP: "alu",
+    MicroOpKind.HALT: "alu",
+}
+
+#: Dense index per functional-unit class — the pipeline's per-cycle issue
+#: capacity is a plain list indexed by this, which beats a dict lookup in
+#: the hottest loop of the simulator.
+FU_INDEX = {"alu": 0, "complex": 1, "load": 2, "store": 3, "branch": 4}
+
+#: Small-int execute dispatch code per kind (the issue stage compares
+#: these instead of loading enum members every iteration).
+EXEC_CODE = {
+    MicroOpKind.ALU: 0,
+    MicroOpKind.LOAD: 1,
+    MicroOpKind.STORE_ADDR: 2,
+    MicroOpKind.STORE_DATA: 3,
+    MicroOpKind.BRANCH: 4,
+    MicroOpKind.JUMP: 5,
+    MicroOpKind.OUT: 6,
+    MicroOpKind.NOP: 7,
+    MicroOpKind.HALT: 8,
+}
+
+
 @dataclass
 class MicroOp:
     """A single micro-operation.
@@ -91,6 +125,11 @@ class MicroOp:
     micro-ops.  ``target`` is the statically known control-flow target
     (instruction RIP) of direct branches and jumps; indirect jumps read the
     target from ``src1`` at execute time.
+
+    ``is_control`` and ``fu_class`` are derived once at decode: the
+    pipeline's issue loop consults them every cycle for every waiting
+    micro-op, so they are plain attributes rather than recomputed
+    properties.
     """
 
     kind: MicroOpKind
@@ -107,10 +146,43 @@ class MicroOp:
     target: Optional[int] = None
     is_indirect: bool = False
     is_last: bool = False
+    is_control: bool = field(init=False)
+    fu_class: str = field(init=False)
+    fu_index: int = field(init=False)
+    alu_unary: bool = field(init=False)
+    src_imm_init: list = field(init=False)
+    dyn_sources: tuple = field(init=False)
+    dest_is_reg: bool = field(init=False)
+    dest_value: Optional[int] = field(init=False)
+    exec_code: int = field(init=False)
 
-    @property
-    def is_control(self) -> bool:
-        return self.kind in (MicroOpKind.BRANCH, MicroOpKind.JUMP)
+    def __post_init__(self) -> None:
+        self.is_control = self.kind in (MicroOpKind.BRANCH, MicroOpKind.JUMP)
+        self.alu_unary = self.alu_op in UNARY_ALU_OPCODES
+        if self.kind is MicroOpKind.ALU and self.alu_op in (
+            Opcode.MUL, Opcode.DIV, Opcode.MOD
+        ):
+            self.fu_class = "complex"
+        else:
+            self.fu_class = FU_CLASS_BY_KIND[self.kind]
+        self.fu_index = FU_INDEX[self.fu_class]
+        # Rename templates: the immediate operands are static, so the
+        # per-instance rename only has to map the REG/TMP positions
+        # (``dyn_sources``) into a copy of ``src_imm_init``.
+        src_imm_init = []
+        dyn_sources = []
+        for position, ref in enumerate((self.src1, self.src2, self.mem_base)):
+            if ref is None or ref.kind is not RefKind.IMM:
+                src_imm_init.append(None)
+                if ref is not None:
+                    dyn_sources.append((position, ref))
+            else:
+                src_imm_init.append(ref.value)
+        self.src_imm_init = src_imm_init
+        self.dyn_sources = tuple(dyn_sources)
+        self.dest_is_reg = self.dest is not None and self.dest.kind is RefKind.REG
+        self.dest_value = self.dest.value if self.dest is not None else None
+        self.exec_code = EXEC_CODE[self.kind]
 
     @property
     def is_memory(self) -> bool:

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.isa.errors import AssemblerError
 from repro.isa.instructions import Instruction, Opcode, Operand, OperandKind
 from repro.isa.memory import DATA_BASE, MemoryImage, STACK_TOP
-from repro.isa.microops import MicroOp, decode_instruction
+from repro.isa.microops import MicroOp, MicroOpKind, decode_instruction
 
 
 @dataclass
@@ -58,6 +58,32 @@ class Program:
         self._uop_cache: List[List[MicroOp]] = [
             decode_instruction(instr) for instr in self.instructions
         ]
+        # Decoded-program cache: everything the cycle-level front end needs
+        # per fetched instruction, computed once here and shared (immutably)
+        # by every golden run and every injection CPU built on this program.
+        # Layout per RIP: (instruction, uops, is_control, is_conditional,
+        # is_indirect, static_target, uop_count, dest_count, has_store,
+        # has_load).
+        self._fetch_info: List[tuple] = []
+        for instr, uops in zip(self.instructions, self._uop_cache):
+            target_operand = instr.target_operand() if instr.is_control else None
+            self._fetch_info.append((
+                instr,
+                uops,
+                instr.is_control,
+                instr.opcode is Opcode.BR,
+                instr.opcode in (Opcode.JMPR, Opcode.RET),
+                target_operand.value if target_operand is not None else None,
+                len(uops),
+                sum(1 for uop in uops if uop.dest is not None),
+                any(uop.kind is MicroOpKind.STORE_ADDR for uop in uops),
+                any(uop.kind is MicroOpKind.LOAD for uop in uops),
+            ))
+        # The initial memory image is identical for every run of this
+        # program; materialise the word dictionary once so each CPU
+        # construction pays one dict copy instead of re-walking every
+        # segment byte by byte.
+        self._initial_words: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     def _resolve_labels(self) -> None:
@@ -91,6 +117,19 @@ class Program:
         """Return the cached micro-op decoding of the instruction at ``rip``."""
         return self._uop_cache[rip]
 
+    def fetch_info(self, rip: int) -> tuple:
+        """Return the precomputed per-instruction fetch/rename metadata.
+
+        See ``__init__`` for the tuple layout; the list itself is exposed
+        to the pipeline via :attr:`fetch_info_table` so the fetch stage can
+        index it without a method call per instruction.
+        """
+        return self._fetch_info[rip]
+
+    @property
+    def fetch_info_table(self) -> List[tuple]:
+        return self._fetch_info
+
     def in_range(self, rip: int) -> bool:
         """True when ``rip`` addresses an instruction of this program."""
         return 0 <= rip < len(self.instructions)
@@ -107,11 +146,19 @@ class Program:
         raise KeyError(f"no data segment named {name!r}")
 
     def initial_memory(self) -> MemoryImage:
-        """Materialise the initial memory image for a fresh run."""
-        image = MemoryImage(heap_end=self.heap_end)
-        for seg in self.segments:
-            image.load_bytes(seg.address, seg.data)
-        return image
+        """Materialise the initial memory image for a fresh run.
+
+        The word dictionary is assembled once per program and copied per
+        call, so the thousands of injection CPUs a campaign constructs
+        share the decode work instead of re-walking every segment.
+        """
+        if self._initial_words is None:
+            image = MemoryImage(heap_end=self.heap_end)
+            for seg in self.segments:
+                image.load_bytes(seg.address, seg.data)
+            self._initial_words = dict(image.words())
+        return MemoryImage(heap_end=self.heap_end,
+                           initial_words=self._initial_words)
 
     @property
     def initial_stack_pointer(self) -> int:

@@ -1,0 +1,30 @@
+"""Simulator-core performance measurement (``repro bench``).
+
+The measurement harness behind ``benchmarks/test_simcore_throughput.py``
+and the ``repro bench`` CLI subcommand: it times the pure interpreter
+(cycles/sec), the serial and checkpoint injection engines (faults/sec) and
+the checkpoint-timeline payload (snapshot bytes), compares them against the
+recorded pre-optimization baseline, and emits ``BENCH_simcore.json``.
+"""
+
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    RECORDED_BASELINE,
+    REQUIRED_SERIAL_SPEEDUP,
+    check_gate,
+    gate_relaxed,
+    measure_simcore,
+    measure_simcore_gated,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "RECORDED_BASELINE",
+    "REQUIRED_SERIAL_SPEEDUP",
+    "check_gate",
+    "gate_relaxed",
+    "measure_simcore",
+    "measure_simcore_gated",
+    "write_bench_json",
+]

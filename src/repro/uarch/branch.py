@@ -40,6 +40,10 @@ class TournamentPredictor:
         self._global_table: List[int] = [1] * self._global_size
         self._chooser: List[int] = [1] * self._chooser_size
         self.global_history = 0
+        # Delta-checkpoint support: (table, index) pairs mutated since the
+        # last drain, with table in {"local", "global", "chooser"} (None
+        # while tracking is disabled).
+        self._dirty = None
 
     # ------------------------------------------------------------------
     def _local_index(self, rip: int) -> int:
@@ -90,6 +94,10 @@ class TournamentPredictor:
         self._global_table[global_idx] = SaturatingCounter.update(
             self._global_table[global_idx], taken
         )
+        if self._dirty is not None:
+            self._dirty.add(("local", local_idx))
+            self._dirty.add(("global", global_idx))
+            self._dirty.add(("chooser", chooser_idx))
 
     # ------------------------------------------------------------------
     # Checkpoint hooks
@@ -115,6 +123,25 @@ class TournamentPredictor:
         self._local_table = list(local)
         self._global_table = list(global_)
         self._chooser = list(chooser)
+        self._dirty = None
+
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated table entries (delta checkpoints)."""
+        self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        """Return and clear the (table, index) pairs mutated since last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
+
+    def table_value(self, table: str, index: int) -> int:
+        """Read one counter of one pattern table (delta capture helper)."""
+        if table == "local":
+            return self._local_table[index]
+        if table == "global":
+            return self._global_table[index]
+        return self._chooser[index]
 
 
 class BranchTargetBuffer:
@@ -124,6 +151,7 @@ class BranchTargetBuffer:
         self._entries = config.btb_entries
         self._tags: List[Optional[int]] = [None] * self._entries
         self._targets: List[int] = [0] * self._entries
+        self._dirty = None
 
     def _index(self, rip: int) -> int:
         return rip % self._entries
@@ -140,6 +168,8 @@ class BranchTargetBuffer:
         idx = self._index(rip)
         self._tags[idx] = rip
         self._targets[idx] = target
+        if self._dirty is not None:
+            self._dirty.add(idx)
 
     # ------------------------------------------------------------------
     # Checkpoint hooks
@@ -153,6 +183,19 @@ class BranchTargetBuffer:
         tags, targets = state
         self._tags = list(tags)
         self._targets = list(targets)
+        self._dirty = None
+
+    def begin_dirty_tracking(self) -> None:
+        self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
+
+    def entry(self, index: int) -> Tuple[Optional[int], int]:
+        """One BTB entry's (tag, target) pair (delta capture helper)."""
+        return self._tags[index], self._targets[index]
 
 
 class BranchUnit:
@@ -196,3 +239,13 @@ class BranchUnit:
         predictor_state, btb_state = state
         self.predictor.restore_state(predictor_state)
         self.btb.restore(btb_state)
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks (delegate to predictor and BTB)
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        self.predictor.begin_dirty_tracking()
+        self.btb.begin_dirty_tracking()
+
+    def drain_dirty(self) -> Tuple[set, set]:
+        return self.predictor.drain_dirty(), self.btb.drain_dirty()

@@ -55,6 +55,9 @@ class TagOnlyCache:
         ]
         self._lru: List[List[int]] = [[0] * assoc for _ in range(self.num_sets)]
         self._tick = 0
+        # Delta-checkpoint support: set indices whose tags/LRU changed since
+        # the last drain (None while tracking is disabled).
+        self._dirty = None
 
     def _locate(self, address: int) -> Tuple[int, int]:
         block = address // self.line_bytes
@@ -69,12 +72,33 @@ class TagOnlyCache:
         for way, existing in enumerate(tags):
             if existing == tag:
                 lru[way] = self._tick
+                if self._dirty is not None:
+                    self._dirty.add(set_index)
                 return True
         if allocate:
             victim = min(range(self.assoc), key=lambda way: lru[way])
             tags[victim] = tag
             lru[victim] = self._tick
+            if self._dirty is not None:
+                self._dirty.add(set_index)
         return False
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated set indices (delta checkpoints)."""
+        self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        """Return and clear the set indices mutated since the last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
+
+    def set_state(self, set_index: int) -> Tuple:
+        """The (tags, lru) tuple of one set, as stored in :meth:`snapshot`."""
+        return tuple(self._tags[set_index]), tuple(self._lru[set_index])
 
     # ------------------------------------------------------------------
     # Checkpoint hooks
@@ -97,9 +121,10 @@ class TagOnlyCache:
         tags, lru, self._tick = state
         self._tags = [list(ways) for ways in tags]
         self._lru = [list(ways) for ways in lru]
+        self._dirty = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of an L1D access."""
 
@@ -132,6 +157,9 @@ class DataCache:
         ]
         self.l2 = TagOnlyCache(config.l2_size_kb, config.l2_assoc, config.cache_line_bytes)
         self._tick = 0
+        # Delta-checkpoint support: flat line indices (set * assoc + way)
+        # mutated since the last drain (None while tracking is disabled).
+        self._dirty = None
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -165,6 +193,8 @@ class DataCache:
         line = self.lines[set_index][way]
         byte_index = word * 8 + bit // 8
         line.data[byte_index] ^= 1 << (bit % 8)
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + way)
 
     def set_bit(self, entry: int, bit: int, value: int) -> None:
         """Pin one bit of the data array (stuck-at fault hook).
@@ -180,15 +210,12 @@ class DataCache:
             line.data[byte_index] |= 1 << (bit % 8)
         else:
             line.data[byte_index] &= ~(1 << (bit % 8)) & 0xFF
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + way)
 
     # ------------------------------------------------------------------
     # Line management
     # ------------------------------------------------------------------
-    def _touched_words(self, offset: int, size: int) -> List[int]:
-        first = offset // 8
-        last = (offset + size - 1) // 8
-        return list(range(first, last + 1))
-
     def _find_way(self, set_index: int, tag: int) -> Optional[int]:
         for way, line in enumerate(self.lines[set_index]):
             if line.valid and line.tag == tag:
@@ -221,6 +248,8 @@ class DataCache:
         line.valid = False
         line.dirty = False
         line.tag = None
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + way)
 
     def _fill(self, set_index: int, tag: int, cycle: int) -> Tuple[int, int]:
         """Bring the line (set, tag) into the cache; returns (way, extra latency)."""
@@ -248,6 +277,8 @@ class DataCache:
         line.tag = tag
         line.valid = True
         line.dirty = False
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + lru_way)
         if self.tracer is not None and self.tracer.enabled:
             for word in range(WORDS_PER_LINE):
                 self.tracer.record_l1d(
@@ -274,18 +305,30 @@ class DataCache:
             latency += extra
         line = self.lines[set_index][way]
         line.last_use = self._tick
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + way)
         return set_index, way, offset, latency, hit
 
     # ------------------------------------------------------------------
     # Public access API (used by the pipeline)
     # ------------------------------------------------------------------
+    def _touched_entries(self, set_index: int, way: int, offset: int,
+                         size: int) -> List[int]:
+        """Fault-target entry indices covered by an access (see
+        :meth:`entry_index`); single-word accesses take the common path."""
+        first = offset >> 3
+        last = (offset + size - 1) >> 3
+        base_entry = (set_index * self.assoc + way) * WORDS_PER_LINE
+        if first == last:
+            return [base_entry + first]
+        return [base_entry + w for w in range(first, last + 1)]
+
     def read(self, address: int, size: int, cycle: int) -> CacheAccessResult:
         """Read ``size`` bytes; the value comes from the (possibly faulty) line."""
         set_index, way, offset, latency, hit = self._access_line(address, cycle)
         line = self.lines[set_index][way]
-        raw = bytes(line.data[offset:offset + size])
-        value = int.from_bytes(raw, "little")
-        touched = [self.entry_index(set_index, way, w) for w in self._touched_words(offset, size)]
+        value = int.from_bytes(line.data[offset:offset + size], "little")
+        touched = self._touched_entries(set_index, way, offset, size)
         return CacheAccessResult(value=value, latency=latency, hit=hit, touched_entries=touched)
 
     def write(self, address: int, value: int, size: int, cycle: int) -> CacheAccessResult:
@@ -294,7 +337,9 @@ class DataCache:
         line = self.lines[set_index][way]
         line.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         line.dirty = True
-        touched = [self.entry_index(set_index, way, w) for w in self._touched_words(offset, size)]
+        if self._dirty is not None:
+            self._dirty.add(set_index * self.assoc + way)
+        touched = self._touched_entries(set_index, way, offset, size)
         return CacheAccessResult(value=value, latency=latency, hit=hit, touched_entries=touched)
 
     # ------------------------------------------------------------------
@@ -332,6 +377,7 @@ class DataCache:
                 line.data[:] = data
                 line.last_use = last_use
         self.l2.restore(l2_state)
+        self._dirty = None
 
     def flush_dirty_to_memory(self) -> None:
         """Write every dirty line back to memory (used at end of simulation)."""
@@ -341,6 +387,28 @@ class DataCache:
                     base = self._line_base_address(set_index, line.tag)
                     self.memory.load_bytes(base, bytes(line.data))
                     line.dirty = False
+                    if self._dirty is not None:
+                        self._dirty.add(set_index * self.assoc + way)
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated line indices; the L2 tracks its sets."""
+        self._dirty = set()
+        self.l2.begin_dirty_tracking()
+
+    def drain_dirty(self) -> set:
+        """Return and clear the line indices mutated since the last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
+
+    def line_state(self, line_index: int) -> Tuple:
+        """One line's (tag, valid, dirty, data, last_use) snapshot tuple."""
+        set_index, way = divmod(line_index, self.assoc)
+        line = self.lines[set_index][way]
+        return (line.tag, line.valid, line.dirty, bytes(line.data), line.last_use)
 
 
 class InstructionCache:
@@ -352,11 +420,31 @@ class InstructionCache:
         self._cache = TagOnlyCache(config.l1i_size_kb, config.l1i_assoc, config.cache_line_bytes)
 
     def fetch_latency(self, rip: int) -> int:
-        """Return the latency of fetching the instruction at ``rip``."""
-        address = rip * 4
-        if self._cache.access(address):
-            self.stats.l1i_hits += 1
-            return 0
+        """Return the latency of fetching the instruction at ``rip``.
+
+        The tag probe is inlined (one probe per fetched instruction is the
+        front end's hottest cache interaction); misses fall back to the
+        generic allocate path.
+        """
+        cache = self._cache
+        cache._tick += 1
+        block = (rip * 4) // cache.line_bytes
+        set_index = block % cache.num_sets
+        tag = block // cache.num_sets
+        tags = cache._tags[set_index]
+        for way, existing in enumerate(tags):
+            if existing == tag:
+                cache._lru[set_index][way] = cache._tick
+                if cache._dirty is not None:
+                    cache._dirty.add(set_index)
+                self.stats.l1i_hits += 1
+                return 0
+        lru = cache._lru[set_index]
+        victim = min(range(cache.assoc), key=lambda way: lru[way])
+        tags[victim] = tag
+        lru[victim] = cache._tick
+        if cache._dirty is not None:
+            cache._dirty.add(set_index)
         self.stats.l1i_misses += 1
         return self.config.l2_hit_latency
 
@@ -370,3 +458,19 @@ class InstructionCache:
     def restore(self, state: Tuple) -> None:
         """Restore the instruction cache in place from a snapshot."""
         self._cache.restore(state)
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks (delegate to the tag store)
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        self._cache.begin_dirty_tracking()
+
+    def drain_dirty(self) -> set:
+        return self._cache.drain_dirty()
+
+    def set_state(self, set_index: int) -> Tuple:
+        return self._cache.set_state(set_index)
+
+    @property
+    def tick(self) -> int:
+        return self._cache._tick

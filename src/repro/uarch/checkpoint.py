@@ -155,7 +155,8 @@ def _decode_macro(state: Tuple, program) -> _MacroContext:
     macro.temp_map = dict(temp_map)
     macro.temp_allocs = list(temp_allocs)
     macro.sq_index = sq_index
-    macro.uops = program.uops(rip)
+    (_, uops, _, _, _, _, _, dest_count, has_store, has_load) = program.fetch_info(rip)
+    macro.attach_uops(uops, dest_count, has_store, has_load)
     return macro
 
 
@@ -196,6 +197,7 @@ def _decode_entry(state: Tuple, macros: List[_MacroContext]) -> _InFlightUop:
     entry.prev_phys = prev_phys
     entry.src_phys = list(src_phys)
     entry.src_imm = list(src_imm)
+    entry.wait_phys = [phys for phys in src_phys if phys is not None]
     entry.issued = issued
     entry.complete = complete
     entry.squashed = squashed
@@ -213,13 +215,13 @@ def _decode_entry(state: Tuple, macros: List[_MacroContext]) -> _InFlightUop:
     return entry
 
 
-def capture_state(cpu: OutOfOrderCpu) -> CpuState:
-    """Snapshot ``cpu`` at a cycle boundary into a :class:`CpuState`.
+def _encode_inflight(cpu: OutOfOrderCpu) -> Tuple:
+    """Canonically encode the in-flight pipeline window of ``cpu``.
 
-    Must be called between cycles (as :meth:`OutOfOrderCpu.run` does via
-    its ``cycle_hook``), never from inside ``_step``.  The access tracer
-    and the profiling ``commit_log`` are deliberately excluded: they do
-    not influence simulation dynamics, and restored CPUs never trace.
+    Returns ``(macros, entries, rob_len, issue_queue, completions,
+    decode_queue)`` exactly as stored in :class:`CpuState`; shared by the
+    full capture and the delta capture (the window is rebuilt every
+    checkpoint — it is small and changes almost every cycle).
     """
     # Canonical in-flight enumeration: ROB order first, then any squashed
     # micro-ops still awaiting their (ignored) completion slot, in
@@ -259,7 +261,27 @@ def capture_state(cpu: OutOfOrderCpu) -> CpuState:
         )
         encoded_entries.append(_encode_entry(entry, macro_of(entry.macro), uop_pos))
     decode_queue = tuple(macro_of(macro) for macro in cpu.decode_queue)
+    return (
+        tuple(_encode_macro(macro) for macro in ordered_macros),
+        tuple(encoded_entries),
+        rob_len,
+        tuple(index_of(entry) for entry in cpu.issue_queue),
+        tuple(completions),
+        decode_queue,
+    )
 
+
+def capture_state(cpu: OutOfOrderCpu) -> CpuState:
+    """Snapshot ``cpu`` at a cycle boundary into a :class:`CpuState`.
+
+    Must be called between cycles (as :meth:`OutOfOrderCpu.run` does via
+    its ``cycle_hook``), never from inside ``_step``.  The access tracer
+    and the profiling ``commit_log`` are deliberately excluded: they do
+    not influence simulation dynamics, and restored CPUs never trace.
+    """
+    macros, entries, rob_len, issue_queue, completions, decode_queue = (
+        _encode_inflight(cpu)
+    )
     return CpuState(
         cycle=cpu.cycle,
         seq=cpu._seq,
@@ -280,13 +302,308 @@ def capture_state(cpu: OutOfOrderCpu) -> CpuState:
         icache=cpu.icache.snapshot(),
         branch=cpu.branch_unit.snapshot(),
         stats=cpu.stats.snapshot(),
-        macros=tuple(_encode_macro(macro) for macro in ordered_macros),
-        entries=tuple(encoded_entries),
+        macros=macros,
+        entries=entries,
         rob_len=rob_len,
-        issue_queue=tuple(index_of(entry) for entry in cpu.issue_queue),
-        completions=tuple(completions),
+        issue_queue=issue_queue,
+        completions=completions,
         decode_queue=decode_queue,
     )
+
+
+# ----------------------------------------------------------------------
+# Delta snapshots
+# ----------------------------------------------------------------------
+class DeltaState:
+    """Changes between two consecutive checkpoints of one golden run.
+
+    Produced by :func:`capture_delta` from the components' dirty-entry
+    sets: only the machine entries touched since the previous checkpoint
+    are stored, which shrinks both capture time and the serialized
+    timeline payload by orders of magnitude for sparse workloads.  The
+    small always-churning fields (in-flight window, stats, free list,
+    rename maps) are stored in full; ``None`` in one of the optional
+    fields means "unchanged since the previous checkpoint".
+    Composition back into a full :class:`CpuState` is exact — the
+    timeline's compose step reproduces ``capture_state`` bit for bit,
+    which the delta-equivalence tests enforce.
+    """
+
+    __slots__ = (
+        "cycle", "seq", "fetch_pc", "fetch_stall_until", "halted",
+        "exceptions", "last_commit_cycle", "output_suffix",
+        "rename_map", "retirement_map", "free_list", "load_queue", "stats",
+        "heap_end", "memory_words", "prf_entries", "sq_ctrl", "sq_slots",
+        "dcache_lines", "dcache_tick", "l2_sets", "l2_tick",
+        "icache_sets", "icache_tick",
+        "predictor_entries", "global_history", "btb_entries",
+        "macros", "entries", "rob_len", "issue_queue", "completions",
+        "decode_queue",
+    )
+
+    def as_payload(self) -> Tuple:
+        """Flatten into pure data (slot-declaration order)."""
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    @classmethod
+    def from_payload(cls, fields: Tuple) -> "DeltaState":
+        delta = cls.__new__(cls)
+        for name, value in zip(cls.__slots__, fields):
+            setattr(delta, name, value)
+        return delta
+
+
+def capture_delta(cpu: OutOfOrderCpu, prev: CpuState) -> DeltaState:
+    """Capture the changes of ``cpu`` relative to ``prev``.
+
+    ``cpu`` must have dirty tracking enabled since the capture of ``prev``
+    (the timeline enables it at its first, full capture); the components'
+    dirty sets are drained, so each delta covers exactly one
+    inter-checkpoint window.
+    """
+    delta = DeltaState.__new__(DeltaState)
+    delta.cycle = cpu.cycle
+    delta.seq = cpu._seq
+    delta.fetch_pc = cpu.fetch_pc
+    delta.fetch_stall_until = cpu.fetch_stall_until
+    delta.halted = cpu.halted
+    delta.exceptions = cpu.exceptions
+    delta.last_commit_cycle = cpu._last_commit_cycle
+    delta.output_suffix = tuple(cpu.output[len(prev.output):])
+
+    rename_map = tuple(cpu.rename_map)
+    delta.rename_map = rename_map if rename_map != prev.rename_map else None
+    retirement_map = tuple(cpu.retirement_map)
+    delta.retirement_map = (
+        retirement_map if retirement_map != prev.retirement_map else None
+    )
+    free_list = cpu.free_list.snapshot()
+    delta.free_list = free_list if free_list != prev.free_list else None
+    load_queue = cpu.load_queue.snapshot()
+    delta.load_queue = load_queue if load_queue != prev.load_queue else None
+    delta.stats = cpu.stats.snapshot()
+
+    memory = cpu.memory
+    delta.heap_end = memory.heap_end
+    delta.memory_words = {
+        address: memory.word_at(address) for address in memory.drain_dirty()
+    }
+
+    prf = cpu.prf
+    values, ready = prf.values, prf.ready
+    delta.prf_entries = {
+        index: (values[index], ready[index]) for index in prf.drain_dirty()
+    }
+
+    sq = cpu.store_queue
+    delta.sq_ctrl = (sq.head, sq.tail, sq.occupancy)
+    delta.sq_slots = {index: sq.slot_state(index) for index in sq.drain_dirty()}
+
+    dcache = cpu.dcache
+    delta.dcache_lines = {
+        index: dcache.line_state(index) for index in dcache.drain_dirty()
+    }
+    delta.dcache_tick = dcache._tick
+    l2 = dcache.l2
+    delta.l2_sets = {index: l2.set_state(index) for index in l2.drain_dirty()}
+    delta.l2_tick = l2._tick
+    icache = cpu.icache
+    delta.icache_sets = {
+        index: icache.set_state(index) for index in icache.drain_dirty()
+    }
+    delta.icache_tick = icache.tick
+
+    predictor = cpu.branch_unit.predictor
+    predictor_dirty, btb_dirty = cpu.branch_unit.drain_dirty()
+    delta.predictor_entries = {
+        key: predictor.table_value(*key) for key in predictor_dirty
+    }
+    delta.global_history = predictor.global_history
+    btb = cpu.branch_unit.btb
+    delta.btb_entries = {index: btb.entry(index) for index in btb_dirty}
+
+    (delta.macros, delta.entries, delta.rob_len, delta.issue_queue,
+     delta.completions, delta.decode_queue) = _encode_inflight(cpu)
+    return delta
+
+
+def compose_state(prev: CpuState, delta: DeltaState) -> CpuState:
+    """Apply ``delta`` on top of ``prev``, yielding the next full state."""
+    values, ready = list(prev.prf[0]), list(prev.prf[1])
+    for index, (value, rdy) in delta.prf_entries.items():
+        values[index] = value
+        ready[index] = rdy
+
+    head, tail, occupancy = delta.sq_ctrl
+    slots = list(prev.store_queue[3])
+    for index, slot in delta.sq_slots.items():
+        slots[index] = slot
+
+    lines = list(prev.dcache[0])
+    for index, line in delta.dcache_lines.items():
+        lines[index] = line
+    l2_tags, l2_lru, _ = prev.dcache[1]
+    l2_tags, l2_lru = list(l2_tags), list(l2_lru)
+    for index, (tags, lru) in delta.l2_sets.items():
+        l2_tags[index] = tags
+        l2_lru[index] = lru
+
+    i_tags, i_lru, _ = prev.icache
+    i_tags, i_lru = list(i_tags), list(i_lru)
+    for index, (tags, lru) in delta.icache_sets.items():
+        i_tags[index] = tags
+        i_lru[index] = lru
+
+    (local, global_, chooser, _), (btb_tags, btb_targets) = prev.branch
+    if delta.predictor_entries:
+        local, global_, chooser = list(local), list(global_), list(chooser)
+        for (table, index), value in delta.predictor_entries.items():
+            if table == "local":
+                local[index] = value
+            elif table == "global":
+                global_[index] = value
+            else:
+                chooser[index] = value
+        local, global_, chooser = tuple(local), tuple(global_), tuple(chooser)
+    if delta.btb_entries:
+        btb_tags, btb_targets = list(btb_tags), list(btb_targets)
+        for index, (tag, target) in delta.btb_entries.items():
+            btb_tags[index] = tag
+            btb_targets[index] = target
+        btb_tags, btb_targets = tuple(btb_tags), tuple(btb_targets)
+
+    words = dict(prev.memory[1])
+    words.update(delta.memory_words)
+
+    return CpuState(
+        cycle=delta.cycle,
+        seq=delta.seq,
+        fetch_pc=delta.fetch_pc,
+        fetch_stall_until=delta.fetch_stall_until,
+        halted=delta.halted,
+        exceptions=delta.exceptions,
+        last_commit_cycle=delta.last_commit_cycle,
+        output=prev.output + delta.output_suffix,
+        rename_map=delta.rename_map if delta.rename_map is not None else prev.rename_map,
+        retirement_map=(delta.retirement_map
+                        if delta.retirement_map is not None else prev.retirement_map),
+        memory=(delta.heap_end, words),
+        prf=(tuple(values), tuple(ready)),
+        free_list=delta.free_list if delta.free_list is not None else prev.free_list,
+        store_queue=(head, tail, occupancy, tuple(slots)),
+        load_queue=delta.load_queue if delta.load_queue is not None else prev.load_queue,
+        dcache=(tuple(lines), (tuple(l2_tags), tuple(l2_lru), delta.l2_tick),
+                delta.dcache_tick),
+        icache=(tuple(i_tags), tuple(i_lru), delta.icache_tick),
+        branch=((local, global_, chooser, delta.global_history),
+                (btb_tags, btb_targets)),
+        stats=delta.stats,
+        macros=delta.macros,
+        entries=delta.entries,
+        rob_len=delta.rob_len,
+        issue_queue=delta.issue_queue,
+        completions=delta.completions,
+        decode_queue=delta.decode_queue,
+    )
+
+
+def merge_deltas(older: DeltaState, newer: DeltaState) -> DeltaState:
+    """Collapse two consecutive deltas into one (timeline thinning)."""
+    merged = DeltaState.__new__(DeltaState)
+    for name in ("cycle", "seq", "fetch_pc", "fetch_stall_until", "halted",
+                 "exceptions", "last_commit_cycle", "stats", "heap_end",
+                 "sq_ctrl", "dcache_tick", "l2_tick", "icache_tick",
+                 "global_history", "macros", "entries", "rob_len",
+                 "issue_queue", "completions", "decode_queue"):
+        setattr(merged, name, getattr(newer, name))
+    merged.output_suffix = older.output_suffix + newer.output_suffix
+    for name in ("rename_map", "retirement_map", "free_list", "load_queue"):
+        value = getattr(newer, name)
+        setattr(merged, name, value if value is not None else getattr(older, name))
+    for name in ("memory_words", "prf_entries", "sq_slots", "dcache_lines",
+                 "l2_sets", "icache_sets", "predictor_entries", "btb_entries"):
+        combined = dict(getattr(older, name))
+        combined.update(getattr(newer, name))
+        setattr(merged, name, combined)
+    return merged
+
+
+def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
+    """Rewrite only the component entries dirtied since the last restore.
+
+    Valid only when ``cpu`` was previously fully restored to this *same*
+    ``state`` object with dirty tracking active: everything that diverged
+    since is exactly the union of the components' dirty sets, so the big
+    stable structures (branch predictor tables, L2 tag store, cache lines,
+    memory words) are left untouched instead of being rebuilt per run.
+    """
+    # Physical register file.
+    prf = cpu.prf
+    values, ready = state.prf
+    for index in prf.drain_dirty():
+        prf.values[index] = values[index]
+        prf.ready[index] = ready[index]
+
+    # Store queue (head/tail/occupancy are cheap scalars, always reset).
+    sq = cpu.store_queue
+    sq.head, sq.tail, sq.occupancy, slot_states = state.store_queue
+    for index in sq.drain_dirty():
+        sq.restore_slot(index, slot_states[index])
+    sq.recount_pending()
+
+    # L1 data cache lines + L2 tag store.
+    dcache = cpu.dcache
+    line_states, l2_state, dcache._tick = state.dcache
+    assoc = dcache.assoc
+    for line_index in dcache.drain_dirty():
+        set_index, way = divmod(line_index, assoc)
+        line = dcache.lines[set_index][way]
+        line.tag, line.valid, line.dirty, data, line.last_use = line_states[line_index]
+        line.data[:] = data
+    l2 = dcache.l2
+    l2_tags, l2_lru, l2._tick = l2_state
+    for set_index in l2.drain_dirty():
+        l2._tags[set_index] = list(l2_tags[set_index])
+        l2._lru[set_index] = list(l2_lru[set_index])
+
+    # L1 instruction cache tag store.
+    icache = cpu.icache._cache
+    i_tags, i_lru, icache._tick = state.icache
+    for set_index in icache.drain_dirty():
+        icache._tags[set_index] = list(i_tags[set_index])
+        icache._lru[set_index] = list(i_lru[set_index])
+
+    # Branch predictor tables and BTB.
+    predictor_state, btb_state = state.branch
+    local, global_, chooser, history = predictor_state
+    predictor = cpu.branch_unit.predictor
+    predictor.global_history = history
+    predictor_dirty, btb_dirty = cpu.branch_unit.drain_dirty()
+    for table, index in predictor_dirty:
+        if table == "local":
+            predictor._local_table[index] = local[index]
+        elif table == "global":
+            predictor._global_table[index] = global_[index]
+        else:
+            predictor._chooser[index] = chooser[index]
+    btb = cpu.branch_unit.btb
+    btb_tags, btb_targets = btb_state
+    for index in btb_dirty:
+        btb._tags[index] = btb_tags[index]
+        btb._targets[index] = btb_targets[index]
+
+    # Memory words: a run can add words the state does not have, so dirty
+    # addresses absent from the state are removed again.
+    memory = cpu.memory
+    heap_end, words = state.memory
+    memory.heap_end = heap_end
+    live = memory._words
+    for address in memory.drain_dirty():
+        stored = words.get(address)
+        if stored is None:
+            live.pop(address, None)
+        else:
+            live[address] = stored
 
 
 def restore_state(cpu: OutOfOrderCpu, state: CpuState) -> None:
@@ -298,8 +615,24 @@ def restore_state(cpu: OutOfOrderCpu, state: CpuState) -> None:
     pending flips after the restore.  Restoring resets *all* mutable
     machine state, so one CPU object can be reused (restored repeatedly)
     across many injection runs — the campaign scheduler does exactly that
-    to amortise construction cost.
+    to amortise construction cost.  Repeated restores of the *same* state
+    object take a fast path: dirty tracking (enabled on the first restore)
+    pins down everything the previous run touched, and only those entries
+    are rewritten.
     """
+    if cpu._restore_base is state and cpu.delta_tracking:
+        _restore_touched(cpu, state)
+    else:
+        cpu.memory.restore(state.memory)
+        cpu.prf.restore(state.prf)
+        cpu.store_queue.restore(state.store_queue)
+        cpu.dcache.restore(state.dcache)
+        cpu.icache.restore(state.icache)
+        cpu.branch_unit.restore(state.branch)
+        # Arm the fast path for the next restore of this same state.
+        cpu.enable_delta_tracking()
+        cpu._restore_base = state
+
     cpu.cycle = state.cycle
     cpu._seq = state.seq
     cpu.fetch_pc = state.fetch_pc
@@ -310,14 +643,8 @@ def restore_state(cpu: OutOfOrderCpu, state: CpuState) -> None:
     cpu.output = list(state.output)
     cpu.rename_map = list(state.rename_map)
     cpu.retirement_map = list(state.retirement_map)
-    cpu.memory.restore(state.memory)
-    cpu.prf.restore(state.prf)
     cpu.free_list.restore(state.free_list)
-    cpu.store_queue.restore(state.store_queue)
     cpu.load_queue.restore(state.load_queue)
-    cpu.dcache.restore(state.dcache)
-    cpu.icache.restore(state.icache)
-    cpu.branch_unit.restore(state.branch)
     # Install a *fresh* stats object rather than restoring in place: the
     # SimulationResult of a previous run on a reused CPU aliases the old
     # object, and must not be corrupted by the next restore.  The caches
@@ -338,6 +665,32 @@ def restore_state(cpu: OutOfOrderCpu, state: CpuState) -> None:
     }
     cpu.decode_queue = deque(macros[index] for index in state.decode_queue)
 
+    # Rebuild the issue-stage wakeup lists (derived state, not encoded):
+    # every waiting entry re-registers against the restored ready bits.
+    waiters: Dict[int, List[_InFlightUop]] = {}
+    ready = cpu.prf.ready
+    for entry in cpu.issue_queue:
+        pending = 0
+        for phys in entry.wait_phys:
+            if not ready[phys]:
+                pending += 1
+                waiters.setdefault(phys, []).append(entry)
+        entry.pending = pending
+    cpu._waiters = waiters
+
+
+def new_restore_pool(program, config, record_reads: bool = False):
+    """Build a pooled injection CPU plus its captured cycle-0 state.
+
+    One such pair per campaign serves every injection: each run restores
+    either a golden checkpoint or the initial state into the same CPU
+    (repeated restores of one state object take the dirty-set fast path).
+    ``record_reads`` must be True for checkpointed campaigns — their
+    snapshots are compared against the golden timeline's, which records.
+    """
+    cpu = OutOfOrderCpu(program, config, record_reads=record_reads)
+    return cpu, capture_state(cpu)
+
 
 # ----------------------------------------------------------------------
 # Checkpoint timeline
@@ -351,6 +704,16 @@ class CheckpointTimeline:
     ``max_checkpoints`` accumulate, every other checkpoint is dropped and
     the interval doubles, so storage stays bounded without knowing the
     run length in advance.
+
+    Storage is *delta-based*: the first checkpoint is a full
+    :class:`CpuState`; every later one is a :class:`DeltaState` holding
+    only the entries the machine touched since the previous checkpoint
+    (the components report them through their dirty sets, which
+    :meth:`observe` arms at the first capture).  ``nearest``/``state_at``
+    compose full states on demand and memoise them, so consumers keep
+    seeing plain :class:`CpuState` values — one object identity per
+    checkpoint, as the batch scheduler and the pooled-restore fast path
+    expect.
     """
 
     def __init__(self, interval: int = DEFAULT_INTERVAL,
@@ -361,12 +724,22 @@ class CheckpointTimeline:
             raise ValueError("max_checkpoints must be >= 1")
         self.interval = interval
         self.max_checkpoints = max_checkpoints
-        self._states: List[CpuState] = []
+        #: records[0] is a full CpuState, the rest are DeltaStates.
+        self._records: List[object] = []
+        #: Lazily composed full states, parallel to _records.
+        self._composed: List[Optional[CpuState]] = []
         self._cycles: List[int] = []
         self._next_cycle = interval
+        # When thinning drops the most recent checkpoint, the machine's
+        # dirty sets still refer to it: the dropped trailing deltas (and
+        # the full state they compose to) are parked here and merged into
+        # the next captured delta, which re-bases it onto the last kept
+        # checkpoint.
+        self._tail_delta: Optional[DeltaState] = None
+        self._tail_full: Optional[CpuState] = None
 
     def __len__(self) -> int:
-        return len(self._states)
+        return len(self._records)
 
     @property
     def cycles(self) -> List[int]:
@@ -378,26 +751,92 @@ class CheckpointTimeline:
         """Cycle hook: snapshot ``cpu`` when it reaches the next boundary."""
         if cpu.cycle < self._next_cycle:
             return None
-        state = capture_state(cpu)
-        self._states.append(state)
-        self._cycles.append(state.cycle)
-        self._next_cycle = state.cycle + self.interval
-        if len(self._states) > self.max_checkpoints:
+        if not self._records:
+            state = capture_state(cpu)
+            # Arm dirty tracking so every later capture is a delta.  A
+            # parked thinning tail (possible when thinning dropped every
+            # checkpoint) is obsolete: the new base is complete by itself.
+            cpu.enable_delta_tracking()
+            self._tail_delta = None
+            self._tail_full = None
+            self._records.append(state)
+            self._composed.append(state)
+            cycle = state.cycle
+        else:
+            if self._tail_delta is not None:
+                # The dirty sets cover the window since a checkpoint that
+                # thinning dropped: capture against its parked full state,
+                # then merge with the parked deltas to re-base onto the
+                # last kept checkpoint.
+                raw = capture_delta(cpu, self._tail_full)
+                delta = merge_deltas(self._tail_delta, raw)
+                self._tail_delta = None
+                self._tail_full = None
+            else:
+                delta = capture_delta(cpu, self._full(len(self._records) - 1))
+            self._records.append(delta)
+            self._composed.append(None)
+            cycle = delta.cycle
+        self._cycles.append(cycle)
+        self._next_cycle = cycle + self.interval
+        if len(self._records) > self.max_checkpoints:
             self._thin()
         return None
 
+    def _full(self, index: int) -> CpuState:
+        """The composed full state of checkpoint ``index`` (memoised)."""
+        composed = self._composed[index]
+        if composed is None:
+            composed = compose_state(self._full(index - 1), self._records[index])
+            self._composed[index] = composed
+        return composed
+
+    def states(self) -> List[CpuState]:
+        """All checkpoints as composed full states (ascending cycles)."""
+        return [self._full(index) for index in range(len(self._records))]
+
     def _thin(self) -> None:
-        """Drop every other checkpoint and double the interval."""
+        """Drop every other checkpoint and double the interval.
+
+        Dropped deltas are merged into their successors; when the base
+        itself is dropped, the first kept checkpoint is composed into the
+        new full base.
+        """
         self.interval *= 2
-        kept = [
-            (cycle, state)
-            for cycle, state in zip(self._cycles, self._states)
-            if cycle % self.interval == 0
-        ]
-        self._cycles = [cycle for cycle, _ in kept]
-        self._states = [state for _, state in kept]
-        last = self._cycles[-1] if self._cycles else 0
-        self._next_cycle = last + self.interval
+        interval = self.interval
+        kept = [i for i, cycle in enumerate(self._cycles) if cycle % interval == 0]
+        if kept and kept[-1] != len(self._records) - 1:
+            # The newest checkpoint is being dropped, but the machine's
+            # dirty sets are relative to it: park the trailing deltas and
+            # the full state they reach so the next capture can re-base.
+            self._tail_full = self._full(len(self._records) - 1)
+            merged = None
+            for k in range(kept[-1] + 1, len(self._records)):
+                record = self._records[k]
+                merged = record if merged is None else merge_deltas(merged, record)
+            self._tail_delta = merged
+        new_records: List[object] = []
+        new_composed: List[Optional[CpuState]] = []
+        new_cycles: List[int] = []
+        for pos, index in enumerate(kept):
+            if pos == 0:
+                base = self._full(index)
+                new_records.append(base)
+                new_composed.append(base)
+            else:
+                merged = None
+                for k in range(kept[pos - 1] + 1, index + 1):
+                    record = self._records[k]
+                    merged = (record if merged is None
+                              else merge_deltas(merged, record))
+                new_records.append(merged)
+                new_composed.append(self._composed[index])
+            new_cycles.append(self._cycles[index])
+        self._records = new_records
+        self._composed = new_composed
+        self._cycles = new_cycles
+        last = new_cycles[-1] if new_cycles else 0
+        self._next_cycle = last + interval
 
     # ------------------------------------------------------------------
     def nearest(self, cycle: int) -> Optional[CpuState]:
@@ -410,45 +849,84 @@ class CheckpointTimeline:
         index = bisect.bisect_right(self._cycles, cycle) - 1
         if index < 0:
             return None
-        return self._states[index]
+        return self._full(index)
 
     def state_at(self, cycle: int) -> Optional[CpuState]:
         """The checkpoint taken exactly at ``cycle``, if any."""
         index = bisect.bisect_left(self._cycles, cycle)
         if index < len(self._cycles) and self._cycles[index] == cycle:
-            return self._states[index]
+            return self._full(index)
         return None
 
     # ------------------------------------------------------------------
     # Serialization (artifact cache / cross-process shipping)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _default_line(line_bytes: int) -> Tuple:
+        return (None, False, False, b"\x00" * line_bytes, 0)
+
     def to_payload(self) -> Tuple:
         """Encode the timeline as pure data (nested tuples of primitives).
 
-        :class:`CpuState` fields are already pure data by the snapshot
-        contract, so flattening them into field tuples yields a payload
-        that pickles compactly, compares by value, and carries no live
-        object references — the on-disk artifact format of
-        :class:`~repro.cluster.artifacts.ArtifactCache`.
+        Snapshot fields are already pure data by the snapshot contract,
+        so flattening them yields a payload that pickles compactly and
+        carries no live object references — the on-disk artifact format
+        of :class:`~repro.cluster.artifacts.ArtifactCache`.  Only the
+        base checkpoint is stored in full, and even there untouched
+        (default-valued, invalid) cache lines are omitted; the deltas are
+        sparse by construction.
         """
-        field_names = tuple(CpuState.__dataclass_fields__)
+        base_payload = None
+        delta_payloads: List[Tuple] = []
+        if self._records:
+            base = self._records[0]
+            fields = {
+                name: getattr(base, name) for name in CpuState.__dataclass_fields__
+            }
+            lines, l2_state, tick = fields.pop("dcache")
+            line_bytes = len(lines[0][3]) if lines else 0
+            default = self._default_line(line_bytes)
+            sparse_lines = {
+                index: line for index, line in enumerate(lines) if line != default
+            }
+            fields["dcache"] = (len(lines), line_bytes, sparse_lines, l2_state, tick)
+            base_payload = tuple(
+                fields[name] for name in CpuState.__dataclass_fields__
+            )
+            delta_payloads = [
+                record.as_payload() for record in self._records[1:]
+            ]
         return (
             self.interval,
             self.max_checkpoints,
             self._next_cycle,
-            tuple(
-                tuple(getattr(state, name) for name in field_names)
-                for state in self._states
-            ),
+            (base_payload, tuple(delta_payloads)),
         )
 
     @classmethod
     def from_payload(cls, payload: Tuple) -> "CheckpointTimeline":
-        """Inverse of :meth:`to_payload`."""
-        interval, max_checkpoints, next_cycle, states = payload
+        """Inverse of :meth:`to_payload` (absent cache lines are defaults)."""
+        interval, max_checkpoints, next_cycle, (base_payload, deltas) = payload
         timeline = cls(interval, max_checkpoints)
-        timeline._states = [CpuState(*fields) for fields in states]
-        timeline._cycles = [state.cycle for state in timeline._states]
+        if base_payload is not None:
+            field_names = tuple(CpuState.__dataclass_fields__)
+            fields = dict(zip(field_names, base_payload))
+            num_lines, line_bytes, sparse_lines, l2_state, tick = fields["dcache"]
+            default = cls._default_line(line_bytes)
+            fields["dcache"] = (
+                tuple(sparse_lines.get(index, default) for index in range(num_lines)),
+                l2_state,
+                tick,
+            )
+            base = CpuState(**fields)
+            timeline._records.append(base)
+            timeline._composed.append(base)
+            timeline._cycles.append(base.cycle)
+            for delta_fields in deltas:
+                delta = DeltaState.from_payload(delta_fields)
+                timeline._records.append(delta)
+                timeline._composed.append(None)
+                timeline._cycles.append(delta.cycle)
         timeline._next_cycle = next_cycle
         return timeline
 

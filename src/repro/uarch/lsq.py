@@ -74,10 +74,24 @@ class StoreQueue:
         self.head = 0
         self.tail = 0
         self.occupancy = 0
+        #: Valid slots still waiting for their address micro-op; lets the
+        #: per-load disambiguation check short-circuit to a counter test.
+        self._addr_pending = 0
+        # Delta-checkpoint support: indices of slots mutated since the last
+        # drain (None while tracking is disabled).
+        self._dirty = None
 
     # ------------------------------------------------------------------
     def has_free(self) -> bool:
         return self.occupancy < self.num_entries
+
+    def _occupied(self):
+        """The valid slots in allocation (= ascending seq) order."""
+        slots = self.slots
+        head = self.head
+        num = self.num_entries
+        for k in range(self.occupancy):
+            yield slots[(head + k) % num]
 
     def allocate(self, seq: int, rip: int, upc: int, size: int) -> int:
         """Allocate the slot at the tail for the store with sequence ``seq``."""
@@ -99,6 +113,9 @@ class StoreQueue:
         index = self.tail
         self.tail = (self.tail + 1) % self.num_entries
         self.occupancy += 1
+        self._addr_pending += 1
+        if self._dirty is not None:
+            self._dirty.add(index)
         return index
 
     def set_address(self, index: int, address: int, demand: bool, crash: Optional[str]) -> None:
@@ -107,45 +124,77 @@ class StoreQueue:
         slot.addr_ready = True
         slot.demand = demand
         slot.crash = crash
+        self._addr_pending -= 1
+        if self._dirty is not None:
+            self._dirty.add(index)
 
     def set_data(self, index: int, value: int) -> None:
         slot = self.slots[index]
         slot.data = value & 0xFFFFFFFFFFFFFFFF
         slot.data_ready = True
+        if self._dirty is not None:
+            self._dirty.add(index)
 
     def mark_committed(self, index: int) -> None:
         self.slots[index].committed = True
+        if self._dirty is not None:
+            self._dirty.add(index)
+
+    def _reset_slot(self, slot: StoreQueueSlot) -> None:
+        """Deallocate ``slot``, maintaining the pending-address counter."""
+        if not slot.addr_ready:
+            self._addr_pending -= 1
+        slot.reset()
+        if self._dirty is not None:
+            self._dirty.add(slot.index)
 
     # ------------------------------------------------------------------
     def older_stores(self, seq: int) -> List[StoreQueueSlot]:
         """Return valid slots holding stores older than ``seq`` (oldest first)."""
-        result = [slot for slot in self.slots if slot.valid and slot.seq < seq]
-        result.sort(key=lambda slot: slot.seq)
+        result = []
+        for slot in self._occupied():
+            if slot.seq >= seq:
+                break
+            result.append(slot)
         return result
 
     def all_older_addresses_known(self, seq: int) -> bool:
         """Conservative disambiguation: all older stores must know their address."""
-        return all(slot.addr_ready for slot in self.slots if slot.valid and slot.seq < seq)
+        if self._addr_pending == 0:
+            return True
+        for slot in self._occupied():
+            if slot.seq >= seq:
+                break
+            if not slot.addr_ready:
+                return False
+        return True
 
-    def forwarding_source(self, seq: int, address: int, size: int) -> Tuple[str, Optional[StoreQueueSlot]]:
+    def forwarding_source(self, seq: int, address: int, size: int) -> Tuple[Optional[str], Optional[StoreQueueSlot]]:
         """Find the forwarding source for a load.
 
         Returns one of ``("forward", slot)``, ``("stall", slot)`` or
-        ``("none", None)``.
+        ``(None, None)`` when no older store overlaps.
         """
-        best: Optional[StoreQueueSlot] = None
-        for slot in self.slots:
-            if not slot.valid or slot.seq >= seq:
+        # Walk the occupied slots youngest-first; the first older store
+        # that overlaps is the youngest one, i.e. the forwarding source.
+        # The overlap test is inlined — this runs once per executed load.
+        slots = self.slots
+        tail = self.tail
+        num = self.num_entries
+        end = address + size
+        for k in range(1, self.occupancy + 1):
+            slot = slots[(tail - k) % num]
+            if slot.seq >= seq or not slot.addr_ready:
                 continue
-            if not slot.overlaps(address, size):
+            slot_address = slot.address
+            if end <= slot_address or slot_address + slot.size <= address:
                 continue
-            if best is None or slot.seq > best.seq:
-                best = slot
-        if best is None:
-            return "none", None
-        if best.covers(address, size) and best.data_ready:
-            return "forward", best
-        return "stall", best
+            # Youngest overlapping older store found.
+            if (slot.data_ready and slot_address <= address
+                    and end <= slot_address + slot.size):
+                return "forward", slot
+            return "stall", slot
+        return None, None
 
     # ------------------------------------------------------------------
     def head_slot(self) -> Optional[StoreQueueSlot]:
@@ -161,7 +210,7 @@ class StoreQueue:
         """Free the head slot after its store has drained to the cache."""
         if self.occupancy == 0:
             raise SimulatorAssertError("store queue underflow on release")
-        self.slots[self.head].reset()
+        self._reset_slot(self.slots[self.head])
         self.head = (self.head + 1) % self.num_entries
         self.occupancy -= 1
 
@@ -171,7 +220,7 @@ class StoreQueue:
             last = (self.tail - 1) % self.num_entries
             slot = self.slots[last]
             if slot.valid and slot.seq > seq and not slot.committed:
-                slot.reset()
+                self._reset_slot(slot)
                 self.tail = last
                 self.occupancy -= 1
             else:
@@ -183,6 +232,8 @@ class StoreQueue:
         if not 0 <= bit < 64:
             raise ValueError(f"bit out of range: {bit}")
         self.slots[entry].data ^= 1 << bit
+        if self._dirty is not None:
+            self._dirty.add(entry)
 
     def set_bit(self, entry: int, bit: int, value: int) -> None:
         """Pin one bit of a slot's data latch (stuck-at fault hook).
@@ -196,10 +247,34 @@ class StoreQueue:
             self.slots[entry].data |= 1 << bit
         else:
             self.slots[entry].data &= ~(1 << bit) & 0xFFFF_FFFF_FFFF_FFFF
+        if self._dirty is not None:
+            self._dirty.add(entry)
 
     # ------------------------------------------------------------------
     # Checkpoint hooks
     # ------------------------------------------------------------------
+    def slot_state(self, index: int) -> Tuple:
+        """One slot's snapshot tuple — the single definition of the slot
+        field layout, shared by full snapshots and delta captures."""
+        slot = self.slots[index]
+        return (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
+                slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
+                slot.demand, slot.crash)
+
+    def restore_slot(self, index: int, fields: Tuple) -> None:
+        """Inverse of :meth:`slot_state` for one slot (callers fix up the
+        pending-address counter afterwards via :meth:`recount_pending`)."""
+        slot = self.slots[index]
+        (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
+         slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
+         slot.demand, slot.crash) = fields
+
+    def recount_pending(self) -> None:
+        """Recompute the pending-address counter after bulk slot writes."""
+        self._addr_pending = sum(
+            1 for slot in self.slots if slot.valid and not slot.addr_ready
+        )
+
     def snapshot(self) -> Tuple:
         """Capture head/tail pointers and every slot, including the
         persistent data latches of *free* slots (faults there matter).
@@ -211,21 +286,29 @@ class StoreQueue:
             self.head,
             self.tail,
             self.occupancy,
-            tuple(
-                (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
-                 slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
-                 slot.demand, slot.crash)
-                for slot in self.slots
-            ),
+            tuple(self.slot_state(index) for index in range(self.num_entries)),
         )
 
     def restore(self, state: Tuple) -> None:
         """Restore the store queue in place from a :meth:`snapshot` value."""
         self.head, self.tail, self.occupancy, slot_states = state
-        for slot, fields in zip(self.slots, slot_states):
-            (slot.valid, slot.seq, slot.address, slot.size, slot.addr_ready,
-             slot.data, slot.data_ready, slot.committed, slot.rip, slot.upc,
-             slot.demand, slot.crash) = fields
+        for index, fields in enumerate(slot_states):
+            self.restore_slot(index, fields)
+        self.recount_pending()
+        self._dirty = None
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated slot indices (delta checkpoints)."""
+        self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        """Return and clear the slot indices mutated since the last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
 
 
 class LoadQueue:

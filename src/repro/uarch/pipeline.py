@@ -31,8 +31,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.isa.alu import apply_binary, apply_unary, evaluate_condition
 from repro.isa.errors import ProgramCrash, SimulatorAssertError
 from repro.isa.instructions import Opcode
-from repro.isa.memory import AccessClass, MemoryImage
-from repro.isa.microops import MicroOp, MicroOpKind, RefKind, ValueRef
+from repro.isa.memory import AccessClass, DATA_BASE, MEM_LIMIT, MemoryImage, STACK_LOW
+from repro.isa.microops import MicroOp, MicroOpKind, RefKind
 from repro.isa.program import Program
 from repro.isa.registers import NUM_ARCH_REGS, Reg, to_unsigned
 from repro.uarch.branch import BranchUnit
@@ -76,7 +76,13 @@ class SimulationResult:
 
 
 class _MacroContext:
-    """Dynamic state shared by the micro-ops of one fetched macro-instruction."""
+    """Dynamic state shared by the micro-ops of one fetched macro-instruction.
+
+    ``uop_count``/``dest_count``/``has_store``/``has_load`` are copied from
+    the program's decoded-instruction cache at fetch so the rename stage's
+    resource check reads four attributes instead of re-deriving them from
+    the micro-op list every cycle.
+    """
 
     __slots__ = (
         "rip",
@@ -88,6 +94,10 @@ class _MacroContext:
         "temp_allocs",
         "sq_index",
         "uops",
+        "uop_count",
+        "dest_count",
+        "has_store",
+        "has_load",
     )
 
     def __init__(self, rip: int, predicted_next: int, predicted_taken: bool,
@@ -101,15 +111,36 @@ class _MacroContext:
         self.temp_allocs: List[int] = []
         self.sq_index: Optional[int] = None
         self.uops: List[MicroOp] = []
+        self.uop_count = 0
+        self.dest_count = 0
+        self.has_store = False
+        self.has_load = False
+
+    def attach_uops(self, uops: List[MicroOp], dest_count: int,
+                    has_store: bool, has_load: bool) -> None:
+        self.uops = uops
+        self.uop_count = len(uops)
+        self.dest_count = dest_count
+        self.has_store = has_store
+        self.has_load = has_load
 
 
 class _InFlightUop:
-    """A renamed micro-op flowing through the back end."""
+    """A renamed micro-op flowing through the back end.
+
+    ``fu_class`` mirrors the micro-op's decode-time issue-port class and
+    ``wait_phys`` holds only the physical source registers this micro-op
+    actually waits on (immediates filtered out at rename), so the per-cycle
+    issue scan touches no dead operand slots.
+    """
 
     __slots__ = (
         "uop",
         "macro",
         "seq",
+        "fu_index",
+        "wait_phys",
+        "pending",
         "phys_dest",
         "prev_phys",
         "src_phys",
@@ -134,12 +165,18 @@ class _InFlightUop:
         self.uop = uop
         self.macro = macro
         self.seq = seq
+        self.fu_index = uop.fu_index
+        self.wait_phys: List[int] = []
+        self.pending = 0
         self.phys_dest: Optional[int] = None
         self.prev_phys: Optional[int] = None
-        # Parallel lists: physical source registers and immediate operands in
-        # positional order (src1, src2, mem_base).
-        self.src_phys: List[Optional[int]] = []
-        self.src_imm: List[Optional[int]] = []
+        # Parallel lists: physical source registers and immediate operands
+        # in positional order (src1, src2, mem_base).  Both constructors
+        # (rename and checkpoint decode) overwrite them, so no lists are
+        # allocated here; same for the read logs, which stay pointed at
+        # the shared empty list unless this CPU records reads.
+        self.src_phys: List[Optional[int]] = _NO_READS
+        self.src_imm: List[Optional[int]] = _NO_READS
         self.issued = False
         self.complete = False
         self.squashed = False
@@ -147,9 +184,9 @@ class _InFlightUop:
         self.latency: int = 1
         self.demand = False
         self.crash_reason: Optional[str] = None
-        self.rf_reads: List[Tuple[int, int]] = []
-        self.sq_reads: List[Tuple[int, int]] = []
-        self.l1d_reads: List[Tuple[int, int]] = []
+        self.rf_reads: List[Tuple[int, int]] = _NO_READS
+        self.sq_reads: List[Tuple[int, int]] = _NO_READS
+        self.l1d_reads: List[Tuple[int, int]] = _NO_READS
         self.actual_next: Optional[int] = None
         self.actual_taken: bool = False
         self.mem_address: Optional[int] = None
@@ -164,18 +201,10 @@ class _InFlightUop:
         return self.uop.upc
 
 
-#: Functional unit class per micro-op kind (MUL/DIV overridden to "complex").
-_FU_CLASS = {
-    MicroOpKind.ALU: "alu",
-    MicroOpKind.LOAD: "load",
-    MicroOpKind.STORE_ADDR: "store",
-    MicroOpKind.STORE_DATA: "store",
-    MicroOpKind.BRANCH: "branch",
-    MicroOpKind.JUMP: "branch",
-    MicroOpKind.OUT: "alu",
-    MicroOpKind.NOP: "alu",
-    MicroOpKind.HALT: "alu",
-}
+#: Shared placeholder for the read logs of micro-ops on non-recording
+#: CPUs: nothing ever appends to it (every append site is guarded by
+#: ``record_reads``), so one list serves every entry allocation-free.
+_NO_READS: List = []
 
 
 class OutOfOrderCpu:
@@ -187,12 +216,23 @@ class OutOfOrderCpu:
         config: Optional[MicroarchConfig] = None,
         tracer: Optional[AccessTracer] = None,
         fault_plan: Optional[Dict[int, List[Tuple]]] = None,
+        record_reads: Optional[bool] = None,
     ):
         self.program = program
         self.config = config or MicroarchConfig()
         self.tracer = tracer or AccessTracer(enabled=False)
         self.fault_plan = fault_plan or {}
         self.stats = SimStats()
+        # Whether in-flight micro-ops log their structure reads
+        # (rf/sq/l1d read lists).  The logs feed the commit-time tracer and
+        # are part of the canonical snapshot encoding, so the flag must be
+        # consistent between a golden run that captures checkpoints and the
+        # injection runs compared against them (both record); pure
+        # cold-start runs skip the bookkeeping entirely.  Default: record
+        # exactly when tracing.
+        self.record_reads = (
+            record_reads if record_reads is not None else self.tracer.enabled
+        )
 
         self.memory: MemoryImage = program.initial_memory()
         self.icache = InstructionCache(self.config, self.stats)
@@ -214,6 +254,24 @@ class OutOfOrderCpu:
             for arch in range(NUM_ARCH_REGS):
                 self.tracer.record_rf(arch, 0, AccessKind.WRITE)
 
+        # Hot-loop constants, resolved once per CPU instead of per cycle.
+        # Issue capacity as a dense list in FU_INDEX order (see microops).
+        _capacity = self.config.functional_units.issue_capacity()
+        self._capacity_template = [
+            _capacity[name] for name in ("alu", "complex", "load", "store", "branch")
+        ]
+        self._num_instructions = program.num_instructions
+        self._fetch_info = program.fetch_info_table
+        self._alu_latency = self.config.alu_latency
+        self._mul_latency = self.config.mul_latency
+        self._div_latency = self.config.div_latency
+        self._l1_hit_latency = self.config.l1_hit_latency
+        self.delta_tracking = False
+        # The CpuState this CPU was last fully restored to while dirty
+        # tracking was active; restoring the same object again only rewrites
+        # the entries the run in between actually touched.
+        self._restore_base = None
+
         self.cycle = 0
         self._seq = 0
         self.fetch_pc = program.entry
@@ -222,6 +280,12 @@ class OutOfOrderCpu:
         self.rob: Deque[_InFlightUop] = deque()
         self.issue_queue: List[_InFlightUop] = []
         self._completions: Dict[int, List[_InFlightUop]] = {}
+        # Wakeup lists: waiting issue-queue entries per not-yet-ready
+        # physical source register.  A register write decrements each
+        # waiter's ``pending`` count, so the issue scan skips blocked
+        # micro-ops with one attribute test instead of re-polling their
+        # operands every cycle.
+        self._waiters: Dict[int, List[_InFlightUop]] = {}
 
         self.output: List[int] = []
         self.exceptions = 0
@@ -257,21 +321,44 @@ class OutOfOrderCpu:
         """
         termination = TerminationKind.TIMEOUT
         crash_reason: Optional[str] = None
+        deadlock_cycles = self.config.deadlock_cycles
+        stats = self.stats
+        # Per-cycle phase sequence inlined from _step (the method itself is
+        # kept for single-cycle callers); the bound methods are hoisted so
+        # the loop body pays no attribute lookups.
+        apply_faults = self._apply_faults
+        commit = self._commit
+        drain_store = self._drain_store
+        writeback = self._writeback
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
+        check_wild_fetch = self._check_wild_fetch
         try:
             while self.cycle < max_cycles:
                 if cycle_hook is not None:
                     early = cycle_hook(self)
                     if early is not None:
                         return early
-                self._step()
+                if self.fault_plan:
+                    apply_faults()
+                commit()
                 if self.halted:
+                    self.cycle += 1
                     termination = TerminationKind.HALTED
                     break
+                drain_store()
+                writeback()
+                issue()
+                rename()
+                fetch()
+                check_wild_fetch()
+                self.cycle += 1
                 if (max_instructions is not None
-                        and self.stats.committed_instructions >= max_instructions):
+                        and stats.committed_instructions >= max_instructions):
                     termination = TerminationKind.INTERVAL_END
                     break
-                if self.cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+                if self.cycle - self._last_commit_cycle > deadlock_cycles:
                     termination = TerminationKind.DEADLOCK
                     break
         except ProgramCrash as crash:
@@ -317,6 +404,22 @@ class OutOfOrderCpu:
 
         restore_state(self, state)
 
+    def enable_delta_tracking(self) -> None:
+        """Start dirty-entry tracking on every stateful component.
+
+        The checkpoint timeline calls this at its first (full) capture so
+        later captures only read the entries touched since the previous
+        one.  Tracking adds one predictable branch to each component
+        mutator and nothing to the issue/commit hot path.
+        """
+        self.prf.begin_dirty_tracking()
+        self.store_queue.begin_dirty_tracking()
+        self.dcache.begin_dirty_tracking()
+        self.icache.begin_dirty_tracking()
+        self.branch_unit.begin_dirty_tracking()
+        self.memory.begin_dirty_tracking()
+        self.delta_tracking = True
+
     def _drain_remaining_stores(self) -> None:
         """Drain committed stores left in the SQ when the run stops.
 
@@ -348,10 +451,6 @@ class OutOfOrderCpu:
         self._fetch()
         self._check_wild_fetch()
         self.cycle += 1
-
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
 
     # ------------------------------------------------------------------
     # Fault application
@@ -386,60 +485,75 @@ class OutOfOrderCpu:
     # Commit
     # ------------------------------------------------------------------
     def _commit(self) -> None:
+        rob = self.rob
+        if not rob or not rob[0].complete:
+            return
         committed = 0
-        while self.rob and committed < self.config.commit_width:
-            entry = self.rob[0]
+        commit_width = self.config.commit_width
+        stats = self.stats
+        tracer = self.tracer
+        tracing = tracer.enabled
+        cycle = self.cycle
+        retirement_map = self.retirement_map
+        free_list = self.free_list
+        while rob and committed < commit_width:
+            entry = rob[0]
             if not entry.complete:
                 break
-            self.rob.popleft()
+            rob.popleft()
             committed += 1
-            self._last_commit_cycle = self.cycle
-            self.stats.committed_uops += 1
+            self._last_commit_cycle = cycle
+            stats.committed_uops += 1
 
             if entry.crash_reason is not None:
-                raise ProgramCrash(entry.crash_reason, cycle=self.cycle)
+                raise ProgramCrash(entry.crash_reason, cycle=cycle)
             if entry.demand:
                 self.exceptions += 1
-                self.stats.demand_exceptions += 1
-
-            if self.tracer.enabled:
-                for phys, cycle in entry.rf_reads:
-                    self.tracer.record_rf(phys, cycle, AccessKind.READ, entry.rip, entry.upc)
-                for slot, cycle in entry.sq_reads:
-                    self.tracer.record_sq(slot, cycle, AccessKind.READ, entry.rip, entry.upc)
-                for word, cycle in entry.l1d_reads:
-                    self.tracer.record_l1d(word, cycle, AccessKind.READ, entry.rip, entry.upc)
+                stats.demand_exceptions += 1
 
             uop = entry.uop
-            dest = uop.dest
-            if dest is not None and dest.is_reg and entry.phys_dest is not None:
-                self.retirement_map[dest.value] = entry.phys_dest
-                if entry.prev_phys is not None:
-                    self.free_list.release(entry.prev_phys)
+            if tracing:
+                rip, upc = uop.rip, uop.upc
+                for phys, read_cycle in entry.rf_reads:
+                    tracer.record_rf(phys, read_cycle, AccessKind.READ, rip, upc)
+                for slot, read_cycle in entry.sq_reads:
+                    tracer.record_sq(slot, read_cycle, AccessKind.READ, rip, upc)
+                for word, read_cycle in entry.l1d_reads:
+                    tracer.record_l1d(word, read_cycle, AccessKind.READ, rip, upc)
 
-            if uop.kind is MicroOpKind.STORE_DATA and entry.macro.sq_index is not None:
+            if uop.dest_is_reg and entry.phys_dest is not None:
+                retirement_map[uop.dest_value] = entry.phys_dest
+                if entry.prev_phys is not None:
+                    free_list.release(entry.prev_phys)
+
+            code = uop.exec_code
+            if code == 3 and entry.macro.sq_index is not None:  # STORE_DATA
                 self.store_queue.mark_committed(entry.macro.sq_index)
-            elif uop.kind is MicroOpKind.LOAD and entry.lq_allocated:
+            elif code == 1 and entry.lq_allocated:  # LOAD
                 self.load_queue.release(entry.seq)
-            elif uop.kind is MicroOpKind.OUT:
+            elif code == 6:  # OUT
                 self.output.append(entry.result)
-            elif uop.kind is MicroOpKind.HALT:
+            elif code == 8:  # HALT
                 self.halted = True
 
             if uop.is_last:
-                self.stats.committed_instructions += 1
-                if self.tracer.enabled:
-                    self.commit_log.append((entry.rip, self.cycle))
-                for phys in entry.macro.temp_allocs:
-                    self.free_list.release(phys)
-                entry.macro.temp_allocs = []
-                if uop.kind is MicroOpKind.HALT:
+                stats.committed_instructions += 1
+                if tracing:
+                    self.commit_log.append((uop.rip, cycle))
+                macro = entry.macro
+                if macro.temp_allocs:
+                    for phys in macro.temp_allocs:
+                        free_list.release(phys)
+                    macro.temp_allocs = []
+                if code == 8:
                     return
 
     # ------------------------------------------------------------------
     # Store drain (post-commit)
     # ------------------------------------------------------------------
     def _drain_store(self) -> None:
+        if self.store_queue.occupancy == 0:
+            return
         slot = self.store_queue.head_slot()
         if slot is None or not slot.committed:
             return
@@ -457,17 +571,27 @@ class OutOfOrderCpu:
     # Writeback / branch resolution
     # ------------------------------------------------------------------
     def _writeback(self) -> None:
-        finishing = self._completions.pop(self.cycle, [])
+        finishing = self._completions.pop(self.cycle, None)
+        if not finishing:
+            return
+        prf = self.prf
+        tracing = self.tracer.enabled
+        waiters = self._waiters
         for entry in finishing:
             if entry.squashed:
                 continue
             entry.complete = True
-            dest = entry.uop.dest
-            if dest is not None and entry.phys_dest is not None:
-                self.prf.write(entry.phys_dest, entry.result)
-                if self.tracer.enabled:
-                    self.tracer.record_rf(entry.phys_dest, self.cycle, AccessKind.WRITE)
-            if entry.uop.is_control:
+            uop = entry.uop
+            phys_dest = entry.phys_dest
+            if uop.dest is not None and phys_dest is not None:
+                prf.write(phys_dest, entry.result)
+                waiting = waiters.pop(phys_dest, None)
+                if waiting is not None:
+                    for waiter in waiting:
+                        waiter.pending -= 1
+                if tracing:
+                    self.tracer.record_rf(phys_dest, self.cycle, AccessKind.WRITE)
+            if uop.is_control:
                 self._resolve_control(entry)
 
     def _resolve_control(self, entry: _InFlightUop) -> None:
@@ -536,96 +660,95 @@ class OutOfOrderCpu:
     # Issue / execute
     # ------------------------------------------------------------------
     def _issue(self) -> None:
-        if not self.issue_queue:
+        # The issue queue is maintained in ascending seq order (entries are
+        # appended at rename in allocation order and every removal filter
+        # preserves relative order), so oldest-first selection needs no
+        # per-cycle sort.  Blocked entries cost one ``pending`` test: the
+        # wakeup lists maintained by the writeback stage decrement the
+        # count as source registers become ready.
+        queue = self.issue_queue
+        if not queue:
             return
-        capacity = dict(self.config.functional_units.issue_capacity())
+        capacity = self._capacity_template[:]
+        issue_width = self.config.issue_width
+        store_queue = self.store_queue
+        stats = self.stats
+        cycle = self.cycle
+        completions = self._completions
+        alu_latency = self._alu_latency
         issued_total = 0
-        issued_entries: List[_InFlightUop] = []
-        for entry in sorted(self.issue_queue, key=lambda e: e.seq):
-            if issued_total >= self.config.issue_width:
+        for entry in queue:
+            if issued_total >= issue_width:
                 break
-            fu_class = self._fu_class(entry)
-            if capacity.get(fu_class, 0) <= 0:
+            if entry.pending:
                 continue
-            if not self._sources_ready(entry):
+            fu_index = entry.fu_index
+            if capacity[fu_index] <= 0:
                 continue
-            if entry.uop.kind is MicroOpKind.LOAD and not self._load_may_issue(entry):
-                continue
-            executed = self._execute(entry)
-            if not executed:
-                # Load replay: leave the micro-op in the issue queue.
-                self.stats.load_replays += 1
-                continue
-            capacity[fu_class] -= 1
+
+            # Execute (dispatch inlined on the decode-time small-int code;
+            # each arm sets result/latency).
+            uop = entry.uop
+            code = uop.exec_code
+            entry.latency = alu_latency
+            if code == 0:  # ALU
+                self._execute_alu(entry)
+            elif code == 1:  # LOAD
+                if not store_queue.all_older_addresses_known(entry.seq):
+                    continue
+                if not self._execute_load(entry):
+                    # Load replay: leave the micro-op in the issue queue.
+                    stats.load_replays += 1
+                    continue
+            elif code == 2:  # STORE_ADDR
+                self._execute_store_addr(entry)
+            elif code == 3:  # STORE_DATA
+                self._execute_store_data(entry)
+            elif code == 4:  # BRANCH
+                lhs = self._source_value(entry, 0)
+                rhs = self._source_value(entry, 1)
+                entry.actual_taken = evaluate_condition(uop.condition, lhs, rhs)
+                entry.actual_next = uop.target if entry.actual_taken else uop.rip + 1
+            elif code == 5:  # JUMP
+                if uop.is_indirect:
+                    entry.actual_next = self._source_value(entry, 0)
+                else:
+                    entry.actual_next = uop.target
+                entry.actual_taken = True
+            elif code == 6:  # OUT
+                entry.result = self._source_value(entry, 0)
+            elif code == 7 or code == 8:  # NOP / HALT
+                pass
+            else:  # pragma: no cover - defensive
+                raise SimulatorAssertError(
+                    f"cannot execute micro-op kind {uop.kind}")
+
+            capacity[fu_index] -= 1
             issued_total += 1
-            issued_entries.append(entry)
             entry.issued = True
-            finish = self.cycle + max(1, entry.latency)
-            self._completions.setdefault(finish, []).append(entry)
-        if issued_entries:
-            issued_set = {id(e) for e in issued_entries}
-            self.issue_queue = [e for e in self.issue_queue if id(e) not in issued_set]
-
-    def _fu_class(self, entry: _InFlightUop) -> str:
-        uop = entry.uop
-        if uop.kind is MicroOpKind.ALU and uop.alu_op in (Opcode.MUL, Opcode.DIV, Opcode.MOD):
-            return "complex"
-        return _FU_CLASS[uop.kind]
-
-    def _sources_ready(self, entry: _InFlightUop) -> bool:
-        for phys in entry.src_phys:
-            if phys is not None and not self.prf.is_ready(phys):
-                return False
-        return True
-
-    def _load_may_issue(self, entry: _InFlightUop) -> bool:
-        return self.store_queue.all_older_addresses_known(entry.seq)
+            latency = entry.latency
+            finish = cycle + (latency if latency > 1 else 1)
+            bucket = completions.get(finish)
+            if bucket is None:
+                completions[finish] = [entry]
+            else:
+                bucket.append(entry)
+        if issued_total:
+            self.issue_queue = [e for e in queue if not e.issued]
 
     def _source_value(self, entry: _InFlightUop, position: int) -> int:
         phys = entry.src_phys[position]
         if phys is not None:
-            entry.rf_reads.append((phys, self.cycle))
-            return self.prf.read(phys)
+            if self.record_reads:
+                entry.rf_reads.append((phys, self.cycle))
+            return self.prf.values[phys]
         imm = entry.src_imm[position]
         return to_unsigned(imm if imm is not None else 0)
-
-    def _execute(self, entry: _InFlightUop) -> bool:
-        """Execute ``entry``; returns False when a load must replay."""
-        uop = entry.uop
-        kind = uop.kind
-        entry.latency = self.config.alu_latency
-
-        if kind is MicroOpKind.ALU:
-            self._execute_alu(entry)
-        elif kind is MicroOpKind.LOAD:
-            return self._execute_load(entry)
-        elif kind is MicroOpKind.STORE_ADDR:
-            self._execute_store_addr(entry)
-        elif kind is MicroOpKind.STORE_DATA:
-            self._execute_store_data(entry)
-        elif kind is MicroOpKind.BRANCH:
-            lhs = self._source_value(entry, 0)
-            rhs = self._source_value(entry, 1)
-            entry.actual_taken = evaluate_condition(uop.condition, lhs, rhs)
-            entry.actual_next = uop.target if entry.actual_taken else uop.rip + 1
-        elif kind is MicroOpKind.JUMP:
-            if uop.is_indirect:
-                entry.actual_next = self._source_value(entry, 0)
-            else:
-                entry.actual_next = uop.target
-            entry.actual_taken = True
-        elif kind is MicroOpKind.OUT:
-            entry.result = self._source_value(entry, 0)
-        elif kind in (MicroOpKind.NOP, MicroOpKind.HALT):
-            pass
-        else:  # pragma: no cover - defensive
-            raise SimulatorAssertError(f"cannot execute micro-op kind {kind}")
-        return True
 
     def _execute_alu(self, entry: _InFlightUop) -> None:
         uop = entry.uop
         op = uop.alu_op
-        if op in (Opcode.MOV, Opcode.NOT, Opcode.NEG):
+        if uop.alu_unary:
             value = self._source_value(entry, 0)
             try:
                 entry.result = apply_unary(op, value)
@@ -635,9 +758,9 @@ class OutOfOrderCpu:
         lhs = self._source_value(entry, 0)
         rhs = self._source_value(entry, 1)
         if op is Opcode.MUL:
-            entry.latency = self.config.mul_latency
+            entry.latency = self._mul_latency
         elif op in (Opcode.DIV, Opcode.MOD):
-            entry.latency = self.config.div_latency
+            entry.latency = self._div_latency
         try:
             entry.result = apply_binary(op, lhs, rhs)
         except ProgramCrash as crash:
@@ -645,31 +768,51 @@ class OutOfOrderCpu:
             entry.result = 0
 
     def _memory_address(self, entry: _InFlightUop) -> int:
-        base = self._source_value(entry, 2)
+        phys = entry.src_phys[2]
+        if phys is not None:
+            if self.record_reads:
+                entry.rf_reads.append((phys, self.cycle))
+            base = self.prf.values[phys]
+        else:
+            imm = entry.src_imm[2]
+            base = to_unsigned(imm if imm is not None else 0)
         return to_unsigned(base + entry.uop.mem_disp)
 
     def _execute_load(self, entry: _InFlightUop) -> bool:
         uop = entry.uop
-        address = self._memory_address(entry)
+        # Address generation inlined from _memory_address (hot path).
+        phys = entry.src_phys[2]
+        if phys is not None:
+            if self.record_reads:
+                entry.rf_reads.append((phys, self.cycle))
+            base = self.prf.values[phys]
+        else:
+            imm = entry.src_imm[2]
+            base = to_unsigned(imm if imm is not None else 0)
+        address = to_unsigned(base + uop.mem_disp)
         entry.mem_address = address
         size = uop.mem_size
-        klass = self.memory.classify_access(address, size)
-        if klass is AccessClass.CRASH:
+        # Region classification inlined (see MemoryImage.classify_access):
+        # the bounds are run constants, and loads are the hottest memory
+        # path in the simulator.
+        end = address + size
+        if end > MEM_LIMIT or address < DATA_BASE:
             entry.crash_reason = f"invalid memory read at {address:#x}"
             entry.result = 0
             return True
-        entry.demand = klass is AccessClass.DEMAND
+        entry.demand = not (end <= self.memory.heap_end or address >= STACK_LOW)
 
         action, slot = self.store_queue.forwarding_source(entry.seq, address, size)
-        if action == "stall":
-            # Overlapping older store that cannot forward: replay next cycle.
-            entry.rf_reads.clear()
-            entry.demand = False
-            return False
-        if action == "forward":
+        if action is not None:
+            if action == "stall":
+                # Overlapping older store that cannot forward: replay next cycle.
+                entry.rf_reads.clear()
+                entry.demand = False
+                return False
             entry.result = slot.forward_value(address, size)
-            entry.sq_reads.append((slot.index, self.cycle))
-            entry.latency = self.config.l1_hit_latency
+            if self.record_reads:
+                entry.sq_reads.append((slot.index, self.cycle))
+            entry.latency = self._l1_hit_latency
             self.stats.store_forwards += 1
             self.stats.loads_executed += 1
             return True
@@ -677,7 +820,11 @@ class OutOfOrderCpu:
         result = self.dcache.read(address, size, self.cycle)
         entry.result = result.value
         entry.latency = result.latency
-        entry.l1d_reads.extend((word, self.cycle) for word in result.touched_entries)
+        if self.record_reads:
+            cycle = self.cycle
+            l1d_reads = entry.l1d_reads
+            for word in result.touched_entries:
+                l1d_reads.append((word, cycle))
         self.stats.loads_executed += 1
         return True
 
@@ -711,51 +858,74 @@ class OutOfOrderCpu:
     # Rename / dispatch
     # ------------------------------------------------------------------
     def _rename(self) -> None:
+        decode_queue = self.decode_queue
+        if not decode_queue:
+            return
         budget = self.config.rename_width
-        while self.decode_queue and budget > 0:
-            macro = self.decode_queue[0]
-            uops = macro.uops
-            if len(uops) > budget:
+        config = self.config
+        while decode_queue and budget > 0:
+            macro = decode_queue[0]
+            count = macro.uop_count
+            if count > budget:
                 break
-            if not self._resources_available(macro):
+            # Resource check inlined from _resources_available.
+            if (len(self.rob) + count > config.rob_entries
+                    or len(self.issue_queue) + count > config.issue_queue_entries
+                    or not self.free_list.has_free(macro.dest_count)
+                    or (macro.has_store and not self.store_queue.has_free())
+                    or (macro.has_load and not self.load_queue.has_free())):
                 self.stats.rename_stalls += 1
                 break
-            self.decode_queue.popleft()
-            for uop in uops:
+            decode_queue.popleft()
+            for uop in macro.uops:
                 self._rename_uop(uop, macro)
-            budget -= len(uops)
-
-    def _resources_available(self, macro: _MacroContext) -> bool:
-        uops = macro.uops
-        if len(self.rob) + len(uops) > self.config.rob_entries:
-            return False
-        if len(self.issue_queue) + len(uops) > self.config.issue_queue_entries:
-            return False
-        dest_count = sum(1 for uop in uops if uop.dest is not None)
-        if not self.free_list.has_free(dest_count):
-            return False
-        if any(uop.kind is MicroOpKind.STORE_ADDR for uop in uops) and not self.store_queue.has_free():
-            return False
-        if any(uop.kind is MicroOpKind.LOAD for uop in uops) and not self.load_queue.has_free():
-            return False
-        return True
+            budget -= count
 
     def _rename_uop(self, uop: MicroOp, macro: _MacroContext) -> None:
-        entry = _InFlightUop(uop, macro, self._next_seq())
+        self._seq += 1
+        entry = _InFlightUop(uop, macro, self._seq)
 
-        for ref in (uop.src1, uop.src2, uop.mem_base):
-            self._rename_source(entry, ref, macro)
+        # Static operand layout comes from the decode-time templates; only
+        # the REG/TMP positions need the rename map.
+        entry.src_phys = src_phys = [None, None, None]
+        entry.src_imm = list(uop.src_imm_init)
+        if self.record_reads:
+            entry.rf_reads = []
+            entry.sq_reads = []
+            entry.l1d_reads = []
+        rename_map = self.rename_map
+        wait_phys = entry.wait_phys
+        ready = self.prf.ready
+        waiters = self._waiters
+        pending = 0
+        for position, ref in uop.dyn_sources:
+            if ref.kind is RefKind.REG:
+                phys = rename_map[ref.value]
+            else:
+                if ref.value not in macro.temp_map:
+                    raise SimulatorAssertError("temporary read before being written")
+                phys = macro.temp_map[ref.value]
+            src_phys[position] = phys
+            wait_phys.append(phys)
+            if not ready[phys]:
+                pending += 1
+                bucket = waiters.get(phys)
+                if bucket is None:
+                    waiters[phys] = [entry]
+                else:
+                    bucket.append(entry)
+        entry.pending = pending
 
-        dest = uop.dest
-        if dest is not None:
+        if uop.dest is not None:
             phys = self.free_list.allocate()
             self.prf.mark_not_ready(phys)
             entry.phys_dest = phys
-            if dest.is_reg:
-                entry.prev_phys = self.rename_map[dest.value]
-                self.rename_map[dest.value] = phys
+            dest_value = uop.dest_value
+            if uop.dest_is_reg:
+                entry.prev_phys = rename_map[dest_value]
+                rename_map[dest_value] = phys
             else:
-                macro.temp_map[dest.value] = phys
+                macro.temp_map[dest_value] = phys
                 macro.temp_allocs.append(phys)
 
         if uop.kind is MicroOpKind.STORE_ADDR:
@@ -769,24 +939,6 @@ class OutOfOrderCpu:
         self.rob.append(entry)
         self.issue_queue.append(entry)
 
-    def _rename_source(self, entry: _InFlightUop, ref: Optional[ValueRef],
-                       macro: _MacroContext) -> None:
-        if ref is None:
-            entry.src_phys.append(None)
-            entry.src_imm.append(None)
-            return
-        if ref.kind is RefKind.REG:
-            entry.src_phys.append(self.rename_map[ref.value])
-            entry.src_imm.append(None)
-        elif ref.kind is RefKind.TMP:
-            if ref.value not in macro.temp_map:
-                raise SimulatorAssertError("temporary read before being written")
-            entry.src_phys.append(macro.temp_map[ref.value])
-            entry.src_imm.append(None)
-        else:
-            entry.src_phys.append(None)
-            entry.src_imm.append(ref.value)
-
     # ------------------------------------------------------------------
     # Fetch
     # ------------------------------------------------------------------
@@ -794,46 +946,49 @@ class OutOfOrderCpu:
         if self.cycle < self.fetch_stall_until:
             self.stats.fetch_stall_cycles += 1
             return
-        if len(self.decode_queue) >= 2 * self.config.fetch_width:
+        fetch_width = self.config.fetch_width
+        decode_queue = self.decode_queue
+        if len(decode_queue) >= 2 * fetch_width:
             return
+        fetch_info = self._fetch_info
+        num_instructions = self._num_instructions
+        stats = self.stats
+        branch_unit = self.branch_unit
         fetched = 0
-        while fetched < self.config.fetch_width:
-            if not self.program.in_range(self.fetch_pc):
-                return
+        while fetched < fetch_width:
             rip = self.fetch_pc
+            if rip < 0 or rip >= num_instructions:
+                return
             latency = self.icache.fetch_latency(rip)
-            instr = self.program.instruction_at(rip)
-            uops = self.program.uops(rip)
-            self.stats.fetched_instructions += 1
+            (_, uops, is_control, is_conditional, is_indirect, static_target,
+             _, dest_count, has_store, has_load) = fetch_info[rip]
+            stats.fetched_instructions += 1
             fetched += 1
 
-            predicted_next = rip + 1
-            predicted_taken = False
-            history = self.branch_unit.predictor.snapshot_history()
-            if instr.is_control:
-                target_operand = instr.target_operand()
-                static_target = target_operand.value if target_operand is not None else None
-                is_conditional = instr.opcode is Opcode.BR
-                is_indirect = instr.opcode in (Opcode.JMPR, Opcode.RET)
-                predicted_next, predicted_taken, history = self.branch_unit.predict_next(
+            if is_control:
+                predicted_next, predicted_taken, history = branch_unit.predict_next(
                     rip, is_conditional, static_target, is_indirect
                 )
+            else:
+                predicted_next = rip + 1
+                predicted_taken = False
+                history = branch_unit.predictor.global_history
 
             macro = _MacroContext(
                 rip=rip,
                 predicted_next=predicted_next,
                 predicted_taken=predicted_taken,
                 history_snapshot=history,
-                is_conditional=instr.opcode is Opcode.BR,
+                is_conditional=is_conditional,
             )
-            macro.uops = uops
-            self.decode_queue.append(macro)
+            macro.attach_uops(uops, dest_count, has_store, has_load)
+            decode_queue.append(macro)
             self.fetch_pc = predicted_next
 
             if latency > 0:
                 self.fetch_stall_until = self.cycle + latency
                 return
-            if instr.is_control and predicted_taken:
+            if is_control and predicted_taken:
                 return
 
     def _check_wild_fetch(self) -> None:

@@ -24,6 +24,9 @@ class PhysicalRegisterFile:
         self.num_regs = num_regs
         self.values: List[int] = [0] * num_regs
         self.ready: List[bool] = [False] * num_regs
+        # Delta-checkpoint support: indices whose value or ready bit changed
+        # since the last drain (None while tracking is disabled).
+        self._dirty = None
 
     def read(self, index: int) -> int:
         return self.values[index]
@@ -31,9 +34,13 @@ class PhysicalRegisterFile:
     def write(self, index: int, value: int) -> None:
         self.values[index] = value & WORD_MASK
         self.ready[index] = True
+        if self._dirty is not None:
+            self._dirty.add(index)
 
     def mark_not_ready(self, index: int) -> None:
         self.ready[index] = False
+        if self._dirty is not None:
+            self._dirty.add(index)
 
     def is_ready(self, index: int) -> bool:
         return self.ready[index]
@@ -43,6 +50,8 @@ class PhysicalRegisterFile:
         if not 0 <= bit < 64:
             raise ValueError(f"bit out of range: {bit}")
         self.values[index] ^= 1 << bit
+        if self._dirty is not None:
+            self._dirty.add(index)
 
     def set_bit(self, index: int, bit: int, value: int) -> None:
         """Pin one bit of a physical register (stuck-at fault hook)."""
@@ -52,6 +61,21 @@ class PhysicalRegisterFile:
             self.values[index] |= 1 << bit
         else:
             self.values[index] &= ~(1 << bit) & 0xFFFF_FFFF_FFFF_FFFF
+        if self._dirty is not None:
+            self._dirty.add(index)
+
+    # ------------------------------------------------------------------
+    # Delta-checkpoint hooks
+    # ------------------------------------------------------------------
+    def begin_dirty_tracking(self) -> None:
+        """Start recording mutated register indices (delta checkpoints)."""
+        self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        """Return and clear the indices mutated since the last drain."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty if dirty is not None else set()
 
     # ------------------------------------------------------------------
     # Checkpoint hooks
@@ -66,6 +90,7 @@ class PhysicalRegisterFile:
         values, ready = state
         self.values = list(values)
         self.ready = list(ready)
+        self._dirty = None
 
 
 class FreeList:

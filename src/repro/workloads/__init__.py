@@ -20,6 +20,7 @@ from repro.workloads.registry import (
     MIBENCH_NAMES,
     SPEC_NAMES,
     all_names,
+    build_cached,
     build_program,
     get_workload,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "MIBENCH_NAMES",
     "SPEC_NAMES",
     "all_names",
+    "build_cached",
     "build_program",
     "get_workload",
     "SimpointInterval",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.program import Program
@@ -35,7 +36,24 @@ def get_workload(name: str) -> WorkloadSpec:
         raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from None
 
 
+@lru_cache(maxsize=64)
+def build_cached(name: str, scale: int) -> Program:
+    """The process-wide decoded-program cache.
+
+    A :class:`Program` is immutable once built (code, labels, micro-op
+    decodings, fetch metadata and the initial memory image are all fixed
+    at construction), so every golden run, injection CPU, session and
+    engine in this process can share one instance per (workload, scale) —
+    the generator and decode cost is paid once per process instead of
+    once per consumer.
+    """
+    return get_workload(name).build(scale)
+
+
 def build_program(name: str, scale: Optional[int] = None) -> Program:
-    """Build the named workload at ``scale`` (default: its default scale)."""
+    """Build the named workload at ``scale`` (default: its default scale).
+
+    Served from the process-wide :func:`build_cached` decode cache.
+    """
     spec = get_workload(name)
-    return spec.build(scale if scale is not None else spec.default_scale)
+    return build_cached(name, scale if scale is not None else spec.default_scale)

@@ -67,7 +67,7 @@ def test_round_trip_preserves_golden_and_timeline(tmp_path, spec, golden):
     assert loaded.checkpoints.cycles == golden.checkpoints.cycles
     assert loaded.checkpoints.interval == golden.checkpoints.interval
     # The restored states are value-equal, not aliased.
-    for left, right in zip(loaded.checkpoints._states, golden.checkpoints._states):
+    for left, right in zip(loaded.checkpoints.states(), golden.checkpoints.states()):
         assert left == right and left is not right
 
 

@@ -1,0 +1,55 @@
+"""Pooled restore-CPU reuse across runs, shards and batches."""
+
+from __future__ import annotations
+
+from repro.faults.campaign import ComprehensiveCampaign
+from repro.testing import shared_fault_list, shared_loop_golden
+
+
+def _campaign(use_checkpoints=False, faults=24, seed=3):
+    golden = shared_loop_golden(trace=True)
+    fault_list = shared_fault_list(golden, sample_size=faults, seed=seed)
+    return ComprehensiveCampaign(golden, fault_list,
+                                 use_checkpoints=use_checkpoints), fault_list
+
+
+def test_pool_is_created_once_per_campaign():
+    campaign, _ = _campaign()
+    cpu_a, state_a = campaign._restore_pool()
+    cpu_b, state_b = campaign._restore_pool()
+    assert cpu_a is cpu_b
+    assert state_a is state_b
+
+
+def test_run_and_shards_share_one_pooled_cpu():
+    campaign, fault_list = _campaign()
+    faults = list(fault_list)
+    first = campaign.run_shard(faults[:8])
+    pooled_cpu = campaign._pooled_cpu
+    assert pooled_cpu is not None, "shard run must build the pool"
+    # Consecutive shard calls (and a full run) keep reusing the same CPU.
+    second = campaign.run_shard(faults[8:16])
+    assert campaign._pooled_cpu is pooled_cpu
+    campaign.run()
+    assert campaign._pooled_cpu is pooled_cpu
+    assert set(first) | set(second) <= set(f.fault_id for f in faults)
+
+
+def test_pooled_outcomes_match_unpooled_reference():
+    """The pooled cold path restores the captured cycle-0 state per fault;
+    outcomes must match a second campaign injecting the same list."""
+    campaign, fault_list = _campaign(faults=30, seed=11)
+    pooled = campaign.run()
+
+    reference, _ = _campaign(faults=30, seed=11)
+    assert reference.run().outcomes == pooled.outcomes
+
+
+def test_checkpointed_campaign_reuses_pool_across_batches():
+    campaign, _ = _campaign(use_checkpoints=True)
+    result = campaign.run()
+    pooled_cpu = campaign._pooled_cpu
+    assert pooled_cpu is not None
+    # Cold reference for the same faults.
+    reference, _ = _campaign(use_checkpoints=False)
+    assert reference.run().outcomes == result.outcomes

@@ -62,7 +62,7 @@ def test_store_queue_forwarding_ignores_younger_stores():
     sq.set_address(index, 0x1000, False, None)
     sq.set_data(index, 1)
     action, _ = sq.forwarding_source(seq=10, address=0x1000, size=8)
-    assert action == "none"
+    assert action is None
 
 
 def test_store_queue_picks_youngest_older_store():

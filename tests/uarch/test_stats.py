@@ -1,0 +1,73 @@
+"""SimStats: counters, derived rates, snapshot/restore, reporting."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.uarch.stats import STAT_FIELDS, SimStats
+
+
+def test_fresh_stats_are_all_zero():
+    stats = SimStats()
+    assert all(getattr(stats, name) == 0 for name in STAT_FIELDS)
+    assert stats.ipc == 0.0
+    assert stats.branch_mispredict_rate == 0.0
+    assert stats.l1d_miss_rate == 0.0
+
+
+def test_stat_fields_cover_every_counter_in_declaration_order():
+    assert STAT_FIELDS == tuple(SimStats.__dataclass_fields__)
+    assert STAT_FIELDS[0] == "cycles"
+    assert len(STAT_FIELDS) == len(set(STAT_FIELDS))
+
+
+def test_derived_rates():
+    stats = SimStats(cycles=100, committed_instructions=50,
+                     branches=10, branch_mispredicts=3,
+                     l1d_hits=30, l1d_misses=10)
+    assert stats.ipc == 0.5
+    assert stats.branch_mispredict_rate == 0.3
+    assert stats.l1d_miss_rate == 0.25
+
+
+def test_snapshot_restore_round_trip():
+    stats = SimStats()
+    for index, name in enumerate(STAT_FIELDS):
+        setattr(stats, name, index * 7 + 1)
+    snap = stats.snapshot()
+    assert snap == tuple(index * 7 + 1 for index in range(len(STAT_FIELDS)))
+
+    other = SimStats()
+    other.restore(snap)
+    assert other.snapshot() == snap
+    assert other == stats
+
+    # Snapshots are value-comparable and independent of the live object.
+    other.cycles += 1
+    assert other.snapshot() != snap
+
+
+def test_as_dict_includes_counters_and_rates():
+    stats = SimStats(cycles=10, committed_instructions=5)
+    data = stats.as_dict()
+    for name in STAT_FIELDS:
+        assert name in data
+    assert data["ipc"] == 0.5
+    assert "branch_mispredict_rate" in data
+    assert "l1d_miss_rate" in data
+
+
+def test_summary_mentions_key_counters():
+    stats = SimStats(cycles=100, committed_instructions=42, branches=7,
+                     l1d_hits=3, store_forwards=2)
+    text = stats.summary()
+    assert "cycles=100" in text
+    assert "instructions=42" in text
+    assert "store-forwards=2" in text
+
+
+def test_slots_instances_have_no_dict_and_pickle():
+    stats = SimStats(cycles=3)
+    assert not hasattr(stats, "__dict__")
+    clone = pickle.loads(pickle.dumps(stats))
+    assert clone == stats

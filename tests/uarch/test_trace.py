@@ -40,6 +40,29 @@ def test_clear_drops_events():
     assert tracer.events(TargetStructure.RF) == []
 
 
+def test_generic_record_respects_enabled_flag():
+    event = AccessEvent(TargetStructure.L1D, 4, 12, AccessKind.WRITE)
+    disabled = AccessTracer(enabled=False)
+    disabled.record(event)
+    assert disabled.events(TargetStructure.L1D) == []
+
+    enabled = AccessTracer(enabled=True)
+    enabled.record(event)
+    assert enabled.events(TargetStructure.L1D) == [event]
+
+
+def test_default_rip_is_writeback_sentinel():
+    event = AccessEvent(TargetStructure.L1D, 0, 0, AccessKind.READ)
+    assert event.rip == WRITEBACK_RIP
+    assert event.upc == 0
+
+
+def test_empty_tracer_counts_and_grouping():
+    tracer = AccessTracer(enabled=True)
+    assert tracer.counts() == {s: (0, 0) for s in TargetStructure}
+    assert tracer.events_by_entry(TargetStructure.SQ) == {}
+
+
 def test_access_event_properties():
     event = AccessEvent(TargetStructure.RF, 1, 5, AccessKind.READ, 10, 2)
     assert event.is_read and not event.is_write
