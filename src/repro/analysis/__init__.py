@@ -1,0 +1,47 @@
+"""Static analysis for the repro contracts (``repro lint``).
+
+An AST-based rule engine that turns the repository's informal invariants
+— the snapshot/restore contract, identity-path determinism, and
+multiprocessing safety — into machine-checked rules with stable ids,
+``file:line`` findings and fix hints.  See the README's *Static analysis*
+section for the rule catalogue and disable etiquette.
+"""
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig, fixture_config
+from repro.analysis.context import (
+    DirectiveError,
+    ModuleContext,
+    build_context,
+    module_name_for,
+)
+from repro.analysis.driver import (
+    BAD_DIRECTIVE,
+    PARSE_ERROR,
+    blanket_disables,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import REGISTRY, Rule, all_rules, get_rules
+
+__all__ = [
+    "BAD_DIRECTIVE",
+    "DEFAULT_CONFIG",
+    "DirectiveError",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "PARSE_ERROR",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "blanket_disables",
+    "build_context",
+    "fixture_config",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "module_name_for",
+]

@@ -1,0 +1,155 @@
+"""Per-file analysis context: source, AST, and lint-control comments.
+
+A :class:`ModuleContext` is built once per file and handed to every rule.
+It owns the parsed AST, the dotted module name (derived from the path so
+scoping works on checkouts and installed trees alike), and the parsed
+lint-control comments:
+
+* ``# repro-lint: disable=rule-a,rule-b -- justification`` suppresses the
+  named rules on that line only;
+* ``# repro-lint: disable-file=rule-a`` suppresses a rule for the whole
+  file (a *blanket* disable — tracked separately so policy checks can
+  forbid it per tree);
+* ``# repro-lint: transient -- justification`` on a line that assigns an
+  instance attribute declares that attribute transient: not part of the
+  snapshot contract (derived/rebuildable state, config, diagnostics).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+#: Directive comments start with ``repro-lint:`` (a mid-comment mention
+#: is prose, not a directive); full grammar is
+#: ``repro-lint: <directive>[=args][ -- justification]``.
+_DIRECTIVE_PREFIX = re.compile(r"^#+:?\s*repro-lint:")
+_DIRECTIVE = re.compile(
+    r"^#+:?\s*repro-lint:\s*(?P<directive>disable-file|disable|transient)"
+    r"\s*(?:=\s*(?P<args>[\w\-, ]+?))?\s*(?:--(?P<why>.*))?$"
+)
+
+
+class DirectiveError(ValueError):
+    """A malformed ``repro-lint`` control comment."""
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one Python file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids disabled on that line.
+    disabled_lines: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file (blanket disables).
+    disabled_file: Set[str] = field(default_factory=set)
+    #: line numbers carrying a ``transient`` attribute annotation.
+    transient_lines: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.disabled_file:
+            return True
+        return rule_id in self.disabled_lines.get(line, ())
+
+    @property
+    def blanket_disables(self) -> Set[str]:
+        """Rule ids suppressed file-wide (policy checks forbid these in
+        contract-bearing trees)."""
+        return set(self.disabled_file)
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name of ``path``.
+
+    Walks the path parts for the last ``src`` directory (checkout layout)
+    or the last ``repro`` package root (installed layout); files outside
+    any package are named by their stem, which is what the rule fixtures
+    rely on.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    anchor = -1
+    for index, part in enumerate(parts):
+        if part == "src":
+            anchor = index
+    if anchor >= 0 and anchor + 1 < len(parts):
+        return ".".join(parts[anchor + 1:])
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def _parse_directives(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str], Set[int]]:
+    """Extract lint-control comments with the tokenizer (never fooled by
+    string literals that merely contain the directive text)."""
+    disabled_lines: Dict[int, Set[str]] = {}
+    disabled_file: Set[str] = set()
+    transient_lines: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # A file the tokenizer rejects will also fail ast.parse; the
+        # driver reports that as a lint error, so just skip directives.
+        return disabled_lines, disabled_file, transient_lines
+    for line, text in comments:
+        if _DIRECTIVE_PREFIX.match(text) is None:
+            continue
+        match = _DIRECTIVE.match(text)
+        if match is None:
+            raise DirectiveError(
+                f"line {line}: malformed repro-lint directive {text.strip()!r}"
+            )
+        directive = match.group("directive")
+        args = [
+            part.strip() for part in (match.group("args") or "").split(",")
+            if part.strip()
+        ]
+        if directive == "transient":
+            transient_lines.add(line)
+        elif not args:
+            raise DirectiveError(
+                f"line {line}: {directive} needs at least one rule id"
+            )
+        elif directive == "disable":
+            disabled_lines.setdefault(line, set()).update(args)
+        else:
+            disabled_file.update(args)
+    return disabled_lines, disabled_file, transient_lines
+
+
+def build_context(path: Path, source: str) -> ModuleContext:
+    """Parse ``source`` into a :class:`ModuleContext` (raises on syntax
+    errors; the driver converts those into findings)."""
+    tree = ast.parse(source, filename=str(path))
+    disabled_lines, disabled_file, transient_lines = _parse_directives(source)
+    return ModuleContext(
+        path=path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        disabled_lines=disabled_lines,
+        disabled_file=disabled_file,
+        transient_lines=transient_lines,
+    )
+
+
+def source_lines(context: ModuleContext) -> List[str]:
+    return context.source.splitlines()

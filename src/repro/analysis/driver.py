@@ -1,0 +1,119 @@
+"""The lint driver: file discovery, rule dispatch, directive filtering.
+
+``lint_paths`` is the one entry point the CLI, CI and tests share: it
+walks the given files/directories, builds a :class:`ModuleContext` per
+Python file, runs every selected rule whose scope matches, drops findings
+suppressed by ``# repro-lint: disable`` directives, and returns the rest
+sorted by location.
+
+Files that fail to parse, and malformed lint directives, are themselves
+reported as findings (rule ids ``parse-error`` / ``bad-directive``) so a
+broken file can never silently slip past the gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.context import DirectiveError, ModuleContext, build_context
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, get_rules
+
+# Importing the rule families populates the registry.
+from repro.analysis import determinism_rules as _det  # noqa: F401
+from repro.analysis import process_rules as _proc  # noqa: F401
+from repro.analysis import snapshot_rules as _snap  # noqa: F401
+
+#: Driver-level pseudo-rules (not in the registry, never disableable).
+PARSE_ERROR = "parse-error"
+BAD_DIRECTIVE = "bad-directive"
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand ``paths`` into a sorted, de-duplicated list of ``.py`` files."""
+    seen = set()
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one file."""
+    if rules is None:
+        rules = get_rules()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [Finding(
+            path=str(path), line=1, col=1, rule_id=PARSE_ERROR,
+            message=f"cannot read file: {error}",
+        )]
+    try:
+        context = build_context(path, source)
+    except SyntaxError as error:
+        return [Finding(
+            path=str(path), line=error.lineno or 1, col=(error.offset or 1),
+            rule_id=PARSE_ERROR, message=f"syntax error: {error.msg}",
+        )]
+    except DirectiveError as error:
+        return [Finding(
+            path=str(path), line=1, col=1, rule_id=BAD_DIRECTIVE,
+            message=str(error),
+            hint="directive grammar: # repro-lint: disable=<rule>[,<rule>] "
+                 "-- justification",
+        )]
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(context, config):
+            continue
+        for found in rule.check(context, config):
+            if not context.is_disabled(found.rule_id, found.line):
+                findings.append(found)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return sorted findings."""
+    rules = get_rules(rule_ids)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules, config=config))
+    return sorted(findings)
+
+
+def blanket_disables(
+    paths: Iterable[Path],
+) -> List[Tuple[Path, Tuple[str, ...]]]:
+    """File-wide ``disable-file`` suppressions under ``paths``.
+
+    The contract-bearing trees (``repro.uarch`` above all) must not carry
+    blanket disables — a policy test asserts this list is empty there.
+    """
+    result: List[Tuple[Path, Tuple[str, ...]]] = []
+    for path in iter_python_files(paths):
+        try:
+            context = build_context(path, path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, DirectiveError):
+            continue
+        if context.blanket_disables:
+            result.append((path, tuple(sorted(context.blanket_disables))))
+    return result

@@ -1,0 +1,41 @@
+"""Finding values produced by the static-analysis rules.
+
+A :class:`Finding` pins one contract violation to a ``file:line:col``
+location, names the rule that produced it, and carries a human-oriented
+fix hint.  Findings are plain frozen values so the CLI can render them as
+text or JSON and the tests can compare them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """Render as ``path:line:col: [rule-id] message (hint)``."""
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }

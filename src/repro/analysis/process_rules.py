@@ -1,0 +1,220 @@
+"""Process-safety rules (``proc-*``) for the multiprocessing layer.
+
+The cluster engine ships work to ``ProcessPoolExecutor`` workers and
+journals outcomes to an append-only log that must survive ``kill -9``.
+These rules catch the failure modes that only appear under load or crash:
+
+* ``proc-mutable-default``  — a mutable default argument (``[]``, ``{}``,
+  ``set()``…) is shared across calls *and*, for worker entry points,
+  across pickling boundaries; always a latent bug.
+* ``proc-frozen-payload``   — dataclasses in payload modules cross
+  process boundaries and feed content hashes; they must be declared
+  ``@dataclass(frozen=True)`` so they stay immutable and hashable.
+* ``proc-fsync``            — in journal modules, any function that
+  writes to a stream must flush **and** fsync in the same function, or
+  the write is not crash-durable and resume can silently lose outcomes.
+* ``proc-entry-picklable``  — lambdas and nested functions cannot be
+  pickled; passing one to ``submit``/``map``-style pool methods fails at
+  runtime (and only on the multiprocessing path, never in unit tests
+  that stub the pool).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Union
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import finding, register
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_POOL_METHODS = (
+    "submit", "map", "starmap", "apply", "apply_async",
+    "imap", "imap_unordered", "map_async", "starmap_async",
+)
+
+
+def _function_defs(tree: ast.Module) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")):
+        return True
+    return False
+
+
+@register
+class MutableDefaultRule:
+    rule_id = "proc-mutable-default"
+    description = (
+        "mutable default arguments are shared across calls and pickle "
+        "boundaries"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return config.in_process_scope(context.module)
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for func in _function_defs(context.tree):
+            defaults = list(func.args.defaults)
+            defaults.extend(d for d in func.args.kw_defaults if d is not None)
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield finding(
+                        context, self.rule_id, default,
+                        f"{func.name}() has a mutable default argument",
+                        hint="default to None and construct the container "
+                             "inside the function body",
+                    )
+
+
+@register
+class FrozenPayloadRule:
+    rule_id = "proc-frozen-payload"
+    description = (
+        "payload dataclasses cross process boundaries and feed hashes; "
+        "they must be @dataclass(frozen=True)"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return config.in_payload_scope(context.module)
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.AST) -> bool:
+        target = node.func if isinstance(node, ast.Call) else node
+        if isinstance(target, ast.Name):
+            return target.id == "dataclass"
+        if isinstance(target, ast.Attribute):
+            return target.attr == "dataclass"
+        return False
+
+    @staticmethod
+    def _is_frozen(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False  # bare @dataclass defaults to frozen=False
+        for keyword in node.keywords:
+            if (keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True):
+                return True
+        return False
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not self._dataclass_decorator(decorator):
+                    continue
+                if not self._is_frozen(decorator):
+                    yield finding(
+                        context, self.rule_id, decorator,
+                        f"payload dataclass {node.name!r} is not frozen",
+                        hint="declare it @dataclass(frozen=True); mutation "
+                             "after construction would desynchronise "
+                             "content hashes across processes",
+                    )
+
+
+@register
+class FsyncRule:
+    rule_id = "proc-fsync"
+    description = (
+        "journal writes must be followed by flush + os.fsync in the same "
+        "function to be crash-durable"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return config.in_journal_scope(context.module)
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for func in _function_defs(context.tree):
+            write_call = None
+            has_flush = False
+            has_fsync = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute):
+                    if node.func.attr == "write" and write_call is None:
+                        write_call = node
+                    elif node.func.attr == "flush":
+                        has_flush = True
+                    elif node.func.attr == "fsync":
+                        has_fsync = True
+                elif isinstance(node.func, ast.Name) and node.func.id == "fsync":
+                    has_fsync = True
+            if write_call is not None and not (has_flush and has_fsync):
+                missing = []
+                if not has_flush:
+                    missing.append("flush()")
+                if not has_fsync:
+                    missing.append("os.fsync()")
+                yield finding(
+                    context, self.rule_id, write_call,
+                    f"{func.name}() writes to a stream without "
+                    f"{' / '.join(missing)}",
+                    hint="a crash between write and fsync loses the record; "
+                         "flush and fsync before letting callers observe "
+                         "the append",
+                )
+
+
+@register
+class EntryPicklableRule:
+    rule_id = "proc-entry-picklable"
+    description = (
+        "pool entry points must be module-level functions (lambdas and "
+        "nested defs cannot be pickled)"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return config.in_process_scope(context.module)
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for func in _function_defs(context.tree):
+            nested: Set[str] = {
+                node.name for node in ast.walk(func)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            }
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _POOL_METHODS
+                        and node.args):
+                    continue
+                entry = node.args[0]
+                if isinstance(entry, ast.Lambda):
+                    yield finding(
+                        context, self.rule_id, entry,
+                        f"lambda passed to .{node.func.attr}()",
+                        hint="hoist the entry point to a module-level "
+                             "function so it can be pickled to the worker",
+                    )
+                elif isinstance(entry, ast.Name) and entry.id in nested:
+                    yield finding(
+                        context, self.rule_id, entry,
+                        f"nested function {entry.id!r} passed to "
+                        f".{node.func.attr}()",
+                        hint="hoist the entry point to a module-level "
+                             "function so it can be pickled to the worker",
+                    )

@@ -1,0 +1,251 @@
+"""Rule framework: the protocol, the registry, and shared AST machinery.
+
+A rule is a small object with a stable ``rule_id``, a one-line
+``description``, an ``applies(context, config)`` scope predicate and a
+``check(context, config)`` generator of findings.  Rules register
+themselves into :data:`REGISTRY` at import time; the driver runs every
+registered rule whose scope matches the file.
+
+The bottom half of this module is the shared AST toolbox the rule
+families build on: instance-attribute mutation collection (including
+subscript stores through ``self.x[...]`` chains), per-class method maps,
+self-call transitive closure, and dotted-name resolution through the
+module's imports (so ``perf_counter()`` is recognised as
+``time.perf_counter`` when imported that way).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Set, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+
+class Rule(Protocol):
+    """One enforceable contract clause."""
+
+    rule_id: str
+    description: str
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        """Whether this rule looks at ``context`` under ``config``."""
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield every violation found in ``context``."""
+
+
+#: rule_id -> rule instance, in registration order.
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a rule."""
+    rule = rule_cls()
+    if rule.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return list(REGISTRY.values())
+
+
+def get_rules(rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Resolve ``rule_ids`` (default: all) against the registry."""
+    if rule_ids is None:
+        return all_rules()
+    rules = []
+    for rule_id in rule_ids:
+        if rule_id not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise ValueError(f"unknown rule {rule_id!r} (known: {known})")
+        rules.append(REGISTRY[rule_id])
+    return rules
+
+
+def finding(
+    context: ModuleContext,
+    rule_id: str,
+    node: ast.AST,
+    message: str,
+    hint: str = "",
+) -> Finding:
+    """Build a finding anchored at ``node``."""
+    return Finding(
+        path=str(context.path),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule_id=rule_id,
+        message=message,
+        hint=hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Class / method structure helpers
+# ----------------------------------------------------------------------
+def class_defs(tree: ast.Module) -> List[ast.ClassDef]:
+    """Every class in the module, nested classes included."""
+    return [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+
+
+def method_map(class_def: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """name -> def for the class's directly declared methods."""
+    methods: Dict[str, ast.FunctionDef] = {}
+    for node in class_def.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[node.name] = node
+    return methods
+
+
+def _self_name(func: ast.FunctionDef) -> Optional[str]:
+    """The receiver argument name (``self`` by convention), if any."""
+    if func.args.args:
+        return func.args.args[0].arg
+    return None
+
+
+def _attr_base(node: ast.AST, self_name: str) -> Optional[str]:
+    """If ``node`` is ``self.X`` (possibly wrapped in subscripts, e.g.
+    ``self.X[i][j]``), return ``X``; otherwise ``None``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name):
+        return node.attr
+    return None
+
+
+def mutated_attrs(func: ast.FunctionDef) -> List[Tuple[str, ast.AST]]:
+    """Instance attributes this method writes, with the writing node.
+
+    Catches plain stores (``self.x = v``), augmented stores
+    (``self.x += v``) and subscript stores through an attribute chain
+    (``self.x[i] = v``, ``self.x[i][j] -= v``).  Mutations through local
+    aliases or mutating method calls (``self.x.append(v)``) are beyond
+    AST-local reasoning and intentionally out of scope — the contract
+    rules are a safety net, not a proof system.
+    """
+    self_name = _self_name(func)
+    if self_name is None:
+        return []
+    writes: List[Tuple[str, ast.AST]] = []
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            collect_target(target.value)
+            return
+        attr = _attr_base(target, self_name)
+        if attr is not None:
+            writes.append((attr, target))
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect_target(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            collect_target(node.target)
+    return writes
+
+
+def referenced_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Every instance attribute this method mentions, in any context."""
+    self_name = _self_name(func)
+    if self_name is None:
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self_name):
+            names.add(node.attr)
+    return names
+
+
+def self_calls(func: ast.FunctionDef) -> Set[str]:
+    """Names of the methods this method calls on its receiver."""
+    self_name = _self_name(func)
+    if self_name is None:
+        return set()
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == self_name):
+            called.add(node.func.attr)
+    return called
+
+
+def transitive_methods(
+    methods: Dict[str, ast.FunctionDef], roots: Iterable[str]
+) -> Set[str]:
+    """``roots`` plus every method reachable from them via self-calls."""
+    seen: Set[str] = set()
+    frontier = [name for name in roots if name in methods]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for callee in self_calls(methods[name]):
+            if callee in methods and callee not in seen:
+                frontier.append(callee)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Import-aware dotted-name resolution
+# ----------------------------------------------------------------------
+def import_table(tree: ast.Module) -> Dict[str, str]:
+    """local name -> fully dotted origin, from the module's imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from time import
+    perf_counter`` maps ``perf_counter`` to ``time.perf_counter``.
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten an attribute chain (``a.b.c``) into a dotted string."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_name(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve ``node`` to its fully qualified dotted origin, if known."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,249 @@
+"""Snapshot-contract rules (``snap-*``).
+
+These enforce the checkpoint subsystem's contract (see
+:mod:`repro.uarch.checkpoint`): every component with machine state must
+expose a complete ``snapshot()``/``restore()`` pair, and every mutation
+of delta-tracked state must mark the component's dirty set — a single
+missed mark silently breaks the bit-identity of delta checkpoints and
+everything built on them (pooled restores, artifact payloads, cluster
+shards).
+
+* ``snap-pair`` — a class defining one half of a snapshot/restore pair
+  must define the other half.
+* ``snap-attr`` — every instance attribute a snapshot class mutates
+  after construction must be visible to ``snapshot``/``restore``
+  (directly or through self-method calls), or be declared transient with
+  a ``# repro-lint: transient`` annotation on one of its assignments.
+  Classes whose ``snapshot`` delegates to a module-level capture function
+  (``return capture_state(self)``) are exempt: their coverage lives in
+  that function and is enforced by the differential checkpoint tests.
+* ``snap-dirty`` — in a class implementing the dirty-tracking protocol
+  (``begin_dirty_tracking``/``drain_dirty``), the *tracked* attributes
+  are inferred from the methods that already mark the dirty set; any
+  other method mutating a tracked attribute must mark it too (directly
+  or via a self-method that does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    class_defs,
+    finding,
+    method_map,
+    mutated_attrs,
+    referenced_attrs,
+    register,
+    transitive_methods,
+)
+
+
+def _pair_names(config: LintConfig) -> Set[str]:
+    names: Set[str] = set()
+    for snapshot_name, restore_name in config.snapshot_pairs:
+        names.add(snapshot_name)
+        names.add(restore_name)
+    return names
+
+
+def _is_snapshot_class(
+    methods: Dict[str, ast.FunctionDef], config: LintConfig
+) -> bool:
+    return any(
+        snapshot_name in methods and restore_name in methods
+        for snapshot_name, restore_name in config.snapshot_pairs
+    )
+
+
+def _delegates(func: ast.FunctionDef) -> bool:
+    """True when the body is ``return fn(self, ...)`` — contract coverage
+    is owned by the module-level capture/restore function."""
+    self_name = func.args.args[0].arg if func.args.args else None
+    if self_name is None:
+        return False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        if (isinstance(call.func, ast.Name)
+                and call.args
+                and isinstance(call.args[0], ast.Name)
+                and call.args[0].id == self_name):
+            return True
+    # ``restore``-style delegation has no return value: a bare
+    # ``fn(self, state)`` expression statement counts too.
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.args
+                and isinstance(node.value.args[0], ast.Name)
+                and node.value.args[0].id == self_name):
+            return True
+    return False
+
+
+def _transient_attrs(
+    context: ModuleContext, methods: Dict[str, ast.FunctionDef]
+) -> Set[str]:
+    """Attributes declared transient by an annotation on any write line."""
+    transient: Set[str] = set()
+    if not context.transient_lines:
+        return transient
+    for func in methods.values():
+        for attr, node in mutated_attrs(func):
+            if getattr(node, "lineno", -1) in context.transient_lines:
+                transient.add(attr)
+    return transient
+
+
+def _excluded_methods(config: LintConfig) -> Set[str]:
+    excluded = {"__init__"}
+    excluded.update(_pair_names(config))
+    excluded.update(config.dirty_protocol)
+    return excluded
+
+
+@register
+class SnapshotPairRule:
+    rule_id = "snap-pair"
+    description = (
+        "a class defining snapshot() must define restore() and vice versa "
+        "(likewise snapshot_state/restore_state)"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return True
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for class_def in class_defs(context.tree):
+            methods = method_map(class_def)
+            for snapshot_name, restore_name in config.snapshot_pairs:
+                have_snapshot = snapshot_name in methods
+                have_restore = restore_name in methods
+                if have_snapshot == have_restore:
+                    continue
+                present = snapshot_name if have_snapshot else restore_name
+                missing = restore_name if have_snapshot else snapshot_name
+                yield finding(
+                    context, self.rule_id, methods[present],
+                    f"class {class_def.name!r} defines {present}() "
+                    f"without {missing}()",
+                    hint=f"implement {missing}() to complete the "
+                         "snapshot/restore contract",
+                )
+
+
+@register
+class SnapshotAttrRule:
+    rule_id = "snap-attr"
+    description = (
+        "every attribute a snapshot class mutates after construction must "
+        "be covered by snapshot()/restore() or annotated transient"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return True
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        excluded = _excluded_methods(config)
+        for class_def in class_defs(context.tree):
+            methods = method_map(class_def)
+            if not _is_snapshot_class(methods, config):
+                continue
+            pair_methods = [
+                name for name in _pair_names(config) if name in methods
+            ]
+            if any(_delegates(methods[name]) for name in pair_methods):
+                continue
+            covered: Set[str] = set()
+            for name in transitive_methods(methods, pair_methods):
+                covered |= referenced_attrs(methods[name])
+            transient = _transient_attrs(context, methods)
+            reported: Set[str] = set()
+            for method_name, func in methods.items():
+                if method_name in excluded:
+                    continue
+                for attr, node in mutated_attrs(func):
+                    if attr in covered or attr in transient or attr in reported:
+                        continue
+                    reported.add(attr)
+                    yield finding(
+                        context, self.rule_id, node,
+                        f"{class_def.name}.{method_name} mutates attribute "
+                        f"{attr!r} which snapshot()/restore() never touch",
+                        hint="capture it in the snapshot, or annotate an "
+                             "assignment with '# repro-lint: transient -- why'",
+                    )
+
+
+@register
+class DirtyMarkRule:
+    rule_id = "snap-dirty"
+    description = (
+        "in a dirty-tracking class, every method writing tracked state "
+        "must mark the dirty set"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return True
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        excluded = _excluded_methods(config)
+        dirty_attr = config.dirty_attr
+        for class_def in class_defs(context.tree):
+            methods = method_map(class_def)
+            if not all(name in methods for name in config.dirty_protocol):
+                continue
+            transient = _transient_attrs(context, methods)
+
+            # Which attributes are delta-tracked?  Inferred from the
+            # methods that already mark the dirty set: whatever they
+            # mutate is the tracked surface.  (Unconditionally captured
+            # scalars never appear next to a mark, so they never become
+            # tracked — no false positives on e.g. head/tail counters.)
+            marking: List[str] = [
+                name for name, func in methods.items()
+                if name not in excluded and dirty_attr in referenced_attrs(func)
+            ]
+            tracked: Set[str] = set()
+            for name in marking:
+                tracked.update(attr for attr, _ in mutated_attrs(methods[name]))
+            tracked -= transient
+            tracked.discard(dirty_attr)
+            if not tracked:
+                continue
+
+            for method_name, func in methods.items():
+                if method_name in excluded:
+                    continue
+                closure = transitive_methods(methods, [method_name])
+                marks = any(
+                    dirty_attr in referenced_attrs(methods[name])
+                    for name in closure
+                )
+                if marks:
+                    continue
+                for attr, node in mutated_attrs(func):
+                    if attr not in tracked:
+                        continue
+                    yield finding(
+                        context, self.rule_id, node,
+                        f"{class_def.name}.{method_name} writes tracked "
+                        f"state {attr!r} without marking {dirty_attr!r}",
+                        hint="add the dirty-set mark (guarded by "
+                             f"'if self.{dirty_attr} is not None') or the "
+                             "delta checkpoints will miss this write",
+                    )
+                    break  # one finding per method is enough signal

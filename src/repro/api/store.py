@@ -128,20 +128,45 @@ class ResultStore:
             if not path.name.startswith(".")
         )
 
+    def _fs_now(self) -> float:
+        """The store filesystem's idea of "now".
+
+        Ages are computed against a freshly created probe file's mtime
+        rather than ``time.time()``: the two clocks can disagree (NFS
+        servers, clock steps between runs), and an age derived from the
+        wrong clock domain could make :meth:`gc` sweep a live writer's
+        temp file.  Falls back to the wall clock if the probe fails.
+        """
+        probe = self.root / f".tmp-gc-probe-{os.getpid()}"
+        try:
+            probe.touch()
+            return probe.stat().st_mtime
+        except OSError:
+            return time.time()
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
+
     def gc(self, max_age_seconds: float = 3600.0) -> int:
         """Remove stale ``.tmp-*`` files left by killed writers.
 
-        Returns the number of files removed.  Only temp files older than
-        ``max_age_seconds`` are touched: an atomic write completes in
-        milliseconds, so a younger temp file may belong to a *live*
-        writer whose rename must not be sabotaged.  Pass ``0`` to sweep
+        Returns the number of files removed.  Only temp files *strictly
+        older* than ``max_age_seconds`` are touched: an atomic write
+        completes in milliseconds, so a younger temp file may belong to
+        a *live* writer whose rename must not be sabotaged.  Ages are
+        measured in the store filesystem's own clock domain (see
+        :meth:`_fs_now`), and a file dated in the future — negative age,
+        as after a clock step — is never collected.  Pass ``0`` to sweep
         everything when no writers can be running.
         """
         removed = 0
-        cutoff = time.time() - max_age_seconds
+        now = self._fs_now()
         for path in self.root.glob(".tmp-*"):
             try:
-                if path.stat().st_mtime > cutoff:
+                age = now - path.stat().st_mtime
+                if not age > max_age_seconds:
                     continue
                 path.unlink()
             except OSError:

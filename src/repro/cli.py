@@ -396,6 +396,36 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the contract static analyzer (see :mod:`repro.analysis`)."""
+    from repro.analysis import all_rules, lint_paths
+
+    if args.list_rules:
+        rows = [(rule.rule_id, rule.description) for rule in all_rules()]
+        if args.json:
+            _emit_json([{"rule": rule_id, "description": description}
+                        for rule_id, description in rows])
+        else:
+            width = max(len(rule_id) for rule_id, _ in rows)
+            for rule_id, description in rows:
+                print(f"{rule_id:<{width}}  {description}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        raise ValueError(f"no such path: {', '.join(map(str, missing))}")
+    findings = lint_paths(paths, rule_ids=args.rule or None)
+    if args.json:
+        _emit_json([finding.to_dict() for finding in findings])
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -541,6 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
                                help="cluster worker count (default: cores)")
     _add_common_flags(resume_parser)
     resume_parser.set_defaults(func=_cmd_resume)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically check the snapshot, determinism and "
+                     "process-safety contracts")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files or directories to lint (default: src)")
+    lint_parser.add_argument("--rule", action="append", default=None,
+                             metavar="RULE_ID",
+                             help="run only this rule (repeatable)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit findings as a JSON array")
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

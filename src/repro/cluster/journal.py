@@ -119,6 +119,8 @@ class RunJournal:
             else:
                 with open(path, "a", encoding="utf-8") as stream:
                     stream.write("\n")
+                    stream.flush()
+                    os.fsync(stream.fileno())
                 lines[-1] += "\n"
 
         header: Optional[Dict[str, Any]] = None

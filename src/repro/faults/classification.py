@@ -160,7 +160,7 @@ def distribution_distance(a: ClassificationCounts, b: ClassificationCounts) -> f
     """Maximum per-class absolute difference, in percentile units (Figure 17)."""
     labels = set(a.counts) | set(b.counts)
     worst = 0.0
-    for label in labels:
+    for label in sorted(labels):
         delta = abs(a.fraction(label) - b.fraction(label)) * 100.0
         worst = max(worst, delta)
     return worst

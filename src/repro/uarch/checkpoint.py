@@ -41,6 +41,15 @@ The same contract extends to the whole CPU through
 additionally encode the in-flight pipeline state (ROB, issue queue, decode
 queue, pending completions) in a canonical order.
 
+The contract is machine-checked: ``repro lint`` (see
+:mod:`repro.analysis`) enforces the pairing itself (rule ``snap-pair``),
+post-``__init__`` attribute coverage or an explicit
+``# repro-lint: transient`` opt-out (rule ``snap-attr``), and — for the
+delta-tracking components below — that every write of tracked state marks
+the dirty set (rule ``snap-dirty``).  Delta capture sorts every drained
+dirty set (rule ``det-set-iter``) so payload bytes are order-stable by
+construction.
+
 Reconvergence early-exit
 ------------------------
 Exact state equality also enables a second, larger saving: if at some
@@ -231,7 +240,9 @@ def _encode_inflight(cpu: OutOfOrderCpu) -> Tuple:
     ordered_entries: List[_InFlightUop] = []
 
     def index_of(entry: _InFlightUop) -> int:
-        key = id(entry)
+        # Addresses never leave this function: they only dedupe shared
+        # objects while assigning dense, ROB-ordered indices.
+        key = id(entry)  # repro-lint: disable=det-id -- local dedupe key only
         if key not in entry_index:
             entry_index[key] = len(ordered_entries)
             ordered_entries.append(entry)
@@ -248,7 +259,7 @@ def _encode_inflight(cpu: OutOfOrderCpu) -> Tuple:
     ordered_macros: List[_MacroContext] = []
 
     def macro_of(macro: _MacroContext) -> int:
-        key = id(macro)
+        key = id(macro)  # repro-lint: disable=det-id -- local dedupe key only
         if key not in macro_index:
             macro_index[key] = len(ordered_macros)
             ordered_macros.append(macro)
@@ -383,44 +394,52 @@ def capture_delta(cpu: OutOfOrderCpu, prev: CpuState) -> DeltaState:
     delta.load_queue = load_queue if load_queue != prev.load_queue else None
     delta.stats = cpu.stats.snapshot()
 
+    # Every drained dirty set is sorted before materialisation so the
+    # delta dicts — and therefore payload bytes — are order-stable by
+    # construction (enforced by the det-set-iter lint rule).
     memory = cpu.memory
     delta.heap_end = memory.heap_end
     delta.memory_words = {
-        address: memory.word_at(address) for address in memory.drain_dirty()
+        address: memory.word_at(address)
+        for address in sorted(memory.drain_dirty())
     }
 
     prf = cpu.prf
     values, ready = prf.values, prf.ready
     delta.prf_entries = {
-        index: (values[index], ready[index]) for index in prf.drain_dirty()
+        index: (values[index], ready[index]) for index in sorted(prf.drain_dirty())
     }
 
     sq = cpu.store_queue
     delta.sq_ctrl = (sq.head, sq.tail, sq.occupancy)
-    delta.sq_slots = {index: sq.slot_state(index) for index in sq.drain_dirty()}
+    delta.sq_slots = {
+        index: sq.slot_state(index) for index in sorted(sq.drain_dirty())
+    }
 
     dcache = cpu.dcache
     delta.dcache_lines = {
-        index: dcache.line_state(index) for index in dcache.drain_dirty()
+        index: dcache.line_state(index) for index in sorted(dcache.drain_dirty())
     }
     delta.dcache_tick = dcache._tick
     l2 = dcache.l2
-    delta.l2_sets = {index: l2.set_state(index) for index in l2.drain_dirty()}
+    delta.l2_sets = {
+        index: l2.set_state(index) for index in sorted(l2.drain_dirty())
+    }
     delta.l2_tick = l2._tick
     icache = cpu.icache
     delta.icache_sets = {
-        index: icache.set_state(index) for index in icache.drain_dirty()
+        index: icache.set_state(index) for index in sorted(icache.drain_dirty())
     }
     delta.icache_tick = icache.tick
 
     predictor = cpu.branch_unit.predictor
     predictor_dirty, btb_dirty = cpu.branch_unit.drain_dirty()
     delta.predictor_entries = {
-        key: predictor.table_value(*key) for key in predictor_dirty
+        key: predictor.table_value(*key) for key in sorted(predictor_dirty)
     }
     delta.global_history = predictor.global_history
     btb = cpu.branch_unit.btb
-    delta.btb_entries = {index: btb.entry(index) for index in btb_dirty}
+    delta.btb_entries = {index: btb.entry(index) for index in sorted(btb_dirty)}
 
     (delta.macros, delta.entries, delta.rob_len, delta.issue_queue,
      delta.completions, delta.decode_queue) = _encode_inflight(cpu)
@@ -540,14 +559,14 @@ def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
     # Physical register file.
     prf = cpu.prf
     values, ready = state.prf
-    for index in prf.drain_dirty():
+    for index in sorted(prf.drain_dirty()):
         prf.values[index] = values[index]
         prf.ready[index] = ready[index]
 
     # Store queue (head/tail/occupancy are cheap scalars, always reset).
     sq = cpu.store_queue
     sq.head, sq.tail, sq.occupancy, slot_states = state.store_queue
-    for index in sq.drain_dirty():
+    for index in sorted(sq.drain_dirty()):
         sq.restore_slot(index, slot_states[index])
     sq.recount_pending()
 
@@ -555,21 +574,21 @@ def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
     dcache = cpu.dcache
     line_states, l2_state, dcache._tick = state.dcache
     assoc = dcache.assoc
-    for line_index in dcache.drain_dirty():
+    for line_index in sorted(dcache.drain_dirty()):
         set_index, way = divmod(line_index, assoc)
         line = dcache.lines[set_index][way]
         line.tag, line.valid, line.dirty, data, line.last_use = line_states[line_index]
         line.data[:] = data
     l2 = dcache.l2
     l2_tags, l2_lru, l2._tick = l2_state
-    for set_index in l2.drain_dirty():
+    for set_index in sorted(l2.drain_dirty()):
         l2._tags[set_index] = list(l2_tags[set_index])
         l2._lru[set_index] = list(l2_lru[set_index])
 
     # L1 instruction cache tag store.
     icache = cpu.icache._cache
     i_tags, i_lru, icache._tick = state.icache
-    for set_index in icache.drain_dirty():
+    for set_index in sorted(icache.drain_dirty()):
         icache._tags[set_index] = list(i_tags[set_index])
         icache._lru[set_index] = list(i_lru[set_index])
 
@@ -579,7 +598,7 @@ def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
     predictor = cpu.branch_unit.predictor
     predictor.global_history = history
     predictor_dirty, btb_dirty = cpu.branch_unit.drain_dirty()
-    for table, index in predictor_dirty:
+    for table, index in sorted(predictor_dirty):
         if table == "local":
             predictor._local_table[index] = local[index]
         elif table == "global":
@@ -588,7 +607,7 @@ def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
             predictor._chooser[index] = chooser[index]
     btb = cpu.branch_unit.btb
     btb_tags, btb_targets = btb_state
-    for index in btb_dirty:
+    for index in sorted(btb_dirty):
         btb._tags[index] = btb_tags[index]
         btb._targets[index] = btb_targets[index]
 
@@ -598,7 +617,7 @@ def _restore_touched(cpu: OutOfOrderCpu, state: CpuState) -> None:
     heap_end, words = state.memory
     memory.heap_end = heap_end
     live = memory._words
-    for address in memory.drain_dirty():
+    for address in sorted(memory.drain_dirty()):
         stored = words.get(address)
         if stored is None:
             live.pop(address, None)

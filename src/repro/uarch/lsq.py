@@ -76,7 +76,9 @@ class StoreQueue:
         self.occupancy = 0
         #: Valid slots still waiting for their address micro-op; lets the
         #: per-load disambiguation check short-circuit to a counter test.
-        self._addr_pending = 0
+        # Derived from the slots; rebuilt by recount_pending() after any
+        # bulk restore, so it is deliberately outside the delta contract.
+        self._addr_pending = 0  # repro-lint: transient -- derived counter, rebuilt by recount_pending()
         # Delta-checkpoint support: indices of slots mutated since the last
         # drain (None while tracking is disabled).
         self._dirty = None

@@ -1,0 +1,30 @@
+"""Determinism-conformant code: must lint clean with every scope open."""
+
+from numpy.random import default_rng
+
+
+def seeded_draw(seed):
+    rng = default_rng(seed)
+    return rng.integers(0, 10)
+
+
+def sorted_iteration(tags):
+    seen = set(tags)
+    return [tag * 2 for tag in sorted(seen)]
+
+
+def sorted_drain(component):
+    return {index: index * 2 for index in sorted(component.drain_dirty())}
+
+
+def membership_is_fine(tags, candidate):
+    seen = set(tags)
+    return candidate in seen
+
+
+def integer_gate(count):
+    return count == 3
+
+
+def tolerant_compare(ratio, expected):
+    return abs(ratio - expected) < 1e-9

@@ -1,0 +1,68 @@
+"""Intentional determinism violations (never imported, only linted)."""
+
+import os
+import random
+import time
+from time import perf_counter
+
+import numpy as np
+
+
+def wallclock():
+    return time.time()  # expect: det-wallclock
+
+
+def wallclock_from_import():
+    return perf_counter()  # expect: det-wallclock
+
+
+def unseeded():
+    return random.random()  # expect: det-random
+
+
+def unseeded_numpy():
+    return np.random.randint(0, 10)  # expect: det-random
+
+
+def env_read():
+    return os.environ["REPRO_SEED"]  # expect: det-environ
+
+
+def env_get():
+    return os.getenv("REPRO_SEED")  # expect: det-environ
+
+
+def object_key(entry):
+    return id(entry)  # expect: det-id
+
+
+def float_gate(ratio):
+    return ratio == 1.5  # expect: det-float-eq
+
+
+def float_call_gate(ratio, text):
+    return ratio != float(text)  # expect: det-float-eq
+
+
+def iterate_set(tags):
+    seen = set(tags)
+    return [tag * 2 for tag in seen]  # expect: det-set-iter
+
+
+def loop_union(a, b):
+    total = 0
+    for item in set(a) | set(b):  # expect: det-set-iter
+        total += item
+    return total
+
+
+def materialise_drain(component):
+    return list(component.drain_dirty())  # expect: det-set-iter
+
+
+def multi_drain(unit):
+    predictor_dirty, btb_dirty = unit.drain_dirty()
+    ordered = [key for key in predictor_dirty]  # expect: det-set-iter
+    for index in btb_dirty:  # expect: det-set-iter
+        ordered.append(index)
+    return ordered

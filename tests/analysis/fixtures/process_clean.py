@@ -1,0 +1,30 @@
+"""Process-safe code: must lint clean with every scope open."""
+
+import os
+from dataclasses import dataclass
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+@dataclass(frozen=True)
+class FrozenPayload:
+    shard_id: str
+
+
+def append_record(stream, record):
+    stream.write(record)
+    stream.flush()
+    os.fsync(stream.fileno())
+
+
+def module_level_worker(payload):
+    return payload
+
+
+def launch(pool, spec):
+    return pool.submit(module_level_worker, spec)

@@ -1,0 +1,38 @@
+"""Intentional process-safety violations (never imported, only linted)."""
+
+from dataclasses import dataclass
+
+
+def collect(item, bucket=[]):  # expect: proc-mutable-default
+    bucket.append(item)
+    return bucket
+
+
+def keyword_only(item, *, cache={}):  # expect: proc-mutable-default
+    cache[item] = True
+    return cache
+
+
+@dataclass  # expect: proc-frozen-payload
+class BarePayload:
+    shard_id: str
+
+
+@dataclass(frozen=False)  # expect: proc-frozen-payload
+class ThawedPayload:
+    shard_id: str
+
+
+def append_record(stream, record):
+    stream.write(record)  # expect: proc-fsync
+
+
+def launch_lambda(pool, items):
+    return pool.map(lambda item: item * 2, items)  # expect: proc-entry-picklable
+
+
+def launch_nested(pool, spec):
+    def worker(payload):
+        return payload
+
+    return pool.submit(worker, spec)  # expect: proc-entry-picklable

@@ -1,0 +1,119 @@
+"""Snapshot-contract conformance: every class here must lint clean."""
+
+
+def capture(obj):
+    return (obj.value, obj.extra)
+
+
+def apply_state(obj, state):
+    obj.value, obj.extra = state
+
+
+class FullyCovered:
+    """All post-init mutations are visible to snapshot/restore."""
+
+    def __init__(self):
+        self.value = 0
+        self.extra = ""
+
+    def snapshot(self):
+        return (self.value, self.extra)
+
+    def restore(self, state):
+        self.value, self.extra = state
+
+    def bump(self):
+        self.value += 1
+
+    def label(self, text):
+        self.extra = text
+
+
+class CoveredViaHelper:
+    """Coverage may be indirect: restore() delegates to a self-method."""
+
+    def __init__(self):
+        self.entries = []
+
+    def snapshot(self):
+        return tuple(self.entries)
+
+    def restore(self, state):
+        self._reset(state)
+
+    def _reset(self, state):
+        self.entries = list(state)
+
+    def push(self, item):
+        self.entries = self.entries + [item]
+
+
+class WithTransient:
+    """A derived cache opts out of the contract with an annotation."""
+
+    def __init__(self):
+        self.value = 0
+        self._memo = None  # repro-lint: transient -- derived cache, rebuilt on demand
+
+    def snapshot(self):
+        return (self.value,)
+
+    def restore(self, state):
+        (self.value,) = state
+
+    def bump(self):
+        self.value += 1
+        self._memo = None
+
+
+class Delegating:
+    """snapshot() handing self to a module-level capture fn is exempt."""
+
+    def __init__(self):
+        self.value = 0
+        self.extra = ""
+
+    def snapshot(self):
+        return capture(self)
+
+    def restore(self, state):
+        apply_state(self, state)
+
+    def scribble(self):
+        self.anything_goes = 1
+
+
+class DirtyClean:
+    """Every tracked-state write marks the dirty set, directly or not."""
+
+    def __init__(self):
+        self.table = {}
+        self._dirty = None
+
+    def begin_dirty_tracking(self):
+        self._dirty = set()
+
+    def drain_dirty(self):
+        drained = self._dirty
+        self._dirty = set()
+        return drained if drained is not None else set()
+
+    def snapshot(self):
+        return (dict(self.table),)
+
+    def restore(self, state):
+        (self.table,) = state
+        self._dirty = None
+
+    def write(self, key, value):
+        self.table[key] = value
+        if self._dirty is not None:
+            self._dirty.add(key)
+
+    def clear(self, key):
+        self.table[key] = None
+        self._mark(key)
+
+    def _mark(self, key):
+        if self._dirty is not None:
+            self._dirty.add(key)

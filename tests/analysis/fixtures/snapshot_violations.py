@@ -1,0 +1,61 @@
+"""Intentional snapshot-contract violations (never imported, only linted)."""
+
+
+class MissingRestore:
+    def __init__(self):
+        self.value = 0
+
+    def snapshot(self):  # expect: snap-pair
+        return (self.value,)
+
+
+class MissingSnapshotState:
+    def __init__(self):
+        self.table = []
+
+    def restore_state(self, state):  # expect: snap-pair
+        self.table = list(state)
+
+
+class UncoveredAttr:
+    def __init__(self):
+        self.covered = 0
+        self.hidden = 0
+
+    def snapshot(self):
+        return (self.covered,)
+
+    def restore(self, state):
+        (self.covered,) = state
+
+    def touch(self):
+        self.hidden = 1  # expect: snap-attr
+
+
+class MissingDirtyMark:
+    def __init__(self):
+        self.table = {}
+        self._dirty = None
+
+    def begin_dirty_tracking(self):
+        self._dirty = set()
+
+    def drain_dirty(self):
+        drained = self._dirty
+        self._dirty = set()
+        return drained if drained is not None else set()
+
+    def snapshot(self):
+        return (dict(self.table),)
+
+    def restore(self, state):
+        (self.table,) = state
+        self._dirty = None
+
+    def write(self, key, value):
+        self.table[key] = value
+        if self._dirty is not None:
+            self._dirty.add(key)
+
+    def sneaky_write(self, key, value):
+        self.table[key] = value  # expect: snap-dirty

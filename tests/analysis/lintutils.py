@@ -1,0 +1,53 @@
+"""Shared helpers for the static-analyzer tests.
+
+Fixture modules under ``fixtures/`` carry ``# expect: rule-id`` marker
+comments on every line where a rule must fire; the tests lint the file
+and assert the finding set equals the marked set exactly — both missing
+findings and unexpected extras fail.
+
+(Deliberately not a ``conftest.py``: the benchmark modules import their
+own helpers with a bare ``from conftest import ...``, which a second
+top-level ``conftest`` module would shadow.)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Sequence, Set, Tuple
+
+from repro.analysis import fixture_config, get_rules, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MARKER = re.compile(r"#\s*expect:\s*(?P<rules>[\w\-, ]+)")
+
+
+def expected_markers(path: Path) -> Set[Tuple[int, str]]:
+    """``(line, rule_id)`` pairs from ``# expect:`` marker comments."""
+    expected: Set[Tuple[int, str]] = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _MARKER.search(text)
+        if match is None:
+            continue
+        for rule_id in match.group("rules").split(","):
+            expected.add((lineno, rule_id.strip()))
+    return expected
+
+
+def lint_fixture(
+    path: Path, rule_ids: Optional[Sequence[str]] = None
+) -> Set[Tuple[int, str]]:
+    """Lint ``path`` with every scope open; return ``(line, rule_id)``."""
+    rules = get_rules(rule_ids)
+    findings = lint_file(path, rules=rules, config=fixture_config())
+    return {(finding.line, finding.rule_id) for finding in findings}
+
+
+def write_module(
+    directory: Path, source: str, name: str = "fixture_mod.py"
+) -> Path:
+    """Write ``source`` to a module under ``directory`` and return its path."""
+    path = directory / name
+    path.write_text(source)
+    return path

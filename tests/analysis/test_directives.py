@@ -1,0 +1,133 @@
+"""The ``# repro-lint:`` escape hatch: disable, disable-file, transient."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    BAD_DIRECTIVE,
+    DirectiveError,
+    build_context,
+    fixture_config,
+    lint_file,
+)
+from tests.analysis import lintutils
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """Write source to a temp module and return its path."""
+
+    def _write(source: str, name: str = "fixture_mod.py"):
+        return lintutils.write_module(tmp_path, source, name)
+
+    return _write
+
+
+def _rule_ids(path, config=None):
+    findings = lint_file(path, config=config or fixture_config())
+    return {(f.line, f.rule_id) for f in findings}
+
+
+VIOLATION = textwrap.dedent("""\
+    import time
+
+
+    def stamp():
+        return time.time()
+""")
+
+
+def test_line_disable_suppresses_only_that_rule(write_module):
+    suppressed = VIOLATION.replace(
+        "return time.time()",
+        "return time.time()  # repro-lint: disable=det-wallclock -- test",
+    )
+    assert _rule_ids(write_module(VIOLATION)) == {(5, "det-wallclock")}
+    assert _rule_ids(write_module(suppressed, "ok.py")) == set()
+
+
+def test_line_disable_is_line_scoped(write_module):
+    source = VIOLATION + textwrap.dedent("""\
+
+
+        def stamp_again():
+            return time.time()  # repro-lint: disable=det-wallclock -- test
+    """)
+    assert _rule_ids(write_module(source)) == {(5, "det-wallclock")}
+
+
+def test_line_disable_other_rule_does_not_suppress(write_module):
+    source = VIOLATION.replace(
+        "return time.time()",
+        "return time.time()  # repro-lint: disable=det-random -- wrong id",
+    )
+    assert _rule_ids(write_module(source)) == {(5, "det-wallclock")}
+
+
+def test_file_disable_suppresses_everywhere_and_is_tracked(write_module):
+    source = "# repro-lint: disable-file=det-wallclock -- test\n" + VIOLATION
+    path = write_module(source)
+    assert _rule_ids(path) == set()
+    context = build_context(path, path.read_text())
+    assert context.blanket_disables == {"det-wallclock"}
+
+
+def test_multiple_rules_in_one_directive(write_module):
+    source = textwrap.dedent("""\
+        import time
+
+
+        def stamp(entry):
+            return time.time(), id(entry)  # repro-lint: disable=det-wallclock,det-id -- test
+    """)
+    assert _rule_ids(write_module(source)) == set()
+
+
+def test_transient_annotation_excuses_attr(write_module):
+    body = textwrap.dedent("""\
+        class Widget:
+            def __init__(self):
+                self.value = 0
+                self._cache = None{marker}
+
+            def snapshot(self):
+                return (self.value,)
+
+            def restore(self, state):
+                (self.value,) = state
+
+            def bump(self):
+                self.value += 1
+                self._cache = None
+    """)
+    noisy = write_module(body.format(marker=""))
+    assert _rule_ids(noisy) == {(14, "snap-attr")}
+    quiet = write_module(
+        body.format(marker="  # repro-lint: transient -- derived"), "quiet.py"
+    )
+    assert _rule_ids(quiet) == set()
+
+
+def test_malformed_directive_is_reported_not_crashed(write_module):
+    path = write_module("# repro-lint: disable\nx = 1\n")
+    findings = lint_file(path, config=fixture_config())
+    assert [f.rule_id for f in findings] == [BAD_DIRECTIVE]
+    with pytest.raises(DirectiveError):
+        build_context(path, path.read_text())
+
+
+def test_unknown_directive_word_is_malformed(write_module):
+    path = write_module("x = 1  # repro-lint: suppress=det-id\n")
+    findings = lint_file(path, config=fixture_config())
+    assert [f.rule_id for f in findings] == [BAD_DIRECTIVE]
+
+
+def test_prose_mention_of_directive_is_ignored(write_module):
+    path = write_module(
+        "# the escape hatch is `# repro-lint: disable=<rule>`\n"
+        "text = 'repro-lint: disable=det-id'\n"
+    )
+    assert _rule_ids(path) == set()

@@ -1,0 +1,110 @@
+"""Driver mechanics (discovery, parse errors) and the `repro lint` CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    PARSE_ERROR,
+    fixture_config,
+    get_rules,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from repro.cli import main
+
+VIOLATION = textwrap.dedent("""\
+    import time
+
+
+    def stamp():
+        return time.time()
+""")
+
+
+def test_iter_python_files_recurses_sorted_and_dedupes(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    b = tmp_path / "pkg" / "b.py"
+    a = tmp_path / "a.py"
+    for path in (b, a):
+        path.write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python")
+    files = iter_python_files([tmp_path, a])
+    assert files == [a, b]
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    findings = lint_file(path)
+    assert [f.rule_id for f in findings] == [PARSE_ERROR]
+    assert findings[0].line == 1
+    # A broken file cannot be silently skipped by the directory walk.
+    assert [f.rule_id for f in lint_paths([tmp_path])] == [PARSE_ERROR]
+
+
+def test_unknown_rule_id_is_rejected_with_catalogue():
+    with pytest.raises(ValueError, match="unknown rule 'det-nope'"):
+        get_rules(["det-nope"])
+
+
+def test_cli_lint_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_lint_findings_exit_nonzero_with_locations(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "faults" / "sampling.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(VIOLATION)
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[det-wallclock]" in out
+    assert f"{bad}:5:" in out
+
+
+def test_cli_lint_json_is_machine_readable(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "faults" / "sampling.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(VIOLATION)
+    assert main(["lint", "--json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [(f["rule"], f["line"]) for f in payload] == [("det-wallclock", 5)]
+    assert payload[0]["path"] == str(bad)
+    assert payload[0]["hint"]
+
+
+def test_cli_lint_rule_filter(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "faults" / "sampling.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(VIOLATION + "\n\ndef key(x):\n    return id(x)\n")
+    assert main(["lint", "--rule", "det-id", "--json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["det-id"]
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("snap-pair", "snap-attr", "snap-dirty", "det-wallclock",
+                    "det-set-iter", "proc-fsync", "proc-frozen-payload"):
+        assert rule_id in out
+
+
+def test_cli_lint_missing_path_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "does-not-exist-anywhere"])
+    assert excinfo.value.code == 2
+
+
+def test_fixture_config_opens_every_scope(tmp_path):
+    path = tmp_path / "anywhere.py"
+    path.write_text(VIOLATION)
+    assert lint_file(path) == []  # out of scope under the default config
+    findings = lint_file(path, config=fixture_config())
+    assert [f.rule_id for f in findings] == ["det-wallclock"]

@@ -1,0 +1,62 @@
+"""Every rule family against its clean + violating fixture modules.
+
+The violating fixtures carry ``# expect: rule-id`` markers; the tests
+assert the exact ``(line, rule_id)`` set — a missed finding and a false
+positive both fail, so rule behaviour cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis.lintutils import FIXTURES, expected_markers, lint_fixture
+
+
+@pytest.mark.parametrize("name", [
+    "snapshot_violations.py",
+    "determinism_violations.py",
+    "process_violations.py",
+])
+def test_violating_fixture_markers_match_exactly(name):
+    path = FIXTURES / name
+    expected = expected_markers(path)
+    assert expected, f"{name} has no expect markers"
+    assert lint_fixture(path) == expected
+
+
+@pytest.mark.parametrize("name", [
+    "snapshot_clean.py",
+    "determinism_clean.py",
+    "process_clean.py",
+])
+def test_clean_fixture_has_no_findings(name):
+    path = FIXTURES / name
+    assert expected_markers(path) == set()
+    assert lint_fixture(path) == set()
+
+
+def test_rule_selection_restricts_findings():
+    path = FIXTURES / "determinism_violations.py"
+    only_wallclock = lint_fixture(path, rule_ids=["det-wallclock"])
+    assert only_wallclock == {
+        (line, rule_id)
+        for line, rule_id in expected_markers(path)
+        if rule_id == "det-wallclock"
+    }
+    assert len(only_wallclock) == 2
+
+
+def test_findings_carry_location_rule_and_hint():
+    from repro.analysis import fixture_config, lint_file
+
+    path = FIXTURES / "snapshot_violations.py"
+    findings = lint_file(path, config=fixture_config())
+    assert findings == sorted(findings)
+    pair = next(f for f in findings if f.rule_id == "snap-pair")
+    assert pair.path.endswith("snapshot_violations.py")
+    assert pair.line > 0 and pair.col > 0
+    assert "MissingRestore" in pair.message
+    assert "restore" in pair.hint
+    rendered = pair.format()
+    assert f":{pair.line}:{pair.col}: [snap-pair]" in rendered
+    assert pair.to_dict()["rule"] == "snap-pair"

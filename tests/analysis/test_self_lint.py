@@ -1,0 +1,69 @@
+"""The repository must satisfy its own contracts.
+
+Two policy gates plus the teeth-proving meta-test: a copy of
+``regfile.py`` with one dirty-mark deleted must make ``snap-dirty`` fire,
+demonstrating the rule would have caught the regression the delta
+checkpoints depend on.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis import blanket_disables, lint_file, lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_lints_clean():
+    findings = lint_paths([REPO_SRC])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_no_blanket_disables_in_contract_trees():
+    assert blanket_disables([REPO_SRC / "repro" / "uarch"]) == []
+    assert blanket_disables([REPO_SRC / "repro" / "cluster"]) == []
+
+
+def test_remaining_suppressions_are_single_line_and_justified():
+    """Every disable in the tree is line-scoped and carries a reason."""
+    import io
+    import tokenize
+
+    directive = re.compile(r"^#\s*repro-lint:\s*(disable|transient)\b(?P<rest>.*)")
+    for path in sorted(REPO_SRC.rglob("*.py")):
+        tokens = tokenize.generate_tokens(io.StringIO(path.read_text()).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = directive.match(token.string)
+            if match is None:
+                continue
+            assert "--" in match.group("rest"), (
+                f"{path}:{token.start[0]}: suppression without a justification"
+            )
+
+
+def test_deleting_a_dirty_mark_makes_snap_dirty_fire(tmp_path):
+    """Mutation test: the rule must catch a removed dirty-mark."""
+    original = (REPO_SRC / "repro" / "uarch" / "regfile.py").read_text()
+    mark = (
+        "        if self._dirty is not None:\n"
+        "            self._dirty.add(index)\n"
+    )
+    assert original.count(mark) >= 4  # write, mark_not_ready, flip_bit, set_bit
+    # Remove the mark from write() only (the first occurrence).
+    mutated = original.replace(mark, "", 1)
+    assert mutated != original
+
+    pristine = tmp_path / "regfile_pristine.py"
+    pristine.write_text(original)
+    assert lint_file(pristine) == []
+
+    broken = tmp_path / "regfile_broken.py"
+    broken.write_text(mutated)
+    findings = lint_file(broken)
+    assert [f.rule_id for f in findings] == ["snap-dirty"]
+    assert "write" in findings[0].message
+    assert "'values'" in findings[0].message or "'ready'" in findings[0].message

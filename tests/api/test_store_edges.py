@@ -80,3 +80,32 @@ def test_stale_tmp_files_ignored_and_collected(tmp_path):
     # Real artifacts survive collection.
     assert store.run_ids() == [outcome_for(1).run_id]
     assert store.gc(max_age_seconds=0) == 0
+
+
+def test_gc_never_collects_future_dated_temp_files(tmp_path):
+    """A clock step (or foreign-clock NFS server) can leave a temp file
+    with an mtime in the future.  Its age is negative, not huge: gc must
+    treat it as fresh, never as infinitely stale."""
+    import os
+    import time
+
+    store = ResultStore(tmp_path)
+    future = tmp_path / ".tmp-future.json"
+    future.write_text("half-written")
+    later = time.time() + 3600.0
+    os.utime(future, (later, later))
+
+    # Stale-only sweeps and full sweeps alike must spare it: a negative
+    # age is never "older than max_age_seconds".
+    assert store.gc() == 0
+    assert store.gc(max_age_seconds=0) == 0
+    assert future.exists()
+
+    # A genuinely old file on the same filesystem is still collected.
+    stale = tmp_path / ".tmp-stale.json"
+    stale.write_text("half-written")
+    earlier = time.time() - 7200.0
+    os.utime(stale, (earlier, earlier))
+    assert store.gc() == 1
+    assert not stale.exists()
+    assert future.exists()
