@@ -63,7 +63,10 @@ class LintConfig:
     )
     #: Measurement-layer carve-out: these modules may read clocks and the
     #: environment even when nested under a determinism-scope prefix.
-    determinism_allow: Tuple[str, ...] = ("repro.perf",)
+    #: Only ``repro.perf`` (benchmarking) and ``repro.obs`` (observability)
+    #: belong here — both are measurement by construction, and a policy
+    #: test pins the list so no identity-path module can sneak in.
+    determinism_allow: Tuple[str, ...] = ("repro.perf", "repro.obs")
 
     #: Modules that spawn workers or are imported by worker processes.
     process_scope: Tuple[str, ...] = ("repro.cluster", "repro.api")

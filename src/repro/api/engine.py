@@ -26,6 +26,7 @@ from __future__ import annotations
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Protocol, Sequence
 
+from repro import obs
 from repro.api.result import CampaignOutcome
 from repro.api.session import Session
 from repro.api.spec import CampaignSpec
@@ -73,8 +74,20 @@ class SerialEngine:
         try:
             outcomes: List[CampaignOutcome] = []
             total = len(specs)
+            obs_ctx = obs.active()
             for index, spec in enumerate(specs):
-                outcomes.append(session.run(spec))
+                if obs_ctx is None:
+                    outcomes.append(session.run(spec))
+                else:
+                    from_store = (session.store is not None
+                                  and session.store.has(spec.run_id()))
+                    with obs_ctx.span("campaign", run_id=spec.run_id(),
+                                      engine=self.name):
+                        outcomes.append(session.run(spec))
+                    if from_store:
+                        obs_ctx.campaign_from_store()
+                    else:
+                        obs_ctx.campaign_done()
                 if progress is not None:
                     progress(index + 1, total)
             return outcomes
@@ -136,16 +149,31 @@ class CheckpointEngine(SerialEngine):
             session.checkpointing, session.checkpoint_interval = previous
 
 
-def _run_spec_worker(spec_dict: Dict[str, Any], store_dir: Optional[str]) -> Dict[str, Any]:
+def _run_spec_worker(spec_dict: Dict[str, Any], store_dir: Optional[str],
+                     obs_enabled: bool = False) -> Dict[str, Any]:
     """Process-pool worker: rebuild the session from identity, run one spec.
 
     Module-level so it pickles by reference; everything crossing the
-    process boundary is plain JSON-shaped data.
+    process boundary is plain JSON-shaped data.  With ``obs_enabled`` the
+    worker runs under its own observability context and ships its metrics
+    and trace events home in the payload's ``"obs"`` slot; the outcome
+    itself is byte-identical either way.
     """
     store = ResultStore(store_dir) if store_dir else None
-    session = Session(store=store)
-    outcome = session.run(CampaignSpec.from_dict(spec_dict))
-    return outcome.to_dict()
+    spec = CampaignSpec.from_dict(spec_dict)
+    if not obs_enabled:
+        outcome = Session(store=store).run(spec)
+        return {"outcome": outcome.to_dict(), "obs": None}
+    with obs.observe(role="worker") as obs_ctx:
+        from_store = store is not None and store.has(spec.run_id())
+        session = Session(store=store)
+        with obs_ctx.span("campaign", run_id=spec.run_id(), engine="process"):
+            outcome = session.run(spec)
+        if from_store:
+            obs_ctx.campaign_from_store()
+        else:
+            obs_ctx.campaign_done()
+        return {"outcome": outcome.to_dict(), "obs": obs_ctx.drain_payload()}
 
 
 class ProcessPoolEngine:
@@ -173,12 +201,20 @@ class ProcessPoolEngine:
         store_dir = str(store.root) if store is not None else None
         total = len(specs)
         outcomes: List[Optional[CampaignOutcome]] = [None] * total
+        obs_ctx = obs.active()
+        # Completion order is nondeterministic; worker obs payloads are
+        # buffered by spec index and absorbed in order after the pool
+        # drains, so the merged trace is stable run to run.
+        obs_payloads: List[Optional[Dict[str, Any]]] = [None] * total
         done = 0
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             pending = {
-                pool.submit(_run_spec_worker, spec.to_dict(), store_dir): index
+                pool.submit(_run_spec_worker, spec.to_dict(), store_dir,
+                            obs_ctx is not None): index
                 for index, spec in enumerate(specs)
             }
+            if obs_ctx is not None:
+                obs_ctx.queue_depth(len(pending))
             try:
                 while pending:
                     finished, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -193,7 +229,11 @@ class ProcessPoolEngine:
                                 f"campaign {specs[index].describe()} failed "
                                 f"in a worker process: {failure!r}"
                             ) from failure
-                        outcomes[index] = CampaignOutcome.from_dict(payload)
+                        outcomes[index] = CampaignOutcome.from_dict(
+                            payload["outcome"])
+                        obs_payloads[index] = payload.get("obs")
+                        if obs_ctx is not None:
+                            obs_ctx.queue_depth(len(pending))
                         done += 1
                         if progress is not None:
                             progress(done, total)
@@ -202,6 +242,9 @@ class ProcessPoolEngine:
                 for future in pending:
                     future.cancel()
                 raise
+        if obs_ctx is not None:
+            for worker_payload in obs_payloads:
+                obs_ctx.absorb_payload(worker_payload)
         return [outcome for outcome in outcomes if outcome is not None]
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.api.result import CampaignOutcome, ComprehensiveSummary, MerlinSummary
 from repro.api.spec import CampaignSpec
 from repro.api.store import ResultStore
@@ -217,9 +218,14 @@ class Session:
                 self._goldens[key] = cached
             else:
                 program = self.program(spec.workload, spec.scale)
-                self._goldens[key] = capture_golden(
-                    program, spec.config, trace=True, checkpoint_interval=interval
-                )
+                obs_ctx = obs.active()
+                if obs_ctx is not None:
+                    obs_ctx.golden_build()
+                with obs.span("golden_build", workload=spec.workload):
+                    self._goldens[key] = capture_golden(
+                        program, spec.config, trace=True,
+                        checkpoint_interval=interval
+                    )
                 if use_cache:
                     self.artifact_cache.store_golden(
                         spec, self._goldens[key], checkpoint_interval=interval)
@@ -281,20 +287,36 @@ class Session:
         With ``method="both"`` the comprehensive campaign doubles as
         MeRLiN's injection backend, so representative injections are
         simulated once and shared.  ``progress`` receives per-injection
-        ``(done, total)`` callbacks from whichever campaigns run.
+        ``(done, total)`` callbacks from whichever campaigns run; when both
+        run, the comprehensive campaign's counts continue from where the
+        MeRLiN campaign's ended, so ``done`` stays monotonic over the whole
+        execution instead of restarting at zero mid-run.
         """
         prepared = self.prepare(spec)
         baseline: Optional[ComprehensiveCampaign] = None
         if spec.runs_comprehensive:
             baseline = prepared.comprehensive_campaign()
 
+        merlin_progress = progress
+        comprehensive_progress = progress
+        if progress is not None and spec.runs_merlin and baseline is not None:
+            reported = {"done": 0, "total": 0}
+
+            def merlin_progress(done: int, total: int) -> None:
+                reported["done"], reported["total"] = done, total
+                progress(done, total)
+
+            def comprehensive_progress(done: int, total: int) -> None:
+                progress(reported["done"] + done, reported["total"] + total)
+
         merlin_result: Optional[MerlinResult] = None
         if spec.runs_merlin:
-            merlin_result = prepared.merlin_campaign(baseline).run(progress=progress)
+            merlin_result = prepared.merlin_campaign(baseline).run(
+                progress=merlin_progress)
 
         comprehensive_result: Optional[CampaignResult] = None
         if baseline is not None:
-            comprehensive_result = baseline.run(progress=progress)
+            comprehensive_result = baseline.run(progress=comprehensive_progress)
 
         outcome = CampaignOutcome(
             spec=spec,

@@ -17,7 +17,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.api.result import CampaignOutcome
 
@@ -115,6 +115,44 @@ class ResultStore:
             return False
         path.unlink()
         return True
+
+    # ------------------------------------------------------------------
+    # Metrics sidecars: one observability snapshot per run id, kept in a
+    # ``metrics/`` subdirectory so :meth:`run_ids` (which globs the root)
+    # never lists a sidecar as a campaign.  Sidecars are measurement-layer
+    # data — deleting one can never invalidate the outcome it rode with.
+    # ------------------------------------------------------------------
+    def metrics_path(self, run_id: str) -> Path:
+        return self.root / "metrics" / f"{validate_run_id(run_id)}.json"
+
+    def has_metrics(self, run_id: str) -> bool:
+        return self.metrics_path(run_id).exists()
+
+    def save_metrics(self, run_id: str, snapshot: Dict[str, Any]) -> Path:
+        """Atomically persist one run's metrics snapshot; return the path."""
+        path = self.metrics_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(snapshot, indent=2, sort_keys=True)
+        atomic_write(path, payload + "\n")
+        return path
+
+    def load_metrics(self, run_id: str) -> Dict[str, Any]:
+        """Load one run's metrics snapshot; :class:`StoreError` when unreadable."""
+        path = self.metrics_path(run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            raise StoreError(
+                run_id, path, "no metrics snapshot for this run"
+            ) from None
+        except json.JSONDecodeError as failure:
+            raise StoreError(
+                run_id, path, f"not valid JSON ({failure})"
+            ) from failure
+        if not isinstance(payload, dict):
+            raise StoreError(run_id, path, "not a metrics snapshot")
+        return payload
 
     # ------------------------------------------------------------------
     def run_ids(self) -> List[str]:

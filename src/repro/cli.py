@@ -33,7 +33,15 @@ from repro.api import (
     make_engine,
     sweep,
 )
+from repro import obs
 from repro.cluster.journal import JournalError
+from repro.obs import (
+    MetricsError,
+    MetricsRegistry,
+    render_prometheus,
+    write_metrics_file,
+    write_trace_file,
+)
 from repro.core.metrics import fit_rate, max_inaccuracy
 from repro.faults.models import DEFAULT_MODEL, model_names
 from repro.core.reporting import TableReport
@@ -75,6 +83,33 @@ def _parse_model_params(pairs: Optional[List[str]]) -> dict:
 
 def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "metrics_out", None)
+                or getattr(args, "trace_out", None))
+
+
+def _flush_obs(ctx, args: argparse.Namespace,
+               outcomes: List[CampaignOutcome],
+               store: Optional[ResultStore]) -> None:
+    """Finalize the run's observability context and write its artifacts.
+
+    The Prometheus file and trace JSONL go wherever the flags point; when
+    a result store is in play the raw snapshot is additionally persisted
+    as a sidecar per completed run id, so ``repro metrics <run_id>`` can
+    re-render it later.
+    """
+    run_id = outcomes[0].run_id if len(outcomes) == 1 else "batch"
+    ctx.finalize(run_id=run_id)
+    if getattr(args, "metrics_out", None):
+        write_metrics_file(args.metrics_out, ctx.registry)
+    if getattr(args, "trace_out", None):
+        write_trace_file(args.trace_out, ctx.tracer.events())
+    if store is not None:
+        snapshot = ctx.to_snapshot()
+        for outcome in outcomes:
+            store.save_metrics(outcome.run_id, snapshot)
 
 
 def _print_outcome(outcome: CampaignOutcome) -> None:
@@ -152,7 +187,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         shard_size=args.shard_size, cache_dir=args.cache_dir, resume=args.resume,
     )
-    outcome = engine.run([spec], store=_store_from(args))[0]
+    store = _store_from(args)
+    if _obs_requested(args):
+        with obs.observe() as obs_ctx:
+            outcome = engine.run([spec], store=store)[0]
+            _flush_obs(obs_ctx, args, [outcome], store)
+    else:
+        outcome = engine.run([spec], store=store)[0]
     if args.json:
         _emit_json(outcome.to_dict())
         return 0
@@ -206,7 +247,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         def progress(done: int, total: int) -> None:
             print(f"\r{done}/{total} {unit}", end="", file=sys.stderr, flush=True)
-    outcomes = engine.run(specs, store=_store_from(args), progress=progress)
+    store = _store_from(args)
+    if _obs_requested(args):
+        with obs.observe() as obs_ctx:
+            outcomes = engine.run(specs, store=store, progress=progress)
+            _flush_obs(obs_ctx, args, outcomes, store)
+    else:
+        outcomes = engine.run(specs, store=store, progress=progress)
     if progress is not None:
         print(file=sys.stderr)
 
@@ -383,7 +430,13 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if not args.json:
         def progress(done: int, total: int) -> None:
             print(f"\r{done}/{total} shards", end="", file=sys.stderr, flush=True)
-    outcome = engine.run([spec], store=_store_from(args), progress=progress)[0]
+    store = _store_from(args)
+    if _obs_requested(args):
+        with obs.observe() as obs_ctx:
+            outcome = engine.run([spec], store=store, progress=progress)[0]
+            _flush_obs(obs_ctx, args, [outcome], store)
+    else:
+        outcome = engine.run([spec], store=store, progress=progress)[0]
     if progress is not None:
         print(file=sys.stderr)
         print(f"resumed {args.run_id}: {engine.stats['shards_reused']} shards "
@@ -393,6 +446,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         _emit_json(outcome.to_dict())
         return 0
     _print_outcome(outcome)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a run's persisted metrics snapshot from the result store."""
+    store = ResultStore(args.store)
+    snapshot = store.load_metrics(args.run_id)
+    if args.json:
+        _emit_json(snapshot)
+        return 0
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    print(render_prometheus(registry), end="")
     return 0
 
 
@@ -445,6 +510,15 @@ def _add_model_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="NAME=VALUE",
                         help="fault-model parameter, repeatable (e.g. "
                              "--fault-model multi-bit --model-param width=4)")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write run metrics in Prometheus text "
+                             "exposition format to FILE")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write Chrome trace_event JSONL (Perfetto-"
+                             "loadable) to FILE")
 
 
 def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
@@ -503,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: ~32 checkpoints per golden run)")
     _add_model_flags(run_parser)
     _add_cluster_flags(run_parser)
+    _add_obs_flags(run_parser)
     _add_common_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -533,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: ~32 checkpoints per golden run)")
     _add_model_flags(sweep_parser)
     _add_cluster_flags(sweep_parser)
+    _add_obs_flags(sweep_parser)
     _add_common_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -569,8 +645,21 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default .repro-cache)")
     resume_parser.add_argument("--workers", type=int, default=None,
                                help="cluster worker count (default: cores)")
+    _add_obs_flags(resume_parser)
     _add_common_flags(resume_parser)
     resume_parser.set_defaults(func=_cmd_resume)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="render a run's persisted metrics snapshot "
+                        "(Prometheus text; --json for the raw snapshot)")
+    metrics_parser.add_argument("run_id", metavar="RUN_ID",
+                                help="campaign run id with a stored snapshot")
+    metrics_parser.add_argument("--store", required=True, metavar="DIR",
+                                help="result store the run was persisted to")
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="emit the raw snapshot dict instead of "
+                                     "Prometheus text")
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the snapshot, determinism and "
@@ -593,7 +682,7 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (StoreError, JournalError) as error:
+    except (StoreError, JournalError, MetricsError) as error:
         # One line naming the run id; exit 1 (an operational failure, not
         # a usage error).
         print(f"{parser.prog}: {error}", file=sys.stderr)

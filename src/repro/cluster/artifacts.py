@@ -28,6 +28,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro import obs
 from repro.api.spec import CampaignSpec, config_to_dict
 from repro.api.store import atomic_write
 from repro.faults.golden import GoldenRecord
@@ -40,6 +41,11 @@ ARTIFACT_SCHEMA_VERSION = 1
 
 #: Default LRU size cap (bytes) for the golden-artifact directory.
 DEFAULT_MAX_BYTES = 4 * 1024 ** 3
+
+#: Cache-event name -> the plain counter attribute it bumps.
+_EVENT_ATTRS = {
+    "hit": "hits", "miss": "misses", "store": "stores", "evict": "evictions",
+}
 
 
 def golden_cache_key(spec: CampaignSpec,
@@ -81,6 +87,15 @@ class ArtifactCache:
         self.stores = 0
         self.evictions = 0
 
+    def _count(self, event: str) -> None:
+        """Bump the plain attribute and mirror it into the active obs
+        context (role-labelled), keeping the two accountings in lockstep."""
+        setattr(self, _EVENT_ATTRS[event],
+                getattr(self, _EVENT_ATTRS[event]) + 1)
+        obs_ctx = obs.active()
+        if obs_ctx is not None:
+            obs_ctx.cache_event(event)
+
     # ------------------------------------------------------------------
     def golden_path(self, spec: CampaignSpec,
                     checkpoint_interval: Optional[int] = None) -> Path:
@@ -101,16 +116,16 @@ class ArtifactCache:
                 payload = pickle.load(stream)
             golden = self._decode(payload, key)
         except FileNotFoundError:
-            self.misses += 1
+            self._count("miss")
             return None
         except Exception:
             # Truncated write from a killed process, a foreign pickle, or a
             # stale schema: a corrupt artifact is a miss, and leaving it on
             # disk would make it a miss forever.
-            self.misses += 1
+            self._count("miss")
             self._remove(path)
             return None
-        self.hits += 1
+        self._count("hit")
         self._touch(path)
         return golden
 
@@ -122,7 +137,7 @@ class ArtifactCache:
         payload = pickle.dumps(self._encode(golden, key),
                                protocol=pickle.HIGHEST_PROTOCOL)
         atomic_write(path, payload)
-        self.stores += 1
+        self._count("store")
         self._evict_over_cap()
         return path
 
@@ -186,7 +201,7 @@ class ArtifactCache:
             return
         for _, size, path in sorted(entries):
             self._remove(path)
-            self.evictions += 1
+            self._count("evict")
             total -= size
             if total <= self.max_bytes:
                 return

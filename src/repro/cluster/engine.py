@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.api.result import CampaignOutcome
 from repro.api.session import Session
 from repro.api.spec import CampaignSpec
@@ -91,14 +92,34 @@ def _worker_golden(spec: CampaignSpec, cache_dir: str,
 
 def _run_shard_worker(spec_dict: Dict[str, Any], shard_dict: Dict[str, Any],
                       cache_dir: str,
-                      checkpoint_interval: Optional[int]) -> Dict[str, Any]:
+                      checkpoint_interval: Optional[int],
+                      obs_enabled: bool = False) -> Dict[str, Any]:
     """Pool worker: warm-load the golden, inject one shard, return outcomes.
 
     Module-level so it pickles by reference; everything crossing the
-    process boundary is plain JSON-shaped data.
+    process boundary is plain JSON-shaped data.  With ``obs_enabled`` the
+    worker runs under its own observability context and ships its metrics
+    and trace events home in the payload's ``"obs"`` slot; outcomes are
+    byte-identical either way.
     """
     spec = CampaignSpec.from_dict(spec_dict)
     shard = FaultShard.from_dict(shard_dict)
+    if not obs_enabled:
+        return {**_execute_shard(spec, shard, cache_dir, checkpoint_interval),
+                "obs": None}
+    with obs.observe(role="worker") as obs_ctx:
+        started = time.perf_counter()
+        with obs_ctx.span("shard", shard_id=shard.shard_id(),
+                          run_id=spec.run_id()):
+            payload = _execute_shard(spec, shard, cache_dir, checkpoint_interval)
+        obs_ctx.shard_executed(time.perf_counter() - started)
+        payload["obs"] = obs_ctx.drain_payload()
+        return payload
+
+
+def _execute_shard(spec: CampaignSpec, shard: FaultShard, cache_dir: str,
+                   checkpoint_interval: Optional[int]) -> Dict[str, Any]:
+    """The observability-free core of :func:`_run_shard_worker`."""
     golden, cache_hit = _worker_golden(spec, cache_dir, checkpoint_interval)
     faults = shard.fault_specs()
     campaign = ComprehensiveCampaign(
@@ -203,27 +224,36 @@ class ClusterEngine:
 
         outcomes: List[Optional[CampaignOutcome]] = [None] * len(specs)
         plans: List[_CampaignPlan] = []
+        obs_ctx = obs.active()
 
         # Phase 1 — resolve and shard every campaign (coordinator, serial).
-        for index, spec in enumerate(specs):
-            if store is not None:
-                cached = store.get(spec.run_id())
-                if cached is not None:
-                    outcomes[index] = cached
-                    self.stats["campaigns_from_store"] += 1
-                    continue
-            plans.append(self._plan(index, spec, session))
+        with obs.span("cluster_plan", campaigns=len(specs)):
+            for index, spec in enumerate(specs):
+                if store is not None:
+                    cached = store.get(spec.run_id())
+                    if cached is not None:
+                        outcomes[index] = cached
+                        self.stats["campaigns_from_store"] += 1
+                        if obs_ctx is not None:
+                            obs_ctx.campaign_from_store()
+                        continue
+                plans.append(self._plan(index, spec, session))
         self.stats["golden_builds"] = cache.misses
         self.stats["shards_total"] = sum(len(plan.shards) for plan in plans)
         self.stats["shards_reused"] = sum(
             len(plan.shards) - len(plan.pending) for plan in plans
         )
+        if obs_ctx is not None:
+            obs_ctx.shards_reused(self.stats["shards_reused"])
 
         total_units = self.stats["campaigns_from_store"] + self.stats["shards_total"]
         done_units = (
             self.stats["campaigns_from_store"] + self.stats["shards_reused"]
         )
-        if progress is not None and done_units:
+        # Seeding with the journaled/reused unit count (even when it is 0)
+        # means a resumed run's first report already reflects prior work
+        # and a fresh run starts visibly at 0/N rather than jumping in.
+        if progress is not None and total_units:
             progress(done_units, total_units)
 
         # Campaigns whose shards are all journaled (or empty) merge now.
@@ -233,6 +263,10 @@ class ClusterEngine:
 
         # Phase 2 — execute the missing shards of all campaigns in one pool.
         pending_plans = [plan for plan in plans if plan.pending]
+        # Shards complete in nondeterministic order; worker obs payloads
+        # are buffered by (campaign, shard) index and absorbed sorted
+        # after the pool drains, so the merged trace is stable.
+        obs_payloads: Dict[Tuple[int, int], Dict[str, Any]] = {}
         if pending_plans:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = {}
@@ -245,8 +279,11 @@ class ClusterEngine:
                             shard.to_dict(),
                             str(self.cache_dir),
                             self.checkpoint_interval,
+                            obs_ctx is not None,
                         )
                         futures[future] = (plan, shard)
+                if obs_ctx is not None:
+                    obs_ctx.queue_depth(len(futures))
                 try:
                     while futures:
                         finished, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -260,7 +297,12 @@ class ClusterEngine:
                                     f"{shard.describe()} failed in a worker "
                                     f"process: {failure!r}"
                                 ) from failure
+                            worker_obs = payload.get("obs")
+                            if obs_ctx is not None and worker_obs is not None:
+                                obs_payloads[(plan.index, shard.index)] = worker_obs
                             self._absorb(plan, shard, payload)
+                            if obs_ctx is not None:
+                                obs_ctx.queue_depth(len(futures))
                             done_units += 1
                             if progress is not None:
                                 progress(done_units, total_units)
@@ -272,6 +314,9 @@ class ClusterEngine:
                     for future in futures:
                         future.cancel()
                     raise
+        if obs_ctx is not None:
+            for key in sorted(obs_payloads):
+                obs_ctx.absorb_payload(obs_payloads[key])
 
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -372,19 +417,23 @@ class ClusterEngine:
                 store: Optional[ResultStore]) -> CampaignOutcome:
         """Merge a completed campaign, persist it, and close its journal."""
         elapsed = time.perf_counter() - plan.started if plan.started else 0.0
-        outcome = merge_shard_outcomes(
-            plan.spec,
-            plan.golden,
-            structure_geometry(plan.spec.structure, plan.spec.config),
-            plan.fault_list,
-            plan.grouped,
-            plan.outcomes,
-            wall_clock_seconds=elapsed,
-        )
+        with obs.span("merge", run_id=plan.spec.run_id()):
+            outcome = merge_shard_outcomes(
+                plan.spec,
+                plan.golden,
+                structure_geometry(plan.spec.structure, plan.spec.config),
+                plan.fault_list,
+                plan.grouped,
+                plan.outcomes,
+                wall_clock_seconds=elapsed,
+            )
         if store is not None:
             store.save(outcome)
         plan.journal.record_merged({
             "shards": len(plan.shards),
             "wall_clock_seconds": round(elapsed, 3),
         })
+        obs_ctx = obs.active()
+        if obs_ctx is not None:
+            obs_ctx.campaign_done()
         return outcome

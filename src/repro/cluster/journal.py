@@ -22,6 +22,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.api.spec import CampaignSpec
 from repro.api.store import validate_run_id
 from repro.cluster.shards import FaultShard
@@ -122,6 +123,9 @@ class RunJournal:
                     stream.flush()
                     os.fsync(stream.fileno())
                 lines[-1] += "\n"
+                obs_ctx = obs.active()
+                if obs_ctx is not None:
+                    obs_ctx.journal_repair()
 
         header: Optional[Dict[str, Any]] = None
         completed: Dict[str, ShardOutcomes] = {}
@@ -137,6 +141,9 @@ class RunJournal:
                     )
                     with open(path, "a", encoding="utf-8") as stream:
                         stream.truncate(valid_bytes)
+                    obs_ctx = obs.active()
+                    if obs_ctx is not None:
+                        obs_ctx.journal_repair()
                     continue
                 raise JournalError(
                     f"corrupt journal line {position + 1} in {path}"
@@ -183,6 +190,9 @@ class RunJournal:
         stream.write(json.dumps(record, separators=(",", ":")) + "\n")
         stream.flush()
         os.fsync(stream.fileno())
+        obs_ctx = obs.active()
+        if obs_ctx is not None:
+            obs_ctx.journal_append()
 
     def record_shard(self, shard: FaultShard, outcomes: ShardOutcomes,
                      golden_cache_hit: bool = False) -> None:

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.faults.classification import ClassificationCounts, FaultEffectClass
 from repro.faults.golden import GoldenRecord
 from repro.faults.injector import InjectionOutcome, inject_fault
@@ -223,10 +224,12 @@ class ComprehensiveCampaign:
         shard = list(faults)
         reuse_cpu, _ = self._restore_pool()
         outcomes: Dict[int, InjectionOutcome] = {}
-        for fault, checkpoint in self._schedule(shard):
-            outcomes[fault.fault_id] = self.run_fault(
-                fault, checkpoint=checkpoint, reuse_cpu=reuse_cpu
-            )
+        with obs.span("run_shard", faults=len(shard),
+                      structure=self.fault_list.structure.short_name):
+            for fault, checkpoint in self._schedule(shard):
+                outcomes[fault.fault_id] = self.run_fault(
+                    fault, checkpoint=checkpoint, reuse_cpu=reuse_cpu
+                )
         return outcomes
 
     # ------------------------------------------------------------------

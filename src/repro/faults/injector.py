@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.faults.classification import (
     FaultEffectClass,
     SimpointEffectClass,
@@ -80,6 +81,7 @@ def inject_fault(
     resets *all* machine state, so reuse is exact; only used when a
     restore actually happens).
     """
+    obs_ctx = obs.active()
     fault_plan = fault.plan()
     max_cycles = max(golden.timeout_cycles(TIMEOUT_FACTOR), fault.cycle + 1)
     max_instructions = golden.committed_instructions if simpoint_mode else None
@@ -109,6 +111,10 @@ def inject_fault(
                                 record_reads=cycle_hook is not None or None)
         if start is not None:
             cpu.restore(start)
+            if obs_ctx is not None and start.cycle:
+                # A cycle-0 restore is the pooled cold path, not a
+                # fast-forward; only mid-run restores save simulation.
+                obs_ctx.checkpoint_restore(start.cycle)
         result = cpu.run(
             max_cycles=max_cycles,
             max_instructions=max_instructions,
@@ -118,6 +124,8 @@ def inject_fault(
         result = _simulator_crash_result(golden, repr(failure))
 
     effect = classify_outcome(golden.result, result)
+    if obs_ctx is not None:
+        obs_ctx.injection_done(effect.value)
     simpoint_effect = None
     if simpoint_mode:
         simpoint_effect = classify_simpoint_outcome(golden.result, result)

@@ -1,0 +1,242 @@
+"""Rendering and validation for the observability output formats.
+
+Two on-disk formats leave this layer:
+
+* **Prometheus text exposition** (``--metrics-out``): ``# HELP``/``# TYPE``
+  headers followed by samples, histograms expanded into cumulative
+  ``_bucket{le="..."}`` series plus ``_sum``/``_count``.  The file is a
+  valid scrape target body (node_exporter textfile-collector style).
+* **Chrome trace JSONL** (``--trace-out``): one ``trace_event`` object per
+  line.  Perfetto wants a JSON array; the README documents the one-liner
+  to wrap it (``jq -s '{traceEvents: .}'``).
+
+The validators are deliberately strict enough for CI to catch a malformed
+emitter but depend only on the stdlib — no Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class ExportError(Exception):
+    """An exported artifact failed validation."""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(names: Iterable[str], values: Iterable[str],
+                   extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.iter_families():
+        if not family.samples:
+            continue
+        if not _METRIC_NAME.match(family.name):
+            raise ExportError(f"invalid metric name {family.name!r}")
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind == HISTOGRAM:
+            bounds = list(family.buckets or ())
+            for key, sample in sorted(family.samples.items()):
+                counts, total, count = sample
+                cumulative = 0
+                for bound, bucket_count in zip(bounds, counts):
+                    cumulative += bucket_count
+                    labels = _render_labels(
+                        family.label_names, key,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}"
+                    )
+                cumulative += counts[len(bounds)]
+                labels = _render_labels(family.label_names, key,
+                                        extra='le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                plain = _render_labels(family.label_names, key)
+                lines.append(f"{family.name}_sum{plain} {_format_value(total)}")
+                lines.append(f"{family.name}_count{plain} {count}")
+        else:
+            for key, value in sorted(family.samples.items()):
+                labels = _render_labels(family.label_names, key)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(float(value))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_trace_jsonl(events: Iterable[Dict[str, Any]]) -> str:
+    """Render trace events as JSON Lines (one compact object per line)."""
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def write_metrics_file(path: Union[str, Path],
+                       registry: MetricsRegistry) -> Path:
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_prometheus(registry), encoding="utf-8")
+    return target
+
+
+def write_trace_file(path: Union[str, Path],
+                     events: Iterable[Dict[str, Any]]) -> Path:
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_trace_jsonl(events), encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Validators (used by CI smoke and the export tests)
+# ----------------------------------------------------------------------
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_prometheus_text(text: str) -> Dict[str, str]:
+    """Parse exposition text; return ``{metric name: type}``.
+
+    Raises :class:`ExportError` on the first malformed line: unknown
+    metric type, sample without a preceding ``# TYPE``, bad metric or
+    label name, non-numeric value, or histogram series missing
+    ``_bucket``/``_sum``/``_count``.
+    """
+    types: Dict[str, str] = {}
+    seen_samples: Dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (COUNTER, GAUGE, HISTOGRAM):
+                raise ExportError(f"line {lineno}: malformed TYPE line {line!r}")
+            if not _METRIC_NAME.match(parts[2]):
+                raise ExportError(f"line {lineno}: bad metric name {parts[2]!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ExportError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            raise ExportError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            consumed = _LABEL_PAIR.sub("", body).replace(",", "").strip()
+            if consumed:
+                raise ExportError(f"line {lineno}: malformed labels {labels!r}")
+            for label_name, _ in _LABEL_PAIR.findall(body):
+                if not _LABEL_NAME.match(label_name):
+                    raise ExportError(
+                        f"line {lineno}: bad label name {label_name!r}"
+                    )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ExportError(
+                    f"line {lineno}: non-numeric value {value!r}"
+                ) from None
+        seen_samples[base] = seen_samples.get(base, 0) + 1
+    for name, kind in types.items():
+        if kind == HISTOGRAM and seen_samples.get(name, 0) < 3:
+            raise ExportError(
+                f"histogram {name!r} missing bucket/sum/count series"
+            )
+    return types
+
+
+def validate_trace_jsonl(text: str) -> int:
+    """Validate trace JSONL; return the event count.
+
+    Each line must be a JSON object with a string ``name``, a known
+    ``ph``, and integer ``ts``/``pid``/``tid`` (plus ``dur`` for "X").
+    """
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as failure:
+            raise ExportError(
+                f"line {lineno}: not valid JSON ({failure})"
+            ) from failure
+        if not isinstance(event, dict):
+            raise ExportError(f"line {lineno}: event is not an object")
+        if not isinstance(event.get("name"), str):
+            raise ExportError(f"line {lineno}: missing string 'name'")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "B", "E", "M"):
+            raise ExportError(f"line {lineno}: unknown phase {phase!r}")
+        for field in ("ts", "pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ExportError(
+                    f"line {lineno}: field {field!r} must be an integer"
+                )
+        if phase == "X" and not isinstance(event.get("dur"), int):
+            raise ExportError(f"line {lineno}: 'X' event missing integer 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ExportError(f"line {lineno}: 'args' must be an object")
+        count += 1
+    return count
+
+
+def validate_prometheus_file(path: Union[str, Path]) -> Dict[str, str]:
+    return validate_prometheus_text(Path(path).read_text(encoding="utf-8"))
+
+
+def validate_trace_file(path: Union[str, Path]) -> int:
+    return validate_trace_jsonl(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,283 @@
+"""Counters, gauges and fixed-bucket histograms for campaign telemetry.
+
+A :class:`MetricsRegistry` holds named metric *families*; each family has
+a kind (counter / gauge / histogram), a help string, an ordered tuple of
+label names, and one sample per distinct label-value combination.  The
+registry is measurement-layer state: nothing in it may feed run ids,
+golden results or journaled outcomes (enforced by the differential test
+in ``tests/obs/test_identity_differential.py``), which is why the whole
+module is plain arithmetic over plain dicts — no clocks, no I/O.
+
+Everything serialises through :meth:`MetricsRegistry.to_snapshot`, a
+JSON-safe dict with deterministic ordering (families sorted by name,
+samples by label values).  Snapshots are also the cross-process transport:
+pool workers accumulate into their own registry, drain a snapshot into the
+worker return payload, and the coordinator folds it back in with
+:meth:`MetricsRegistry.merge_snapshot` (counters and histograms add,
+gauges overwrite), so fan-out changes where increments happen but never
+what the merged registry says.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Snapshot layout version (bump on incompatible changes so a persisted
+#: snapshot from an older build is rejected instead of misread).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+LabelValues = Tuple[str, ...]
+
+#: Default bucket bounds (seconds) for wall-time histograms.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class MetricsError(Exception):
+    """A metric was registered or used inconsistently."""
+
+
+class _Family:
+    """One named metric family: shared metadata plus per-label samples."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 label_names: Tuple[str, ...],
+                 buckets: Optional[Tuple[float, ...]] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        # counter/gauge: label values -> float
+        # histogram: label values -> [per-bucket counts incl. +Inf, sum, count]
+        self.samples: Dict[LabelValues, Any] = {}
+
+    def key_for(self, labels: Dict[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise MetricsError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+
+class Counter:
+    """Monotonically increasing family handle."""
+
+    def __init__(self, family: _Family):
+        self._family = family
+
+    def inc(self, amount: Union[int, float] = 1, **labels: str) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self._family.name!r} cannot decrease")
+        key = self._family.key_for(labels)
+        samples = self._family.samples
+        samples[key] = samples.get(key, 0.0) + amount
+
+
+class Gauge:
+    """Set-to-current-value family handle."""
+
+    def __init__(self, family: _Family):
+        self._family = family
+
+    def set(self, value: Union[int, float], **labels: str) -> None:
+        self._family.samples[self._family.key_for(labels)] = float(value)
+
+    def get(self, **labels: str) -> Optional[float]:
+        return self._family.samples.get(self._family.key_for(labels))
+
+
+class Histogram:
+    """Fixed-bucket histogram family handle (cumulative on export)."""
+
+    def __init__(self, family: _Family):
+        self._family = family
+
+    def observe(self, value: Union[int, float], **labels: str) -> None:
+        family = self._family
+        key = family.key_for(labels)
+        sample = family.samples.get(key)
+        buckets = family.buckets or ()
+        if sample is None:
+            sample = [[0] * (len(buckets) + 1), 0.0, 0]
+            family.samples[key] = sample
+        counts, total, count = sample
+        for index, bound in enumerate(buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[len(buckets)] += 1  # +Inf bucket
+        sample[1] = total + float(value)
+        sample[2] = count + 1
+
+
+class MetricsRegistry:
+    """Named metric families with snapshot/merge round-tripping."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent; conflicting re-registration is an error)
+    # ------------------------------------------------------------------
+    def _register(self, name: str, kind: str, help_text: str,
+                  label_names: Sequence[str],
+                  buckets: Optional[Sequence[float]] = None) -> _Family:
+        labels = tuple(label_names)
+        bounds = tuple(sorted(float(b) for b in buckets)) if buckets else None
+        existing = self._families.get(name)
+        if existing is not None:
+            if (existing.kind, existing.label_names, existing.buckets) != (
+                    kind, labels, bounds):
+                raise MetricsError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}{existing.label_names}"
+                )
+            return existing
+        family = _Family(name, kind, help_text, labels, bounds)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return Counter(self._register(name, COUNTER, help_text, labels))
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return Gauge(self._register(name, GAUGE, help_text, labels))
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+                  labels: Sequence[str] = ()) -> Histogram:
+        return Histogram(
+            self._register(name, HISTOGRAM, help_text, labels, buckets)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, gates, the CLI renderer)
+    # ------------------------------------------------------------------
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """The current value of one counter/gauge sample (``None`` if unset)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        if family.kind == HISTOGRAM:
+            raise MetricsError(f"{name!r} is a histogram; use histogram_stats")
+        sample = family.samples.get(family.key_for(labels))
+        return None if sample is None else float(sample)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family's samples across all label combinations."""
+        family = self._families.get(name)
+        if family is None or family.kind != COUNTER:
+            return 0.0
+        return float(sum(family.samples.values()))
+
+    def histogram_stats(self, name: str,
+                        **labels: str) -> Optional[Tuple[float, int]]:
+        """The ``(sum, count)`` of one histogram sample (``None`` if unset)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        sample = family.samples.get(family.key_for(labels))
+        if sample is None:
+            return None
+        return float(sample[1]), int(sample[2])
+
+    # ------------------------------------------------------------------
+    # Snapshots: serialisation, merging
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe, deterministically ordered dump of every family."""
+        families: List[Dict[str, Any]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            entry: Dict[str, Any] = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+            }
+            if family.kind == HISTOGRAM:
+                entry["buckets"] = list(family.buckets or ())
+                entry["samples"] = [
+                    {"labels": list(key), "counts": list(sample[0]),
+                     "sum": sample[1], "count": sample[2]}
+                    for key, sample in sorted(family.samples.items())
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": list(key), "value": value}
+                    for key, value in sorted(family.samples.items())
+                ]
+            families.append(entry)
+        return {"schema": SNAPSHOT_SCHEMA_VERSION, "families": families}
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms accumulate; gauges take the incoming value
+        (last writer wins — the coordinator merges worker snapshots in
+        deterministic shard order, so "last" is well defined).  Families
+        absent here are created from the snapshot's own metadata.
+        """
+        if snapshot is None:
+            return
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+            raise MetricsError(
+                f"metrics snapshot schema {snapshot.get('schema')!r} is not "
+                f"{SNAPSHOT_SCHEMA_VERSION}"
+            )
+        for entry in snapshot.get("families", ()):
+            family = self._register(
+                entry["name"], entry["kind"], entry.get("help", ""),
+                tuple(entry.get("labels", ())),
+                tuple(entry["buckets"]) if entry.get("buckets") else None,
+            )
+            for sample in entry.get("samples", ()):
+                key = tuple(str(v) for v in sample["labels"])
+                if family.kind == HISTOGRAM:
+                    existing = family.samples.get(key)
+                    counts = list(sample["counts"])
+                    if existing is None:
+                        family.samples[key] = [counts, float(sample["sum"]),
+                                               int(sample["count"])]
+                    else:
+                        if len(existing[0]) != len(counts):
+                            raise MetricsError(
+                                f"histogram {family.name!r} bucket layout "
+                                f"changed between snapshots"
+                            )
+                        existing[0] = [a + b for a, b in zip(existing[0], counts)]
+                        existing[1] += float(sample["sum"])
+                        existing[2] += int(sample["count"])
+                elif family.kind == COUNTER:
+                    family.samples[key] = (
+                        family.samples.get(key, 0.0) + float(sample["value"])
+                    )
+                else:
+                    family.samples[key] = float(sample["value"])
+
+    @staticmethod
+    def from_snapshot(snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a persisted snapshot (``repro metrics``)."""
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snapshot)
+        return registry
+
+    # ------------------------------------------------------------------
+    def iter_families(self) -> Iterable[_Family]:
+        for name in sorted(self._families):
+            yield self._families[name]

@@ -1,0 +1,101 @@
+"""Span-based tracing emitting Chrome ``trace_event`` records.
+
+Each finished span becomes one "complete" event (``"ph": "X"``) with
+microsecond timestamps, suitable for the Perfetto / chrome://tracing UI.
+Events are buffered in memory as plain dicts; the coordinator serialises
+them as JSON Lines (one event per line) via :mod:`repro.obs.export`.
+
+Tracing is measurement-layer only: spans read the wall clock and the
+monotonic clock, which is why ``repro.obs`` sits on the lint determinism
+allowlist.  Nothing here may leak into run ids or journaled outcomes —
+workers buffer their own events and ship them home inside the worker
+return payload, where the coordinator appends them in deterministic
+shard order (so the *file* is reproducibly ordered even though the
+timestamps inside it are not).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+TRACE_PHASE_COMPLETE = "X"
+TRACE_PHASE_INSTANT = "i"
+
+
+class Tracer:
+    """An in-memory buffer of Chrome ``trace_event`` dicts."""
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self._events: List[Dict[str, Any]] = []
+        self._pid = os.getpid()
+        self._process_name = process_name
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _now_us() -> int:
+        return time.perf_counter_ns() // 1000
+
+    def _tid(self) -> int:
+        return threading.get_ident() & 0xFFFFFFFF
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Time a block and record it as one complete ("X") event."""
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            end = self._now_us()
+            event: Dict[str, Any] = {
+                "name": name,
+                "ph": TRACE_PHASE_COMPLETE,
+                "ts": start,
+                "dur": max(0, end - start),
+                "pid": self._pid,
+                "tid": self._tid(),
+            }
+            if args:
+                event["args"] = dict(args)
+            self._events.append(event)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration marker event."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": TRACE_PHASE_INSTANT,
+            "ts": self._now_us(),
+            "s": "p",
+            "pid": self._pid,
+            "tid": self._tid(),
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events (the live list — callers must not mutate)."""
+        return self._events
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear the buffer (worker → coordinator transport)."""
+        drained, self._events = self._events, []
+        return drained
+
+    def absorb(self, events: Optional[List[Dict[str, Any]]]) -> None:
+        """Append another buffer's events (coordinator-side merge).
+
+        Callers are responsible for absorbing in deterministic order —
+        shard index, then event order within the shard — so the merged
+        log is stable across runs with identical timing-independent work.
+        """
+        if events:
+            self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -18,6 +18,7 @@ import json
 import os
 import pickle
 import time
+import tracemalloc
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -90,6 +91,23 @@ def _quiesced_gc():
     finally:
         if was_enabled:
             gc.enable()
+
+
+def _peak_memory_bytes(scenario) -> int:
+    """Peak traced allocation (bytes) of one scenario run.
+
+    Runs in its own pass, never inside a timed leg: tracemalloc hooks
+    every allocation and slows the interpreter severalfold, so sharing a
+    leg with the throughput measurement would wreck the gate ratio.
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        scenario()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
 
 
 def _calibration_score() -> float:
@@ -182,6 +200,26 @@ def measure_simcore(
     checkpoints = len(timeline)
     calibrations.append(_calibration_score())
 
+    # --- peak memory per scenario (separate, untimed passes) -----------
+    def _golden_scenario():
+        OutOfOrderCpu(program, config).run()
+
+    def _serial_scenario():
+        golden = capture_golden(build_loop_program(iterations), config,
+                                trace=False)
+        ComprehensiveCampaign(golden, fault_list).run()
+
+    def _checkpoint_scenario():
+        golden = capture_golden(build_loop_program(iterations), config,
+                                trace=False)
+        ComprehensiveCampaign(golden, fault_list, use_checkpoints=True).run()
+
+    peak_memory = {
+        "golden_run": _peak_memory_bytes(_golden_scenario),
+        "serial_campaign": _peak_memory_bytes(_serial_scenario),
+        "checkpoint_campaign": _peak_memory_bytes(_checkpoint_scenario),
+    }
+
     current = {
         "workload": f"loop[{iterations}]",
         "structure": "RF",
@@ -196,6 +234,7 @@ def measure_simcore(
         "timeline_bytes_per_checkpoint": (
             round(payload_bytes / checkpoints) if checkpoints else None
         ),
+        "peak_mem_bytes": peak_memory,
     }
     baseline = dict(RECORDED_BASELINE)
     # Machine-drift correction: both sides' rates are divided by their

@@ -33,7 +33,52 @@ __all__ = [
     "small_config",
     "shared_loop_golden",
     "shared_fault_list",
+    "ProgressRecorder",
 ]
+
+
+class ProgressRecorder:
+    """Records ``progress(done, total)`` calls and asserts the contract.
+
+    Every engine promises the same reporting shape: ``done`` never
+    decreases, never exceeds the concurrently reported ``total``, and the
+    final report says the work is complete (``done == total``).  ``total``
+    itself may grow mid-run (work discovered late — e.g. a ``both``-method
+    campaign whose comprehensive half extends the MeRLiN half's plan) but
+    may never shrink.  Use as the ``progress=`` callback, then call
+    :meth:`assert_contract`.
+    """
+
+    def __init__(self) -> None:
+        self.calls: list = []
+
+    def __call__(self, done: int, total: int) -> None:
+        self.calls.append((done, total))
+
+    def assert_contract(self, expect_total: Optional[int] = None) -> None:
+        assert self.calls, "progress was never reported"
+        previous_done = -1
+        previous_total = -1
+        for done, total in self.calls:
+            assert 0 <= done <= total, (
+                f"progress reported {done}/{total} (done outside [0, total])"
+            )
+            assert done >= previous_done, (
+                f"progress went backwards: {previous_done} -> {done}"
+            )
+            assert total >= previous_total, (
+                f"total shrank: {previous_total} -> {total}"
+            )
+            previous_done, previous_total = done, total
+        final_done, final_total = self.calls[-1]
+        assert final_done == final_total, (
+            f"final progress report {final_done}/{final_total} is incomplete"
+        )
+        if expect_total is not None:
+            assert final_total == expect_total, (
+                f"expected {expect_total} total units, engine reported "
+                f"{final_total}"
+            )
 
 
 def build_loop_program(iterations: int = 30, name: str = "loop") -> Program:

@@ -59,3 +59,14 @@ def test_determinism_rules_skip_out_of_scope_modules(tmp_path):
     identity_findings = lint_file(identity, config=DEFAULT_CONFIG)
     assert [f.rule_id for f in identity_findings] == ["det-wallclock"]
     assert lint_file(measurement, config=DEFAULT_CONFIG) == []
+
+
+def test_determinism_allowlist_names_only_the_measurement_layer():
+    """Policy: the determinism carve-out is exactly the measurement layer
+    (benchmarking and observability).  Any new entry would exempt code
+    from the identity-path determinism rules, so adding one must be a
+    deliberate, reviewed decision — this assertion forces that."""
+    assert DEFAULT_CONFIG.determinism_allow == ("repro.perf", "repro.obs")
+    assert not DEFAULT_CONFIG.in_determinism_scope("repro.obs")
+    assert not DEFAULT_CONFIG.in_determinism_scope("repro.obs.metrics")
+    assert not DEFAULT_CONFIG.in_determinism_scope("repro.perf.bench")

@@ -1,0 +1,144 @@
+"""Prometheus/trace rendering and the strict validators CI leans on."""
+
+import pytest
+
+from repro.obs.export import (
+    ExportError,
+    render_prometheus,
+    render_trace_jsonl,
+    validate_prometheus_file,
+    validate_prometheus_text,
+    validate_trace_file,
+    validate_trace_jsonl,
+    write_metrics_file,
+    write_trace_file,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_events_total", "Events.", labels=("kind",))
+    counter.inc(3, kind="hit")
+    counter.inc(kind="miss")
+    registry.gauge("repro_depth", "Depth.").set(2.5)
+    histogram = registry.histogram("repro_wall_seconds", "Wall.",
+                                   buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(9.0)
+    return registry
+
+
+def test_render_prometheus_passes_its_own_validator():
+    text = render_prometheus(populated_registry())
+    types = validate_prometheus_text(text)
+    assert types == {
+        "repro_events_total": "counter",
+        "repro_depth": "gauge",
+        "repro_wall_seconds": "histogram",
+    }
+
+
+def test_render_prometheus_shapes():
+    text = render_prometheus(populated_registry())
+    lines = text.splitlines()
+    assert "# HELP repro_events_total Events." in lines
+    assert "# TYPE repro_events_total counter" in lines
+    # Integer-valued samples render without a trailing .0.
+    assert 'repro_events_total{kind="hit"} 3' in lines
+    assert "repro_depth 2.5" in lines
+    # Histogram buckets are cumulative and end at +Inf.
+    assert 'repro_wall_seconds_bucket{le="0.1"} 1' in lines
+    assert 'repro_wall_seconds_bucket{le="1"} 2' in lines
+    assert 'repro_wall_seconds_bucket{le="+Inf"} 3' in lines
+    assert "repro_wall_seconds_sum 9.55" in lines
+    assert "repro_wall_seconds_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_render_skips_sampleless_families_and_empty_registry():
+    registry = MetricsRegistry()
+    registry.counter("registered_but_untouched_total", "Never incremented.")
+    assert render_prometheus(registry) == ""
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("odd_total", "Odd.", labels=("path",)).inc(
+        path='a"b\\c\nd')
+    text = render_prometheus(registry)
+    assert 'path="a\\"b\\\\c\\nd"' in text
+    validate_prometheus_text(text)
+
+
+def test_validator_rejects_sample_without_type():
+    with pytest.raises(ExportError, match="no preceding # TYPE"):
+        validate_prometheus_text("orphan_metric 1\n")
+
+
+def test_validator_rejects_malformed_type_line():
+    with pytest.raises(ExportError, match="malformed TYPE"):
+        validate_prometheus_text("# TYPE weird summary\nweird 1\n")
+
+
+def test_validator_rejects_non_numeric_value():
+    text = "# TYPE ok counter\nok lots\n"
+    with pytest.raises(ExportError, match="non-numeric"):
+        validate_prometheus_text(text)
+
+
+def test_validator_rejects_histogram_missing_series():
+    text = ("# TYPE wall histogram\n"
+            'wall_bucket{le="+Inf"} 1\n')
+    with pytest.raises(ExportError, match="missing bucket/sum/count"):
+        validate_prometheus_text(text)
+
+
+def test_validator_rejects_malformed_labels():
+    text = "# TYPE ok counter\nok{kind=hit} 1\n"
+    with pytest.raises(ExportError, match="malformed labels"):
+        validate_prometheus_text(text)
+
+
+def test_trace_jsonl_round_trip():
+    events = [
+        {"name": "golden_build", "ph": "X", "ts": 10, "dur": 5,
+         "pid": 1, "tid": 2, "args": {"workload": "sha"}},
+        {"name": "mark", "ph": "i", "ts": 11, "s": "p", "pid": 1, "tid": 2},
+    ]
+    text = render_trace_jsonl(events)
+    assert text.count("\n") == 2
+    assert validate_trace_jsonl(text) == 2
+
+
+def test_trace_validator_rejects_malformed_events():
+    with pytest.raises(ExportError, match="not valid JSON"):
+        validate_trace_jsonl("{nope\n")
+    with pytest.raises(ExportError, match="not an object"):
+        validate_trace_jsonl("[1,2]\n")
+    with pytest.raises(ExportError, match="string 'name'"):
+        validate_trace_jsonl('{"ph":"X","ts":1,"pid":1,"tid":1,"dur":1}\n')
+    with pytest.raises(ExportError, match="unknown phase"):
+        validate_trace_jsonl(
+            '{"name":"a","ph":"Z","ts":1,"pid":1,"tid":1}\n')
+    with pytest.raises(ExportError, match="must be an integer"):
+        validate_trace_jsonl(
+            '{"name":"a","ph":"i","ts":1.5,"pid":1,"tid":1}\n')
+    with pytest.raises(ExportError, match="missing integer 'dur'"):
+        validate_trace_jsonl(
+            '{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}\n')
+    with pytest.raises(ExportError, match="'args' must be an object"):
+        validate_trace_jsonl(
+            '{"name":"a","ph":"i","ts":1,"pid":1,"tid":1,"args":[]}\n')
+
+
+def test_writers_create_parent_directories(tmp_path):
+    registry = populated_registry()
+    metrics_path = write_metrics_file(
+        tmp_path / "deep" / "dir" / "metrics.prom", registry)
+    assert validate_prometheus_file(metrics_path)
+    trace_path = write_trace_file(
+        tmp_path / "other" / "trace.jsonl",
+        [{"name": "a", "ph": "i", "ts": 1, "pid": 1, "tid": 1}])
+    assert validate_trace_file(trace_path) == 1

@@ -1,0 +1,155 @@
+"""MetricsRegistry semantics: registration, samples, snapshots, merging."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA_VERSION,
+)
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "Requests.")
+    counter.inc()
+    counter.inc(3)
+    assert registry.value("requests_total") == 4.0
+    with pytest.raises(MetricsError, match="cannot decrease"):
+        counter.inc(-1)
+
+
+def test_labelled_counter_keeps_samples_apart():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total", "Events.", labels=("kind",))
+    counter.inc(kind="hit")
+    counter.inc(2, kind="miss")
+    assert registry.value("events_total", kind="hit") == 1.0
+    assert registry.value("events_total", kind="miss") == 2.0
+    assert registry.total("events_total") == 3.0
+
+
+def test_label_set_mismatch_raises():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total", "Events.", labels=("kind",))
+    with pytest.raises(MetricsError, match="takes labels"):
+        counter.inc()
+    with pytest.raises(MetricsError, match="takes labels"):
+        counter.inc(kind="hit", extra="no")
+
+
+def test_gauge_sets_and_reads_back():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth", "Queue depth.")
+    assert gauge.get() is None
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.get() == 3.0
+    assert registry.value("depth") == 3.0
+
+
+def test_histogram_buckets_and_stats():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency", "Latency.", buckets=(0.1, 1.0))
+    histogram.observe(0.05)   # first bucket
+    histogram.observe(0.5)    # second bucket
+    histogram.observe(5.0)    # +Inf bucket
+    assert registry.histogram_stats("latency") == (5.55, 3)
+    snapshot = registry.to_snapshot()
+    (family,) = [f for f in snapshot["families"] if f["name"] == "latency"]
+    assert family["buckets"] == [0.1, 1.0]
+    assert family["samples"][0]["counts"] == [1, 1, 1]
+
+
+def test_value_on_histogram_raises():
+    registry = MetricsRegistry()
+    registry.histogram("latency", "Latency.")
+    with pytest.raises(MetricsError, match="histogram"):
+        registry.value("latency")
+
+
+def test_unknown_families_read_as_absent():
+    registry = MetricsRegistry()
+    assert registry.value("nope") is None
+    assert registry.total("nope") == 0.0
+    assert registry.histogram_stats("nope") is None
+
+
+def test_reregistration_is_idempotent_but_conflicts_raise():
+    registry = MetricsRegistry()
+    registry.counter("events_total", "Events.", labels=("kind",))
+    registry.counter("events_total", "Events.", labels=("kind",)).inc(kind="x")
+    assert registry.total("events_total") == 1.0
+    with pytest.raises(MetricsError, match="already registered"):
+        registry.gauge("events_total")
+    with pytest.raises(MetricsError, match="already registered"):
+        registry.counter("events_total", labels=("other",))
+
+
+def test_snapshot_is_json_safe_and_deterministic():
+    registry = MetricsRegistry()
+    counter = registry.counter("z_total", "Z.", labels=("k",))
+    counter.inc(k="b")
+    counter.inc(k="a")
+    registry.gauge("a_gauge", "A.").set(1)
+    registry.histogram("m_hist", "M.", buckets=DEFAULT_TIME_BUCKETS).observe(0.2)
+    snapshot = registry.to_snapshot()
+    assert snapshot["schema"] == SNAPSHOT_SCHEMA_VERSION
+    names = [family["name"] for family in snapshot["families"]]
+    assert names == sorted(names)
+    (z,) = [f for f in snapshot["families"] if f["name"] == "z_total"]
+    assert [s["labels"] for s in z["samples"]] == [["a"], ["b"]]
+    # Round-trips through JSON byte-for-byte.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_merge_adds_counters_and_histograms_overwrites_gauges():
+    left = MetricsRegistry()
+    left.counter("events_total", "E.").inc(2)
+    left.gauge("depth", "D.").set(9)
+    left.histogram("wall", "W.", buckets=(1.0,)).observe(0.5)
+
+    right = MetricsRegistry()
+    right.counter("events_total", "E.").inc(5)
+    right.gauge("depth", "D.").set(4)
+    right.histogram("wall", "W.", buckets=(1.0,)).observe(2.0)
+
+    left.merge_snapshot(right.to_snapshot())
+    assert left.value("events_total") == 7.0
+    assert left.value("depth") == 4.0
+    assert left.histogram_stats("wall") == (2.5, 2)
+    left.merge_snapshot(None)  # no-op
+    assert left.value("events_total") == 7.0
+
+
+def test_merge_creates_families_absent_locally():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    right.counter("only_there_total", "T.", labels=("k",)).inc(3, k="x")
+    left.merge_snapshot(right.to_snapshot())
+    assert left.value("only_there_total", k="x") == 3.0
+
+
+def test_merge_rejects_wrong_schema_and_bucket_drift():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricsError, match="schema"):
+        registry.merge_snapshot({"schema": 99, "families": []})
+
+    registry.histogram("wall", "W.", buckets=(1.0, 2.0)).observe(0.5)
+    other = MetricsRegistry()
+    other.histogram("wall", "W.", buckets=(1.0,)).observe(0.5)
+    with pytest.raises(MetricsError):
+        registry.merge_snapshot(other.to_snapshot())
+
+
+def test_from_snapshot_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("events_total", "E.", labels=("k",)).inc(4, k="a")
+    registry.histogram("wall", "W.", buckets=(0.5, 5.0)).observe(1.0)
+    registry.gauge("depth", "D.").set(2)
+    snapshot = registry.to_snapshot()
+    rebuilt = MetricsRegistry.from_snapshot(snapshot)
+    assert rebuilt.to_snapshot() == snapshot
