@@ -74,6 +74,7 @@ class LintConfig:
     #: therefore be frozen (hashable, immutable, safely picklable).
     payload_modules: Tuple[str, ...] = (
         "repro.cluster.shards",
+        "repro.cluster.transport",
         "repro.api.spec",
         "repro.faults.model",
     )

@@ -249,31 +249,38 @@ class ProcessPoolEngine:
 
 
 #: Engine names accepted by the CLI's ``--engine`` flag.
-ENGINES = ("serial", "process", "checkpoint", "cluster")
+ENGINES = ("serial", "process", "checkpoint", "cluster", "remote")
 
 
 def make_engine(name: str, max_workers: Optional[int] = None,
                 checkpoint_interval: Optional[int] = None,
                 shard_size: Optional[int] = None,
                 cache_dir: Optional[str] = None,
-                resume: bool = False) -> ExecutionEngine:
+                resume: bool = False,
+                hosts: Optional[str] = None) -> ExecutionEngine:
     """Build an engine by CLI name."""
-    if checkpoint_interval is not None and name not in ("checkpoint", "cluster"):
+    if checkpoint_interval is not None and name not in (
+            "checkpoint", "cluster", "remote"):
         raise ValueError(
-            f"checkpoint_interval only applies to the checkpoint and "
-            f"cluster engines, not {name!r}"
+            f"checkpoint_interval only applies to the checkpoint, cluster "
+            f"and remote engines, not {name!r}"
         )
     if checkpoint_interval is not None and checkpoint_interval < 1:
         raise ValueError(
             f"checkpoint_interval must be >= 1 cycle, got {checkpoint_interval}"
         )
-    if name != "cluster":
+    if name not in ("cluster", "remote"):
         for flag, value in (("shard_size", shard_size), ("cache_dir", cache_dir),
                             ("resume", resume or None)):
             if value is not None:
                 raise ValueError(
-                    f"{flag} only applies to the cluster engine, not {name!r}"
+                    f"{flag} only applies to the cluster and remote engines, "
+                    f"not {name!r}"
                 )
+    if hosts is not None and name != "remote":
+        raise ValueError(
+            f"hosts only applies to the remote engine, not {name!r}"
+        )
     if name == "serial":
         return SerialEngine()
     if name == "process":
@@ -286,6 +293,21 @@ def make_engine(name: str, max_workers: Optional[int] = None,
 
         return ClusterEngine(
             max_workers=max_workers,
+            shard_size=shard_size,
+            cache_dir=cache_dir,
+            resume=resume,
+            checkpoint_interval=checkpoint_interval,
+        )
+    if name == "remote":
+        if max_workers is not None:
+            raise ValueError(
+                "workers does not apply to the remote engine: each agent "
+                "host runs one shard at a time"
+            )
+        from repro.cluster.remote import RemoteClusterEngine
+
+        return RemoteClusterEngine(
+            hosts=hosts,
             shard_size=shard_size,
             cache_dir=cache_dir,
             resume=resume,

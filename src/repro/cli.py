@@ -35,6 +35,7 @@ from repro.api import (
 )
 from repro import obs
 from repro.cluster.journal import JournalError
+from repro.cluster.transport import TransportError
 from repro.obs import (
     MetricsError,
     MetricsRegistry,
@@ -186,6 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.engine, max_workers=args.workers,
         checkpoint_interval=args.checkpoint_interval,
         shard_size=args.shard_size, cache_dir=args.cache_dir, resume=args.resume,
+        hosts=args.hosts,
     )
     store = _store_from(args)
     if _obs_requested(args):
@@ -239,11 +241,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = make_engine(args.engine, max_workers=args.workers,
                          checkpoint_interval=args.checkpoint_interval,
                          shard_size=args.shard_size, cache_dir=args.cache_dir,
-                         resume=args.resume)
+                         resume=args.resume, hosts=args.hosts)
     progress = None
     if not args.json:
-        # The cluster engine reports finer-grained work units (shards).
-        unit = "shards" if args.engine == "cluster" else "campaigns"
+        # The cluster engines report finer-grained work units (shards).
+        unit = "shards" if args.engine in ("cluster", "remote") else "campaigns"
 
         def progress(done: int, total: int) -> None:
             print(f"\r{done}/{total} {unit}", end="", file=sys.stderr, flush=True)
@@ -419,13 +421,24 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
     journal = RunJournal.load(Path(args.cache_dir) / "journals", args.run_id)
     spec = journal.spec()
-    engine = ClusterEngine(
-        max_workers=args.workers,
-        shard_size=journal.shard_size,
-        cache_dir=args.cache_dir,
-        resume=True,
-        checkpoint_interval=journal.checkpoint_interval,
-    )
+    if args.hosts:
+        from repro.cluster.remote import RemoteClusterEngine
+
+        engine: ClusterEngine = RemoteClusterEngine(
+            hosts=args.hosts,
+            shard_size=journal.shard_size,
+            cache_dir=args.cache_dir,
+            resume=True,
+            checkpoint_interval=journal.checkpoint_interval,
+        )
+    else:
+        engine = ClusterEngine(
+            max_workers=args.workers,
+            shard_size=journal.shard_size,
+            cache_dir=args.cache_dir,
+            resume=True,
+            checkpoint_interval=journal.checkpoint_interval,
+        )
     progress = None
     if not args.json:
         def progress(done: int, total: int) -> None:
@@ -530,6 +543,9 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="cluster engine: reuse journaled shards of a "
                              "previous (killed) run")
+    parser.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                        help="remote engine: comma-separated worker agents "
+                             "(each runs python -m repro.cluster.agent)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -568,7 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--engine", default="serial", choices=list(ENGINES),
                             help="execution engine: serial cold-start, "
                                  "process fan-out, checkpoint fast-forward, "
-                                 "or cluster sharded fan-out (default serial)")
+                                 "cluster sharded fan-out, or remote agents "
+                                 "via --hosts (default serial)")
     run_parser.add_argument("--workers", type=int, default=None,
                             help="process/cluster worker count (default: cores)")
     run_parser.add_argument("--checkpoint-interval", type=int, default=None,
@@ -645,6 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default .repro-cache)")
     resume_parser.add_argument("--workers", type=int, default=None,
                                help="cluster worker count (default: cores)")
+    resume_parser.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                               help="resume over remote worker agents instead "
+                                    "of the local pool")
     _add_obs_flags(resume_parser)
     _add_common_flags(resume_parser)
     resume_parser.set_defaults(func=_cmd_resume)
@@ -682,8 +702,8 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (StoreError, JournalError, MetricsError) as error:
-        # One line naming the run id; exit 1 (an operational failure, not
+    except (StoreError, JournalError, MetricsError, TransportError) as error:
+        # One line naming the failure; exit 1 (an operational failure, not
         # a usage error).
         print(f"{parser.prog}: {error}", file=sys.stderr)
         return 1

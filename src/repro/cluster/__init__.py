@@ -9,6 +9,15 @@ the :class:`ClusterEngine` fans the shards of a whole batch out across a
 worker pool — with ``repro resume <run_id>`` restarting a killed run from
 exactly the shards it was missing.  Merged outcomes are bit-identical to
 :class:`~repro.api.engine.SerialEngine`'s.
+
+Execution is pluggable below the engine: a
+:class:`~repro.cluster.transport.WorkerTransport` carries shards to
+hosts (local process pool, remote line-JSON agents, or the
+fault-injecting :class:`~repro.cluster.transport.FakeTransport` used in
+tests), and the :class:`~repro.cluster.remote.Coordinator` leases,
+heartbeats and work-steals over whichever transport is plugged in —
+:class:`RemoteClusterEngine` is the ``--engine remote --hosts ...`` face
+of that seam.
 """
 
 from repro.cluster.artifacts import (
@@ -19,18 +28,35 @@ from repro.cluster.artifacts import (
 from repro.cluster.engine import DEFAULT_CACHE_DIR, ClusterEngine
 from repro.cluster.journal import JournalError, RunJournal, journal_path
 from repro.cluster.merge import MergeError, merge_shard_outcomes
+from repro.cluster.remote import Coordinator, RemoteClusterEngine
 from repro.cluster.shards import DEFAULT_SHARD_SIZE, FaultShard, shard_faults
+from repro.cluster.transport import (
+    FakeTransport,
+    LocalPoolTransport,
+    ShardTask,
+    TcpAgentTransport,
+    TransportError,
+    WorkerTransport,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactCache",
     "ClusterEngine",
+    "Coordinator",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_SHARD_SIZE",
+    "FakeTransport",
     "FaultShard",
     "JournalError",
+    "LocalPoolTransport",
     "MergeError",
+    "RemoteClusterEngine",
     "RunJournal",
+    "ShardTask",
+    "TcpAgentTransport",
+    "TransportError",
+    "WorkerTransport",
     "golden_cache_key",
     "journal_path",
     "merge_shard_outcomes",

@@ -30,7 +30,6 @@ that is satisfied without sharding (reloaded from the result store).
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -40,7 +39,7 @@ from repro.api.result import CampaignOutcome
 from repro.api.session import Session
 from repro.api.spec import CampaignSpec
 from repro.api.store import ResultStore
-from repro.cluster.artifacts import ArtifactCache
+from repro.cluster.artifacts import ArtifactCache, golden_cache_key
 from repro.cluster.journal import JournalError, RunJournal, ShardOutcomes
 from repro.cluster.merge import merge_shard_outcomes
 from repro.cluster.shards import DEFAULT_SHARD_SIZE, FaultShard, shard_faults
@@ -220,6 +219,14 @@ class ClusterEngine:
             "shards_reused": 0,
             "worker_cache_hits": 0,
             "worker_cache_misses": 0,
+            # Coordinator bookkeeping (all zero for an undisturbed run).
+            "shard_steals": 0,
+            "heartbeat_misses": 0,
+            "duplicate_results": 0,
+            "torn_results": 0,
+            "transport_retries": 0,
+            "hosts_lost": 0,
+            "host_warms": 0,
         }
 
         outcomes: List[Optional[CampaignOutcome]] = [None] * len(specs)
@@ -261,64 +268,107 @@ class ClusterEngine:
             if not plan.pending:
                 outcomes[plan.index] = self._finish(plan, store)
 
-        # Phase 2 — execute the missing shards of all campaigns in one pool.
+        # Phase 2 — execute the missing shards of all campaigns through
+        # the transport seam (local pool by default, remote agents or the
+        # fault-injecting fake behind the same coordinator loop).
         pending_plans = [plan for plan in plans if plan.pending]
+        if pending_plans:
+            self._execute_pending(
+                pending_plans, outcomes, store, progress,
+                done_units, total_units, obs_ctx,
+            )
+
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # ------------------------------------------------------------------
+    def _transport(self):
+        """The transport phase 2 fans out over; engines override this."""
+        from repro.cluster.transport import LocalPoolTransport
+
+        return LocalPoolTransport(max_workers=self.max_workers,
+                                  cache_dir=str(self.cache_dir))
+
+    def _coordinator_options(self) -> Dict[str, Any]:
+        """Extra :class:`~repro.cluster.remote.Coordinator` knobs."""
+        return {}
+
+    def _execute_pending(
+        self,
+        pending_plans: List["_CampaignPlan"],
+        outcomes: List[Optional[CampaignOutcome]],
+        store: Optional[ResultStore],
+        progress: Optional[ProgressCallback],
+        done_units: int,
+        total_units: int,
+        obs_ctx: Optional[Any],
+    ) -> None:
+        """Run every pending shard exactly once via the coordinator."""
+        from repro.cluster.remote import Coordinator, validate_shard_payload
+        from repro.cluster.transport import ShardTask
+
+        tasks: List[ShardTask] = []
+        lookup: Dict[str, Tuple[_CampaignPlan, FaultShard]] = {}
+        for plan in pending_plans:
+            plan.started = time.perf_counter()
+            spec_dict = plan.spec.to_dict()
+            warm_key = golden_cache_key(plan.spec, self.checkpoint_interval)
+            for shard in plan.pending.values():
+                task = ShardTask(
+                    task_id=f"{plan.index}:{shard.shard_id()}",
+                    spec=spec_dict,
+                    shard=shard.to_dict(),
+                    checkpoint_interval=self.checkpoint_interval,
+                    obs_enabled=obs_ctx is not None,
+                    warm_key=warm_key,
+                )
+                tasks.append(task)
+                lookup[task.task_id] = (plan, shard)
+
         # Shards complete in nondeterministic order; worker obs payloads
         # are buffered by (campaign, shard) index and absorbed sorted
-        # after the pool drains, so the merged trace is stable.
+        # after the coordinator drains, so the merged trace is stable.
         obs_payloads: Dict[Tuple[int, int], Dict[str, Any]] = {}
-        if pending_plans:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {}
-                for plan in pending_plans:
-                    plan.started = time.perf_counter()
-                    for shard in plan.pending.values():
-                        future = pool.submit(
-                            _run_shard_worker,
-                            plan.spec.to_dict(),
-                            shard.to_dict(),
-                            str(self.cache_dir),
-                            self.checkpoint_interval,
-                            obs_ctx is not None,
-                        )
-                        futures[future] = (plan, shard)
-                if obs_ctx is not None:
-                    obs_ctx.queue_depth(len(futures))
-                try:
-                    while futures:
-                        finished, _ = wait(futures, return_when=FIRST_COMPLETED)
-                        for future in finished:
-                            plan, shard = futures.pop(future)
-                            try:
-                                payload = future.result()
-                            except Exception as failure:
-                                raise RuntimeError(
-                                    f"campaign {plan.spec.describe()} "
-                                    f"{shard.describe()} failed in a worker "
-                                    f"process: {failure!r}"
-                                ) from failure
-                            worker_obs = payload.get("obs")
-                            if obs_ctx is not None and worker_obs is not None:
-                                obs_payloads[(plan.index, shard.index)] = worker_obs
-                            self._absorb(plan, shard, payload)
-                            if obs_ctx is not None:
-                                obs_ctx.queue_depth(len(futures))
-                            done_units += 1
-                            if progress is not None:
-                                progress(done_units, total_units)
-                            if not plan.pending:
-                                outcomes[plan.index] = self._finish(plan, store)
-                except BaseException:
-                    # Don't wait for queued shards once one has failed; the
-                    # journal keeps everything already completed.
-                    for future in futures:
-                        future.cancel()
-                    raise
+        state = {"done": done_units}
+
+        def on_result(task: ShardTask, payload: Dict[str, Any]) -> None:
+            plan, shard = lookup[task.task_id]
+            worker_obs = payload.get("obs")
+            if obs_ctx is not None and worker_obs is not None:
+                obs_payloads[(plan.index, shard.index)] = worker_obs
+            self._absorb(plan, shard, payload)
+            state["done"] += 1
+            if progress is not None:
+                progress(state["done"], total_units)
+            if not plan.pending:
+                outcomes[plan.index] = self._finish(plan, store)
+
+        def validate(task: ShardTask,
+                     payload: Dict[str, Any]) -> Optional[str]:
+            return validate_shard_payload(lookup[task.task_id][1], payload)
+
+        def describe(task: ShardTask) -> str:
+            plan, shard = lookup[task.task_id]
+            return f"campaign {plan.spec.describe()} {shard.describe()}"
+
+        coordinator = Coordinator(
+            self._transport(), describe=describe,
+            **self._coordinator_options(),
+        )
+        coordinator.run(tasks, on_result, validate=validate)
+
+        for theirs, ours in (
+            ("steals", "shard_steals"),
+            ("heartbeat_misses", "heartbeat_misses"),
+            ("duplicates", "duplicate_results"),
+            ("torn_results", "torn_results"),
+            ("retries", "transport_retries"),
+            ("hosts_lost", "hosts_lost"),
+            ("warms", "host_warms"),
+        ):
+            self.stats[ours] += coordinator.stats.get(theirs, 0)
         if obs_ctx is not None:
             for key in sorted(obs_payloads):
                 obs_ctx.absorb_payload(obs_payloads[key])
-
-        return [outcome for outcome in outcomes if outcome is not None]
 
     # ------------------------------------------------------------------
     def _plan(self, index: int, spec: CampaignSpec,

@@ -165,6 +165,35 @@ class ObsContext:
             "Wall-clock seconds per executed shard.",
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        self._heartbeat_misses = registry.counter(
+            "repro_remote_heartbeat_misses_total",
+            "Lease deadlines a worker host let expire without a heartbeat.",
+        )
+        self._shard_steals = registry.counter(
+            "repro_remote_shard_steals_total",
+            "Shards re-leased away from hosts that died or fell silent.",
+        )
+        self._duplicate_results = registry.counter(
+            "repro_remote_duplicate_results_total",
+            "Shard results delivered after the shard was already merged.",
+        )
+        self._torn_results = registry.counter(
+            "repro_remote_torn_results_total",
+            "Shard payloads that failed validation and were re-leased.",
+        )
+        self._transport_retries = registry.counter(
+            "repro_remote_transport_retries_total",
+            "Transient transport failures retried with capped backoff.",
+        )
+        self._hosts_lost = registry.counter(
+            "repro_remote_hosts_lost_total",
+            "Worker hosts declared dead during a run.",
+        )
+        self._host_shards = registry.counter(
+            "repro_remote_host_shards_total",
+            "Shards completed per worker host.",
+            labels=("host",),
+        )
 
     # ------------------------------------------------------------------
     # Instrumentation entry points (one call each at the existing seams)
@@ -215,6 +244,27 @@ class ObsContext:
     def shards_reused(self, count: int) -> None:
         if count > 0:
             self._shards_reused.inc(count)
+
+    def heartbeat_miss(self) -> None:
+        self._heartbeat_misses.inc()
+
+    def shard_stolen(self) -> None:
+        self._shard_steals.inc()
+
+    def duplicate_result(self) -> None:
+        self._duplicate_results.inc()
+
+    def torn_result(self) -> None:
+        self._torn_results.inc()
+
+    def transport_retry(self) -> None:
+        self._transport_retries.inc()
+
+    def host_lost(self) -> None:
+        self._hosts_lost.inc()
+
+    def host_shard_done(self, host: str) -> None:
+        self._host_shards.inc(host=host)
 
     # ------------------------------------------------------------------
     # Coordinator-side aggregation

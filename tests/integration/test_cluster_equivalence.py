@@ -18,6 +18,8 @@ import pytest
 
 from repro.api import CampaignSpec, ResultStore, SerialEngine
 from repro.cluster import ClusterEngine, journal_path
+from repro.cluster.remote import RemoteClusterEngine
+from repro.cluster.transport import FakeTransport
 from repro.testing import small_config
 from repro.uarch.structures import TargetStructure
 
@@ -126,6 +128,127 @@ def test_sweep_through_cluster_matches_serial(tmp_path):
         assert left.classification_fingerprint() == right.classification_fingerprint()
     # Both campaigns share one workload/config identity: one golden build.
     assert engine.stats["golden_builds"] == 1
+
+
+# ----------------------------------------------------------------------
+# Remote transport differential: same fingerprints through the
+# coordinator/lease/steal path, chaos included.
+# ----------------------------------------------------------------------
+def remote_engine(tmp_path, combo, schedule=(), workers=3, **kwargs):
+    return RemoteClusterEngine(
+        transport=FakeTransport(workers=workers, schedule=list(schedule)),
+        shard_size=combo.shard_size, cache_dir=tmp_path / "cache",
+        lease_timeout=4.0, **kwargs,
+    )
+
+
+def journaled_shard_ids(engine, spec):
+    path = journal_path(engine.journal_dir, spec.run_id())
+    return [json.loads(line)["shard_id"]
+            for line in path.read_text().splitlines()
+            if json.loads(line).get("kind") == "shard"]
+
+
+@pytest.mark.parametrize("combo", COMBOS[:2], ids=lambda combo: combo.label)
+def test_remote_matches_serial_cold_and_warm(combo, serial_outcomes, tmp_path):
+    spec = spec_of(combo)
+    reference = serial_outcomes[combo.label].classification_fingerprint()
+
+    engine = remote_engine(tmp_path, combo)
+    cold = engine.run([spec])[0]
+    assert cold.classification_fingerprint() == reference
+    assert engine.stats["golden_builds"] >= 1
+    assert engine.stats["host_warms"] >= 1, "hosts must warm their caches"
+
+    warm = remote_engine(tmp_path, combo)
+    assert warm.run([spec])[0].classification_fingerprint() == reference
+    assert warm.stats["golden_builds"] == 0, "warm cache must not rebuild"
+
+
+def test_remote_survives_host_deaths_bit_identically(serial_outcomes, tmp_path):
+    """Kill/steal mid-run: >= 2 injected host deaths, identical merge, and
+    every shard exactly once in the journal."""
+    combo = COMBOS[0]
+    spec = spec_of(combo)
+    reference = serial_outcomes[combo.label].classification_fingerprint()
+
+    engine = remote_engine(
+        tmp_path, combo,
+        schedule=["die", "run", "die", "slow:3", "torn", "duplicate", "fail"],
+    )
+    outcome = engine.run([spec])[0]
+    assert outcome.classification_fingerprint() == reference
+    assert engine.stats["hosts_lost"] == 2
+    assert engine.stats["shard_steals"] >= 2
+    assert engine.stats["torn_results"] == 1
+    assert engine.stats["duplicate_results"] == 1
+    assert engine.stats["transport_retries"] >= 1
+
+    shard_ids = journaled_shard_ids(engine, spec)
+    assert len(shard_ids) == engine.stats["shards_total"]
+    assert len(shard_ids) == len(set(shard_ids)), (
+        "a stolen or duplicated shard must never be journaled twice")
+
+
+def test_remote_seeded_chaos_campaign_matches_serial(serial_outcomes, tmp_path):
+    combo = COMBOS[1]
+    spec = spec_of(combo)
+    schedule = FakeTransport.seeded_schedule(1234, 24)
+    engine = remote_engine(tmp_path, combo, schedule=schedule, workers=4)
+    outcome = engine.run([spec])[0]
+    assert (outcome.classification_fingerprint()
+            == serial_outcomes[combo.label].classification_fingerprint())
+    shard_ids = journaled_shard_ids(engine, spec)
+    assert len(shard_ids) == len(set(shard_ids)) == engine.stats["shards_total"]
+
+
+def test_remote_resumes_torn_journal_bit_identically(tmp_path):
+    """The remote engine resumes a killed run's torn journal exactly like
+    the local cluster engine: journaled shards are never re-executed."""
+    combo = COMBOS[0]
+    spec = spec_of(combo)
+    store = ResultStore(tmp_path / "store")
+    engine = remote_engine(tmp_path, combo)
+    reference = engine.run([spec], store=store)[0].classification_fingerprint()
+
+    store.delete(spec.run_id())
+    path = journal_path(engine.journal_dir, spec.run_id())
+    lines = [line for line in path.read_text().splitlines(True)
+             if json.loads(line).get("kind") != "merged"]
+    survivors = lines[:1] + lines[1:3]
+    path.write_text("".join(survivors) + '{"kind":"shard","shard_id":"to')
+
+    resumed = remote_engine(tmp_path, combo, schedule=["die"], resume=True)
+    outcome = resumed.run([spec], store=store)[0]
+    assert outcome.classification_fingerprint() == reference
+    assert resumed.stats["shards_reused"] == 2
+    assert resumed.stats["shards_executed"] == resumed.stats["shards_total"] - 2
+    assert store.get(spec.run_id()).classification_fingerprint() == reference
+
+
+@pytest.mark.parametrize("model,params", [
+    ("multi-bit", {"width": 2}),
+    ("intermittent", {}),
+    ("stuck-at-0", {}),
+    ("stuck-at-1", {}),
+], ids=lambda value: value if isinstance(value, str) else "")
+def test_remote_chaos_matches_serial_across_fault_models(
+        model, params, tmp_path):
+    spec = CampaignSpec(
+        workload="sha", structure=TargetStructure.RF, config=SMALL, scale=1,
+        faults=30, seed=11, method="comprehensive",
+        fault_model=model, model_params=params,
+    )
+    reference = SerialEngine().run([spec])[0].classification_fingerprint()
+    engine = RemoteClusterEngine(
+        transport=FakeTransport(workers=3, schedule=["die", "torn", "die"]),
+        shard_size=6, cache_dir=tmp_path / "cache", lease_timeout=4.0,
+    )
+    outcome = engine.run([spec])[0]
+    assert outcome.classification_fingerprint() == reference
+    assert engine.stats["hosts_lost"] == 2
+    shard_ids = journaled_shard_ids(engine, spec)
+    assert len(shard_ids) == len(set(shard_ids)) == engine.stats["shards_total"]
 
 
 def test_error_margin_derived_fault_list_matches(tmp_path):
