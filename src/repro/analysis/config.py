@@ -81,6 +81,15 @@ class LintConfig:
     #: Modules holding crash-safe append-only logs: every file write there
     #: must be followed by flush + fsync in the same function.
     journal_modules: Tuple[str, ...] = ("repro.cluster.journal",)
+    #: Modules whose renames commit campaign state: an ``os.replace`` /
+    #: ``fs.replace`` is atomic but not *durable* until the parent
+    #: directory is fsynced, so every rename there must be paired with a
+    #: ``fsync_dir`` in the same function.
+    durable_modules: Tuple[str, ...] = (
+        "repro.api.store",
+        "repro.cluster.artifacts",
+        "repro.cluster.journal",
+    )
 
     #: Method names whose result is known to be a ``set``.
     set_returning: Tuple[str, ...] = SET_RETURNING_METHODS
@@ -106,6 +115,9 @@ class LintConfig:
     def in_journal_scope(self, module: str) -> bool:
         return _module_matches(module, self.journal_modules)
 
+    def in_durable_scope(self, module: str) -> bool:
+        return _module_matches(module, self.durable_modules)
+
 
 #: The repository's own scoping — what `repro lint` and CI enforce.
 DEFAULT_CONFIG = LintConfig()
@@ -119,4 +131,5 @@ def fixture_config() -> LintConfig:
         process_scope=("",),
         payload_modules=("",),
         journal_modules=("",),
+        durable_modules=("",),
     )

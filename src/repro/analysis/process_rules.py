@@ -13,6 +13,11 @@ These rules catch the failure modes that only appear under load or crash:
 * ``proc-fsync``            — in journal modules, any function that
   writes to a stream must flush **and** fsync in the same function, or
   the write is not crash-durable and resume can silently lose outcomes.
+* ``proc-dirsync``          — in durable modules, a rename that commits
+  campaign state (``os.replace`` / ``fs.replace``) is atomic but not
+  durable until the parent directory is fsynced in the same function; a
+  crash in between can roll the directory back and lose a "committed"
+  file.
 * ``proc-entry-picklable``  — lambdas and nested functions cannot be
   pickled; passing one to ``submit``/``map``-style pool methods fails at
   runtime (and only on the multiprocessing path, never in unit tests
@@ -173,6 +178,58 @@ class FsyncRule:
                     hint="a crash between write and fsync loses the record; "
                          "flush and fsync before letting callers observe "
                          "the append",
+                )
+
+
+@register
+class DirsyncRule:
+    rule_id = "proc-dirsync"
+    description = (
+        "a rename that commits campaign state is atomic but not durable "
+        "until the parent directory is fsynced in the same function"
+    )
+
+    def applies(self, context: ModuleContext, config: LintConfig) -> bool:
+        return config.in_durable_scope(context.module)
+
+    @staticmethod
+    def _is_rename(attribute: ast.Attribute) -> bool:
+        """``os.replace(...)`` or ``<something fs>.replace(...)`` — never
+        ``str.replace``/``dataclasses.replace``, whose receivers are
+        ordinary values."""
+        receiver = attribute.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id == "os" or "fs" in receiver.id
+        if isinstance(receiver, ast.Attribute):
+            return "fs" in receiver.attr
+        return False
+
+    def check(
+        self, context: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for func in _function_defs(context.tree):
+            replace_call = None
+            has_dirsync = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute):
+                    if (node.func.attr == "replace" and replace_call is None
+                            and self._is_rename(node.func)):
+                        replace_call = node
+                    elif node.func.attr == "fsync_dir":
+                        has_dirsync = True
+                elif (isinstance(node.func, ast.Name)
+                        and node.func.id == "fsync_dir"):
+                    has_dirsync = True
+            if replace_call is not None and not has_dirsync:
+                yield finding(
+                    context, self.rule_id, replace_call,
+                    f"{func.name}() renames without fsyncing the parent "
+                    f"directory",
+                    hint="a crash after os.replace can roll the directory "
+                         "back and lose the committed file; call "
+                         "fs.fsync_dir(parent) after the rename",
                 )
 
 

@@ -596,6 +596,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_flags(run_parser)
     _add_obs_flags(run_parser)
     _add_common_flags(run_parser)
+    run_parser.add_argument("--fs-faults", type=int, default=None,
+                            metavar="SEED", help=argparse.SUPPRESS)
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -667,6 +669,8 @@ def build_parser() -> argparse.ArgumentParser:
                                     "of the local pool")
     _add_obs_flags(resume_parser)
     _add_common_flags(resume_parser)
+    resume_parser.add_argument("--fs-faults", type=int, default=None,
+                               metavar="SEED", help=argparse.SUPPRESS)
     resume_parser.set_defaults(func=_cmd_resume)
 
     metrics_parser = subparsers.add_parser(
@@ -701,6 +705,17 @@ def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        fs_fault_seed = getattr(args, "fs_faults", None)
+        if fs_fault_seed is not None:
+            # Hidden chaos knob (used by the fsfault-smoke CI job): run the
+            # whole command against a seeded FaultFs injecting transient
+            # disk faults.  Every fault is retried/degraded by design, so
+            # the command must still succeed — bit-identically.
+            from repro.resilience import DEFAULT_CHAOS_RATES, FaultFs, use_fs
+
+            with use_fs(FaultFs(seed=fs_fault_seed,
+                                rates=DEFAULT_CHAOS_RATES)):
+                return args.func(args)
         return args.func(args)
     except (StoreError, JournalError, MetricsError, TransportError) as error:
         # One line naming the failure; exit 1 (an operational failure, not

@@ -9,13 +9,21 @@ hash of the spec's golden identity (workload, scale, configuration); pool
 workers then warm-start by loading the artifact instead of re-simulating.
 
 Artifacts are pickled payloads (trusted local cache, not an interchange
-format) written atomically — write to a temp file, then ``os.replace`` —
+format) written atomically — write to a temp file, fsync, then rename —
 exactly like :class:`~repro.api.store.ResultStore`, so concurrent writers
 of the same key race benignly (identical content, last rename wins) and a
 reader never observes a half-written file.  A corrupt or truncated
 artifact is treated as a miss and removed.  Total size is bounded by an
 LRU cap: loads touch the file's mtime, stores evict the least recently
 used artifacts once the cap is exceeded.
+
+The cache is an *optimisation*, so every disk failure degrades instead of
+killing the campaign: an unusable cache root means every load misses and
+every store is a no-op (counted in obs as
+``repro_artifact_cache_degraded_total``), and the campaign rebuilds its
+goldens from scratch — slower, never wrong.  All filesystem access goes
+through the :class:`~repro.resilience.fs.Fs` seam; transient faults are
+retried before degrading.
 """
 
 from __future__ import annotations
@@ -23,15 +31,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Union
 
 from repro import obs
 from repro.api.spec import CampaignSpec, config_to_dict
 from repro.api.store import atomic_write
 from repro.faults.golden import GoldenRecord
+from repro.resilience.fs import Fs, default_fs, register_crash_point
+from repro.resilience.retry import RetryPolicy, disk_retry_policy
 from repro.uarch.checkpoint import CheckpointTimeline
 from repro.version import __version__
 
@@ -46,6 +55,15 @@ DEFAULT_MAX_BYTES = 4 * 1024 ** 3
 _EVENT_ATTRS = {
     "hit": "hits", "miss": "misses", "store": "stores", "evict": "evictions",
 }
+
+CRASH_CACHE_PRE_REPLACE = register_crash_point(
+    "cache.store.pre_replace",
+    "golden artifact temp file fsynced, atomic rename not yet performed",
+)
+CRASH_CACHE_POST_REPLACE = register_crash_point(
+    "cache.store.post_replace",
+    "golden artifact renamed into place, parent directory not yet fsynced",
+)
 
 
 def golden_cache_key(spec: CampaignSpec,
@@ -77,15 +95,33 @@ class ArtifactCache:
     """Persist and reload golden runs (with timelines) by content identity."""
 
     def __init__(self, root: Union[str, Path],
-                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES):
+                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+                 fs: Optional[Fs] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.root = Path(root)
         self.golden_dir = self.root / "golden"
-        self.golden_dir.mkdir(parents=True, exist_ok=True)
+        self.fs = fs if fs is not None else default_fs()
+        self.retry = retry if retry is not None else disk_retry_policy()
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: Times the cache fell back to rebuild-from-scratch behaviour.
+        self.degraded_events = 0
+        #: Permanently degraded: the cache root itself is unusable.
+        self.degraded = False
+        try:
+            self.retry.run(
+                lambda: self.fs.mkdir(self.golden_dir,
+                                      parents=True, exist_ok=True),
+                describe=f"create cache dir {self.golden_dir}",
+            )
+        except OSError:
+            # An unusable cache directory is a slower campaign, never a
+            # dead one: all loads miss, all stores no-op.
+            self._degrade()
+            self.degraded = True
 
     def _count(self, event: str) -> None:
         """Bump the plain attribute and mirror it into the active obs
@@ -96,6 +132,12 @@ class ArtifactCache:
         if obs_ctx is not None:
             obs_ctx.cache_event(event)
 
+    def _degrade(self) -> None:
+        self.degraded_events += 1
+        obs_ctx = obs.active()
+        if obs_ctx is not None:
+            obs_ctx.cache_degraded()
+
     # ------------------------------------------------------------------
     def golden_path(self, spec: CampaignSpec,
                     checkpoint_interval: Optional[int] = None) -> Path:
@@ -103,7 +145,9 @@ class ArtifactCache:
 
     def has_golden(self, spec: CampaignSpec,
                    checkpoint_interval: Optional[int] = None) -> bool:
-        return self.golden_path(spec, checkpoint_interval).exists()
+        if self.degraded:
+            return False
+        return self.fs.exists(self.golden_path(spec, checkpoint_interval))
 
     def load_golden(self, spec: CampaignSpec,
                     checkpoint_interval: Optional[int] = None,
@@ -111,12 +155,22 @@ class ArtifactCache:
         """The cached golden for the spec's identity, or ``None`` on a miss."""
         key = golden_cache_key(spec, checkpoint_interval)
         path = self.golden_dir / f"{key}.pkl"
+        if self.degraded:
+            self._count("miss")
+            return None
         try:
-            with open(path, "rb") as stream:
+            with self.fs.open(path, "rb") as stream:
                 payload = pickle.load(stream)
             golden = self._decode(payload, key)
         except FileNotFoundError:
             self._count("miss")
+            return None
+        except OSError:
+            # Unreadable cache dir or artifact (EIO, permissions): a miss,
+            # counted as degradation because the bytes may be fine and the
+            # campaign pays a rebuild anyway.
+            self._count("miss")
+            self._degrade()
             return None
         except Exception:
             # Truncated write from a killed process, a foreign pickle, or a
@@ -131,12 +185,24 @@ class ArtifactCache:
 
     def store_golden(self, spec: CampaignSpec, golden: GoldenRecord,
                      checkpoint_interval: Optional[int] = None) -> Path:
-        """Atomically persist ``golden`` (timeline included) and return the path."""
+        """Atomically persist ``golden`` (timeline included); return the path.
+
+        Best-effort: a store that still fails after the transient-error
+        retries degrades (the golden simply is not cached) rather than
+        failing the campaign that produced it.
+        """
         key = golden_cache_key(spec, checkpoint_interval)
         path = self.golden_dir / f"{key}.pkl"
+        if self.degraded:
+            return path
         payload = pickle.dumps(self._encode(golden, key),
                                protocol=pickle.HIGHEST_PROTOCOL)
-        atomic_write(path, payload)
+        try:
+            atomic_write(path, payload, fs=self.fs,
+                         crash_scope="cache.store", retry=self.retry)
+        except OSError:
+            self._degrade()
+            return path
         self._count("store")
         self._evict_over_cap()
         return path
@@ -166,25 +232,28 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # LRU bookkeeping
     # ------------------------------------------------------------------
-    @staticmethod
-    def _touch(path: Path) -> None:
+    def _touch(self, path: Path) -> None:
         try:
-            os.utime(path, None)
+            self.fs.utime(path)
         except OSError:
             pass
 
-    @staticmethod
-    def _remove(path: Path) -> None:
+    def _remove(self, path: Path) -> None:
         try:
-            path.unlink()
+            self.fs.unlink(path, missing_ok=True)
         except OSError:
             pass
 
-    def _artifacts(self):
+    def _artifacts(self) -> Iterable[Path]:
         """Finished artifacts only — never in-flight ``.tmp-*`` temp files
-        (unlinking a concurrent writer's temp file would abort its rename)."""
-        return (path for path in self.golden_dir.glob("*.pkl")
-                if not path.name.startswith("."))
+        (unlinking a concurrent writer's temp file would abort its rename).
+        An unlistable directory yields nothing rather than raising."""
+        try:
+            paths = self.fs.glob(self.golden_dir, "*.pkl")
+        except OSError:
+            self._degrade()
+            return ()
+        return (path for path in paths if not path.name.startswith("."))
 
     def _evict_over_cap(self) -> None:
         if self.max_bytes is None:
@@ -192,8 +261,10 @@ class ArtifactCache:
         entries = []
         for path in self._artifacts():
             try:
-                stat = path.stat()
+                stat = self.fs.stat(path)
             except OSError:
+                # ENOENT race: a concurrent eviction (or gc) already took
+                # this artifact between the listing and the stat.
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in entries)

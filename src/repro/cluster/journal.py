@@ -13,19 +13,38 @@ the shard plan (sharding is deterministic), verifies it matches the
 journaled plan, replays the journaled shard outcomes, and executes only
 the missing shards — producing a merged outcome bit-identical to an
 uninterrupted run.
+
+Robustness contract (see the README's "Resilience" section):
+
+- all filesystem access goes through the injectable
+  :class:`~repro.resilience.fs.Fs` seam, with crash points before the
+  write, between flush and fsync, and after fsync of every append;
+- appends hold an ``flock`` on the journal file, so two processes
+  appending to the same journal interleave whole records, never bytes;
+- a failed append (EIO, ENOSPC) rolls the file back to its pre-append
+  size *under the lock* before the retry, so a retried append can never
+  glue onto its own torn tail; persistent failures raise the typed
+  :class:`JournalWriteError` — and only writes are refused: loading a
+  journal for resume works on a full disk.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro import obs
 from repro.api.spec import CampaignSpec
 from repro.api.store import validate_run_id
 from repro.cluster.shards import FaultShard
+from repro.resilience.fs import Fs, default_fs, register_crash_point
+from repro.resilience.retry import RetryPolicy, disk_retry_policy
 from repro.version import __version__
 
 #: Journal layout version; bump on incompatible format changes so resume
@@ -35,9 +54,38 @@ JOURNAL_SCHEMA_VERSION = 1
 #: fault_id -> (effect label, simulated cycles) for every fault of a shard.
 ShardOutcomes = Dict[int, Tuple[str, int]]
 
+CRASH_APPEND_PRE_WRITE = register_crash_point(
+    "journal.append.pre_write",
+    "journal record not yet written (applies to the header line too)",
+)
+CRASH_APPEND_PRE_FSYNC = register_crash_point(
+    "journal.append.pre_fsync",
+    "journal record written and flushed but not yet fsynced",
+)
+CRASH_APPEND_POST_FSYNC = register_crash_point(
+    "journal.append.post_fsync",
+    "journal record durable on disk, append about to return",
+)
+
 
 class JournalError(Exception):
     """A journal is missing, unreadable, or names a different run plan."""
+
+
+class JournalWriteError(JournalError):
+    """The journal cannot accept appends (persistent disk failure).
+
+    Reads are unaffected: a journal that refuses writes still loads, so
+    ``repro resume`` can always replay completed shards once the disk
+    recovers.
+    """
+
+    def __init__(self, path: Path, reason: str):
+        self.path = path
+        super().__init__(
+            f"journal {path} refused an append: {reason} — completed shards "
+            f"are safe and `repro resume` will continue once writes succeed"
+        )
 
 
 def journal_path(journal_dir: Union[str, Path], run_id: str) -> Path:
@@ -48,18 +96,32 @@ def journal_path(journal_dir: Union[str, Path], run_id: str) -> Path:
     return Path(journal_dir) / f"{run_id}.jsonl"
 
 
+def _lock(stream: IO[Any]) -> None:
+    if fcntl is not None:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_EX)
+
+
+def _unlock(stream: IO[Any]) -> None:
+    if fcntl is not None:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
+
+
 class RunJournal:
     """One campaign's append-only shard-outcome log."""
 
     def __init__(self, path: Path, header: Dict[str, Any],
                  completed: Optional[Dict[str, ShardOutcomes]] = None,
-                 cache_hits: int = 0, merged: bool = False):
+                 cache_hits: int = 0, merged: bool = False,
+                 fs: Optional[Fs] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.path = path
         self.header = header
         #: shard_id -> journaled per-fault outcomes.
         self.completed: Dict[str, ShardOutcomes] = dict(completed or {})
         self.worker_cache_hits = cache_hits
         self.merged = merged
+        self.fs = fs if fs is not None else default_fs()
+        self.retry = retry if retry is not None else disk_retry_policy()
 
     # ------------------------------------------------------------------
     # Creation / resumption
@@ -72,10 +134,12 @@ class RunJournal:
         shards: Sequence[FaultShard],
         shard_size: int,
         checkpoint_interval: Optional[int] = None,
+        fs: Optional[Fs] = None,
     ) -> "RunJournal":
         """Start a fresh journal (truncating any previous one for this run)."""
         path = journal_path(journal_dir, spec.run_id())
-        path.parent.mkdir(parents=True, exist_ok=True)
+        active_fs = fs if fs is not None else default_fs()
+        active_fs.mkdir(path.parent, parents=True, exist_ok=True)
         header = {
             "kind": "header",
             "schema": JOURNAL_SCHEMA_VERSION,
@@ -87,12 +151,16 @@ class RunJournal:
             "total_shards": len(shards),
             "shard_ids": [shard.shard_id() for shard in shards],
         }
-        with open(path, "w", encoding="utf-8") as stream:
-            cls._append_line(stream, header)
-        return cls(path, header)
+        journal = cls(path, header, fs=active_fs)
+        journal._append_record(header, truncate_first=True)
+        # The file is fsynced by the append; its *directory entry* is not
+        # durable until the parent is too.
+        active_fs.fsync_dir(path.parent)
+        return journal
 
     @classmethod
-    def load(cls, journal_dir: Union[str, Path], run_id: str) -> "RunJournal":
+    def load(cls, journal_dir: Union[str, Path], run_id: str,
+             fs: Optional[Fs] = None) -> "RunJournal":
         """Parse an existing journal, tolerating a torn trailing line.
 
         A torn trailing line (the append a killed run was in the middle
@@ -102,8 +170,9 @@ class RunJournal:
         mid-file line that poisons every subsequent load.
         """
         path = journal_path(journal_dir, run_id)
+        active_fs = fs if fs is not None else default_fs()
         try:
-            with open(path, "r", encoding="utf-8") as stream:
+            with active_fs.open(path, "r", encoding="utf-8") as stream:
                 lines = stream.readlines()
         except OSError as failure:
             raise JournalError(
@@ -118,10 +187,20 @@ class RunJournal:
             except json.JSONDecodeError:
                 pass
             else:
-                with open(path, "a", encoding="utf-8") as stream:
-                    stream.write("\n")
-                    stream.flush()
-                    os.fsync(stream.fileno())
+                try:
+                    with active_fs.open(path, "a", encoding="utf-8") as stream:
+                        _lock(stream)
+                        try:
+                            stream.write("\n")
+                            stream.flush()
+                            active_fs.fsync(stream)
+                        finally:
+                            _unlock(stream)
+                except OSError as failure:
+                    raise JournalError(
+                        f"journal {path} has an unterminated tail and could "
+                        f"not be repaired ({failure})"
+                    ) from failure
                 lines[-1] += "\n"
                 obs_ctx = obs.active()
                 if obs_ctx is not None:
@@ -139,8 +218,19 @@ class RunJournal:
                     valid_bytes = sum(
                         len(kept.encode("utf-8")) for kept in lines[:position]
                     )
-                    with open(path, "a", encoding="utf-8") as stream:
-                        stream.truncate(valid_bytes)
+                    try:
+                        with active_fs.open(path, "a",
+                                            encoding="utf-8") as stream:
+                            _lock(stream)
+                            try:
+                                stream.truncate(valid_bytes)
+                            finally:
+                                _unlock(stream)
+                    except OSError as failure:
+                        raise JournalError(
+                            f"journal {path} has a torn tail that could not "
+                            f"be truncated ({failure})"
+                        ) from failure
                     obs_ctx = obs.active()
                     if obs_ctx is not None:
                         obs_ctx.journal_repair()
@@ -176,20 +266,57 @@ class RunJournal:
                 merged = True
         if header is None:
             raise JournalError(f"journal {path} has no header line")
-        return cls(path, header, completed, cache_hits, merged)
+        return cls(path, header, completed, cache_hits, merged, fs=active_fs)
 
     @staticmethod
-    def exists(journal_dir: Union[str, Path], run_id: str) -> bool:
-        return journal_path(journal_dir, run_id).exists()
+    def exists(journal_dir: Union[str, Path], run_id: str,
+               fs: Optional[Fs] = None) -> bool:
+        active_fs = fs if fs is not None else default_fs()
+        return active_fs.exists(journal_path(journal_dir, run_id))
 
     # ------------------------------------------------------------------
     # Appends (flushed and fsynced: crash loses at most the torn line)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _append_line(stream, record: Dict[str, Any]) -> None:
-        stream.write(json.dumps(record, separators=(",", ":")) + "\n")
-        stream.flush()
-        os.fsync(stream.fileno())
+    def _append_record(self, record: Dict[str, Any],
+                       truncate_first: bool = False) -> None:
+        """Durably append one record, whole-or-not-at-all.
+
+        The write happens under an exclusive ``flock`` (concurrent
+        appenders interleave records, never bytes).  On an injected or
+        real disk error the file is rolled back to its pre-append length
+        while the lock is still held, so the retry — and any concurrent
+        writer — starts from a clean EOF.  Retries exhausted raises
+        :class:`JournalWriteError`; loading stays possible throughout.
+        """
+        payload = json.dumps(record, separators=(",", ":")) + "\n"
+        mode = "w" if truncate_first else "a"
+
+        def append_once() -> None:
+            self.fs.crash_point("journal.append.pre_write")
+            with self.fs.open(self.path, mode, encoding="utf-8") as stream:
+                _lock(stream)
+                try:
+                    start = 0 if truncate_first else self.fs.stat(
+                        self.path).st_size
+                    try:
+                        stream.write(payload)
+                        stream.flush()
+                        self.fs.crash_point("journal.append.pre_fsync")
+                        self.fs.fsync(stream)
+                    except OSError:
+                        try:
+                            stream.truncate(start)
+                        except OSError:
+                            pass
+                        raise
+                finally:
+                    _unlock(stream)
+            self.fs.crash_point("journal.append.post_fsync")
+
+        try:
+            self.retry.run(append_once, describe=f"journal append {self.path.name}")
+        except OSError as failure:
+            raise JournalWriteError(self.path, str(failure)) from failure
         obs_ctx = obs.active()
         if obs_ctx is not None:
             obs_ctx.journal_append()
@@ -207,16 +334,14 @@ class RunJournal:
                 for fault_id, (effect, cycles) in outcomes.items()
             },
         }
-        with open(self.path, "a", encoding="utf-8") as stream:
-            self._append_line(stream, record)
+        self._append_record(record)
         self.completed[shard_id] = dict(outcomes)
         if golden_cache_hit:
             self.worker_cache_hits += 1
 
     def record_merged(self, stats: Optional[Dict[str, Any]] = None) -> None:
         record = {"kind": "merged", "run_id": self.run_id, "stats": stats or {}}
-        with open(self.path, "a", encoding="utf-8") as stream:
-            self._append_line(stream, record)
+        self._append_record(record)
         self.merged = True
 
     # ------------------------------------------------------------------

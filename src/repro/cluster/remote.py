@@ -41,6 +41,7 @@ from typing import (
 from repro import obs
 from repro.cluster.engine import ClusterEngine
 from repro.cluster.shards import FaultShard
+from repro.resilience.retry import RetryPolicy
 from repro.cluster.transport import (
     Heartbeat,
     HostDown,
@@ -161,6 +162,15 @@ class Coordinator:
         self.backoff_cap = backoff_cap
         self.clock = clock or getattr(transport, "clock", None) or time.monotonic
         self.sleep = sleep
+        #: The one retry/backoff policy (shared shape with the disk and
+        #: transport-connect paths; see repro.resilience.retry).
+        self.retry_policy = RetryPolicy(
+            max_attempts=max_attempts,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            retry_on=(TransientTransportError,),
+            sleep=sleep,
+        )
         self.describe = describe or (lambda task: f"shard task {task.task_id}")
         self.stats: Dict[str, int] = {}
 
@@ -260,35 +270,38 @@ class Coordinator:
         self.stats["dispatched"] += 1
         return True
 
+    def _count_retry(self, attempt: int,
+                     failure: Optional[BaseException]) -> None:
+        self.stats["retries"] += 1
+        if self._obs is not None:
+            self._obs.transport_retry()
+
     def _attempt(self, host: str, task: ShardTask,
                  operation: Callable[[], None]) -> bool:
-        """Run one transport operation with capped-backoff retries.
+        """Run one transport operation under the shared retry policy.
 
         Returns ``False`` when the host was lost (the task is requeued by
         :meth:`_lose_host` machinery via the caller re-queuing); raises
         nothing but re-raises non-transport errors.
         """
-        delay = self.backoff_base
-        for attempt in range(self.max_attempts):
-            try:
-                operation()
-                return True
-            except TransientTransportError:
-                self.stats["retries"] += 1
-                if self._obs is not None:
-                    self._obs.transport_retry()
-                if attempt + 1 >= self.max_attempts:
-                    break
-                self.sleep(min(delay, self.backoff_cap))
-                delay *= 2
-            except HostLostError as failure:
-                self._queue.appendleft(task)
-                self._lose_host(host, failure.reason)
-                return False
-        self._queue.appendleft(task)
-        self._lose_host(
-            host, f"{self.max_attempts} transient transport errors in a row")
-        return False
+        try:
+            self.retry_policy.run(operation,
+                                  describe=f"transport op on {host}",
+                                  on_retry=self._count_retry)
+            return True
+        except TransientTransportError:
+            # Retries exhausted; count the final failure like the ones
+            # that were retried, then give up on the host.
+            self._count_retry(self.max_attempts - 1, None)
+            self._queue.appendleft(task)
+            self._lose_host(
+                host,
+                f"{self.max_attempts} transient transport errors in a row")
+            return False
+        except HostLostError as failure:
+            self._queue.appendleft(task)
+            self._lose_host(host, failure.reason)
+            return False
 
     # ------------------------------------------------------------------
     # Events
@@ -367,8 +380,7 @@ class Coordinator:
                 f"{self.describe(task)} failed {attempts} times, giving "
                 f"up: {error}"
             )
-        self.sleep(min(self.backoff_base * (2 ** (attempts - 1)),
-                       self.backoff_cap))
+        self.sleep(self.retry_policy.delay_for(attempts - 1))
         self._queue.append(task)
 
     def _expire_leases(self) -> None:

@@ -38,6 +38,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
+from repro.resilience.retry import RetryPolicy
+
 from repro.version import __version__
 
 #: Version of the coordinator<->agent wire protocol; both sides must
@@ -649,21 +651,33 @@ class TcpAgentTransport:
 
     def __init__(self, hosts: Sequence[str],
                  connect_timeout: float = 10.0,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 connect_retry: Optional[RetryPolicy] = None):
         if not hosts:
             raise ValueError("TcpAgentTransport needs at least one HOST:PORT")
         self.hosts = list(hosts)
         self.connect_timeout = connect_timeout
         self.max_frame_bytes = max_frame_bytes
+        #: Shared capped-backoff policy for connect/handshake: an agent
+        #: that is still starting up (connect timeout, slow handshake) is
+        #: transient; a refused or version-mismatched agent is not.
+        self.connect_retry = connect_retry if connect_retry is not None else (
+            RetryPolicy(retry_on=(TransientTransportError,)))
         self._connections: Dict[str, _AgentConnection] = {}
+
+    def _connect(self, address: str) -> None:
+        connection = _AgentConnection(
+            address, self.connect_timeout, self.max_frame_bytes)
+        connection.handshake(self.connect_timeout)
+        self._connections[address] = connection
 
     def open(self) -> List[str]:
         self.close()
         for address in self.hosts:
-            connection = _AgentConnection(
-                address, self.connect_timeout, self.max_frame_bytes)
-            connection.handshake(self.connect_timeout)
-            self._connections[address] = connection
+            self.connect_retry.run(
+                lambda address=address: self._connect(address),
+                describe=f"connect to agent {address}",
+            )
         return list(self._connections)
 
     def capacity(self, host: str) -> int:

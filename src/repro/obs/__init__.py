@@ -194,6 +194,19 @@ class ObsContext:
             "Shards completed per worker host.",
             labels=("host",),
         )
+        self._fs_faults = registry.counter(
+            "repro_fs_faults_injected_total",
+            "Filesystem faults injected by a FaultFs, by kind.",
+            labels=("kind",),
+        )
+        self._disk_retries = registry.counter(
+            "repro_disk_retries_total",
+            "Transient disk errors absorbed by the retry policy.",
+        )
+        self._cache_degraded = registry.counter(
+            "repro_artifact_cache_degraded_total",
+            "Times the artifact cache fell back to rebuild-from-scratch.",
+        )
 
     # ------------------------------------------------------------------
     # Instrumentation entry points (one call each at the existing seams)
@@ -226,6 +239,15 @@ class ObsContext:
         if counter is None:
             raise MetricsError(f"unknown cache event {kind!r}")
         counter.inc(role=self.role)
+
+    def fs_fault(self, kind: str) -> None:
+        self._fs_faults.inc(kind=kind)
+
+    def disk_retry(self) -> None:
+        self._disk_retries.inc()
+
+    def cache_degraded(self) -> None:
+        self._cache_degraded.inc()
 
     def journal_append(self) -> None:
         self._journal_appends.inc()

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
 
 from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+from repro.resilience.fs import default_fs
 
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -103,22 +104,37 @@ def render_trace_jsonl(events: Iterable[Dict[str, Any]]) -> str:
     )
 
 
+def _write_text(path: Union[str, Path], text: str) -> Path:
+    """Write an export artifact through the injectable fs seam.
+
+    Observability artifacts are measurement-layer data; transient disk
+    errors (EINTR, EIO, ENOSPC a gc may clear) are absorbed by the
+    standard disk retry policy so a seeded chaos campaign never dies on
+    its own metrics file.  Persistent failures still raise to the caller.
+    """
+    from repro.resilience.retry import disk_retry_policy
+
+    target = Path(path)
+    fs = default_fs()
+
+    def write_once() -> None:
+        if target.parent != Path("."):
+            fs.mkdir(target.parent, parents=True, exist_ok=True)
+        with fs.open(target, "w", encoding="utf-8") as stream:
+            stream.write(text)
+
+    disk_retry_policy().run(write_once, describe=f"export {target.name}")
+    return target
+
+
 def write_metrics_file(path: Union[str, Path],
                        registry: MetricsRegistry) -> Path:
-    target = Path(path)
-    if target.parent != Path("."):
-        target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(render_prometheus(registry), encoding="utf-8")
-    return target
+    return _write_text(path, render_prometheus(registry))
 
 
 def write_trace_file(path: Union[str, Path],
                      events: Iterable[Dict[str, Any]]) -> Path:
-    target = Path(path)
-    if target.parent != Path("."):
-        target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(render_trace_jsonl(events), encoding="utf-8")
-    return target
+    return _write_text(path, render_trace_jsonl(events))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""repro.resilience — deterministic fault injection and retry policy.
+
+The robustness substrate under the persistence layer:
+
+- :mod:`repro.resilience.fs` — the injectable :class:`Fs` seam
+  (``RealFs`` default, process-wide ``default_fs``/``use_fs``), the
+  crash-point registry, and :class:`SimulatedCrash`;
+- :mod:`repro.resilience.faultfs` — the seeded, scripted
+  :class:`FaultFs` with a kill ``-9``-faithful crash-loss model;
+- :mod:`repro.resilience.retry` — the one :class:`RetryPolicy`
+  (capped backoff, seedable jitter, deadline budget) shared by the
+  cluster coordinator, the TCP transport, and the disk write paths.
+
+See the README's "Resilience" section for usage and the degradation
+matrix.
+"""
+
+from repro.resilience.faultfs import DEFAULT_CHAOS_RATES, FAULT_KINDS, FaultFs
+from repro.resilience.fs import (
+    Fs,
+    PathLike,
+    REAL_FS,
+    RealFs,
+    SimulatedCrash,
+    crash_point_description,
+    crash_points,
+    default_fs,
+    register_crash_point,
+    set_default_fs,
+    use_fs,
+)
+from repro.resilience.retry import (
+    RetryBudgetExceeded,
+    RetryPolicy,
+    TRANSIENT_DISK_ERRNOS,
+    disk_retry_policy,
+    is_transient_disk_error,
+)
+
+__all__ = [
+    "Fs",
+    "RealFs",
+    "REAL_FS",
+    "FaultFs",
+    "FAULT_KINDS",
+    "DEFAULT_CHAOS_RATES",
+    "SimulatedCrash",
+    "PathLike",
+    "register_crash_point",
+    "crash_points",
+    "crash_point_description",
+    "default_fs",
+    "set_default_fs",
+    "use_fs",
+    "RetryPolicy",
+    "RetryBudgetExceeded",
+    "TRANSIENT_DISK_ERRNOS",
+    "disk_retry_policy",
+    "is_transient_disk_error",
+]

@@ -1,0 +1,393 @@
+"""Deterministic filesystem fault injection behind the :class:`Fs` seam.
+
+A :class:`FaultFs` wraps the real filesystem and injects faults on a
+deterministic tick clock — every operation consumes one tick, and what
+happens at each tick is decided by (in priority order):
+
+1. an explicit **script**: ``{"write": ["ok", "torn"], "fsync": ["lie"]}``
+   consumes one action per call of that operation kind (exact, for unit
+   tests — scripts may inject *persistent* failures);
+2. a seeded **rate table**: each eligible fault kind is rolled against
+   its probability with a ``random.Random(seed)`` stream, so a whole
+   campaign's fault schedule is a pure function of the seed and the
+   operation order.  Rate-drawn faults are *transient by construction* —
+   the same operation kind never faults twice in a row — so any caller
+   wrapped in a :class:`~repro.resilience.retry.RetryPolicy` with at
+   least two attempts always makes progress;
+3. an armed **crash point**: ``crash_at="journal.append.pre_fsync"``
+   raises :class:`~repro.resilience.fs.SimulatedCrash` on the Nth hit of
+   that registered point.
+
+Crash fidelity: the fault fs tracks, per file, how many bytes are
+*durable* (really fsynced — a **lying** fsync reports success without
+advancing durability).  After a simulated crash, :meth:`FaultFs.reopen`
+rolls the directory tree back to what a ``kill -9`` could have left:
+files truncated to their durable size, and renames whose parent
+directory was never fsynced undone.  A ``FaultFs`` with no script, zero
+rates and no armed crash point is byte-identical to :class:`RealFs` —
+the identity differential in ``tests/resilience`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.resilience.fs import Fs, PathLike, REAL_FS, SimulatedCrash
+
+__all__ = ["FaultFs", "FAULT_KINDS", "DEFAULT_CHAOS_RATES"]
+
+#: Every fault kind a plan may name.
+FAULT_KINDS = ("eio", "enospc", "torn", "lie", "enoent")
+
+#: Which fault kinds make sense for which operation, in deterministic
+#: roll order.  Read-only operations are never rate-faulted (scripts can
+#: still target them): resume must always be able to *read*.
+_ELIGIBLE: Dict[str, Tuple[str, ...]] = {
+    "write": ("eio", "enospc", "torn"),
+    "fsync": ("eio", "lie"),
+    "replace": ("eio", "enospc"),
+    "mkstemp": ("eio", "enospc"),
+    "open_write": ("eio", "enospc"),
+    "mkdir": ("eio", "enospc"),
+}
+
+#: The seeded-chaos profile the CLI's ``--fs-faults SEED`` installs:
+#: every injected fault is transient (see above), so a retried campaign
+#: always completes — bit-identically, which the fsfault-smoke CI job
+#: asserts.
+DEFAULT_CHAOS_RATES: Dict[str, float] = {
+    "eio": 0.04,
+    "enospc": 0.02,
+    "torn": 0.03,
+    "lie": 0.05,
+}
+
+_WRITE_MODES = ("w", "a", "x", "+")
+
+
+def _injected_error(kind: str, op: str, path: str) -> OSError:
+    if kind == "enospc":
+        return OSError(errno.ENOSPC, f"injected ENOSPC during {op}", path)
+    if kind == "enoent":
+        return FileNotFoundError(
+            errno.ENOENT, f"injected ENOENT during {op}", path)
+    return OSError(errno.EIO, f"injected EIO during {op}", path)
+
+
+class _TrackedFile:
+    """A file handle that reports writes/fsyncs back to its FaultFs.
+
+    Unknown attributes delegate to the real stream, so JSON / pickle
+    readers (``read``, ``readline``, ``peek``…) work untouched.
+    """
+
+    def __init__(self, fs: "FaultFs", stream: IO[Any], path: str,
+                 writable: bool):
+        self._fs = fs
+        self._stream = stream
+        self._path = path
+        self._writable = writable
+
+    # -- write path ----------------------------------------------------
+    def write(self, data: Union[str, bytes]) -> int:
+        if self._writable:
+            action = self._fs._decide("write", self._path)
+            if action == "torn":
+                torn = data[: len(data) // 2]
+                if torn:
+                    self._stream.write(torn)
+                self._stream.flush()
+                raise _injected_error("eio", "torn write", self._path)
+            if action in ("eio", "enospc"):
+                raise _injected_error(action, "write", self._path)
+        return self._stream.write(data)
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        result = self._stream.truncate(size)
+        if size is not None:
+            self._fs._shrink_durable(self._path, size)
+        return result
+
+    def close(self) -> None:
+        self._stream.close()
+
+    # -- plumbing ------------------------------------------------------
+    def __enter__(self) -> "_TrackedFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Any:
+        return iter(self._stream)
+
+    def __getattr__(self, attribute: str) -> Any:
+        return getattr(self._stream, attribute)
+
+
+class FaultFs(Fs):
+    """Seeded, scripted, crash-point-armed filesystem fault injection."""
+
+    name = "fault"
+
+    def __init__(self, seed: int = 0,
+                 rates: Optional[Dict[str, float]] = None,
+                 script: Optional[Dict[str, Sequence[str]]] = None,
+                 crash_at: Optional[str] = None,
+                 crash_on_hit: int = 1,
+                 base: Optional[Fs] = None):
+        for kind, rate in (rates or {}).items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind!r} out of [0, 1]: {rate}")
+        for op, actions in (script or {}).items():
+            for action in actions:
+                if action != "ok" and action not in FAULT_KINDS:
+                    raise ValueError(
+                        f"unknown scripted action {action!r} for {op!r}")
+        if crash_on_hit < 1:
+            raise ValueError(f"crash_on_hit must be >= 1, got {crash_on_hit}")
+        self.base = base if base is not None else REAL_FS
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self._rng = random.Random(seed)
+        self._script: Dict[str, List[str]] = {
+            op: list(actions) for op, actions in (script or {}).items()
+        }
+        self.crash_at = crash_at
+        self.crash_on_hit = crash_on_hit
+        self.crashed = False
+        #: op kind -> calls seen (the tick clock, per kind).
+        self.ops: Dict[str, int] = {}
+        #: fault kind -> count injected.
+        self.injected: Dict[str, int] = {}
+        #: crash-point name -> times hit (whether armed or not).
+        self.crash_hits: Dict[str, int] = {}
+        #: crash points that actually fired.
+        self.fired: List[str] = []
+        # Rate-drawn faults are transient: never the same op twice in a row.
+        self._just_faulted: Dict[str, bool] = {}
+        # Crash-loss model: path -> durable (really-fsynced) size, and the
+        # set of rename targets whose directory entry is not yet durable.
+        self._durable: Dict[str, int] = {}
+        self._volatile_renames: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Fault plan
+    # ------------------------------------------------------------------
+    def _decide(self, op: str, path: PathLike) -> str:
+        """The action for this (op, tick): ``"ok"`` or a fault kind."""
+        self.ops[op] = self.ops.get(op, 0) + 1
+        scripted = self._script.get(op)
+        if scripted:
+            action = scripted.pop(0)
+            if action != "ok":
+                self._record(action)
+            return action
+        if self._just_faulted.pop(op, False):
+            return "ok"  # transient by construction: the retry succeeds
+        for kind in _ELIGIBLE.get(op, ()):
+            rate = self.rates.get(kind, 0.0)
+            if rate and self._rng.random() < rate:
+                self._just_faulted[op] = True
+                self._record(kind)
+                return kind
+        return "ok"
+
+    def _record(self, kind: str) -> None:
+        from repro import obs  # deferred: obs itself writes through this seam
+
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs_ctx = obs.active()
+        if obs_ctx is not None:
+            obs_ctx.fs_fault(kind)
+
+    def _raise_if_faulted(self, op: str, path: PathLike) -> None:
+        action = self._decide(op, path)
+        if action != "ok":
+            raise _injected_error(action, op, str(path))
+
+    # ------------------------------------------------------------------
+    # Crash points and post-crash recovery
+    # ------------------------------------------------------------------
+    def crash_point(self, name: str) -> None:
+        self.crash_hits[name] = self.crash_hits.get(name, 0) + 1
+        if name == self.crash_at and self.crash_hits[name] == self.crash_on_hit:
+            self.crashed = True
+            self.fired.append(name)
+            raise SimulatedCrash(name)
+
+    def reopen(self) -> "FaultFs":
+        """Roll disk state back to the crash and disarm: the "new process".
+
+        Applies the losses a real ``kill -9`` could have caused — every
+        file truncated to its durable (fsynced) size, every rename whose
+        parent directory was never fsynced undone — then clears the
+        tracking so the resumed run starts clean.  Idempotent; safe to
+        call even when no crash fired.
+        """
+        for target, previous in sorted(self._volatile_renames.items()):
+            # The entry never became durable: the file vanishes (fresh
+            # target) — an overwritten predecessor cannot be restored, so
+            # overwrite-renames are tracked as non-undoable (absent here).
+            self.base.unlink(target, missing_ok=True)
+            self._durable.pop(target, None)
+        self._volatile_renames = {}
+        for path, durable in sorted(self._durable.items()):
+            try:
+                size = self.base.stat(path).st_size
+            except OSError:
+                continue
+            if size > durable:
+                with self.base.open(path, "r+b") as stream:
+                    stream.truncate(durable)
+        self._durable = {}
+        self.crashed = False
+        self.crash_at = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Durability tracking helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(path: PathLike) -> str:
+        return os.path.abspath(str(path))
+
+    def _track_open(self, path: PathLike, truncating: bool) -> None:
+        key = self._key(path)
+        if truncating:
+            self._durable[key] = 0
+        elif key not in self._durable:
+            try:
+                self._durable[key] = self.base.stat(path).st_size
+            except OSError:
+                self._durable[key] = 0
+
+    def _mark_durable(self, path: PathLike, size: int) -> None:
+        self._durable[self._key(path)] = size
+
+    def _shrink_durable(self, path: PathLike, size: int) -> None:
+        key = self._key(path)
+        if key in self._durable:
+            self._durable[key] = min(self._durable[key], size)
+
+    # ------------------------------------------------------------------
+    # Fs surface
+    # ------------------------------------------------------------------
+    def open(self, path: PathLike, mode: str = "r",
+             encoding: Union[str, None] = None) -> IO[Any]:
+        writable = any(flag in mode for flag in _WRITE_MODES)
+        if writable:
+            self._raise_if_faulted("open_write", path)
+        else:
+            self._raise_if_faulted("open_read", path)
+        stream = self.base.open(path, mode, encoding=encoding)
+        if not writable:
+            return stream
+        self._track_open(path, truncating="w" in mode or "x" in mode)
+        return _TrackedFile(self, stream, self._key(path), writable)  # type: ignore[return-value]
+
+    def mkstemp(self, directory: PathLike, prefix: str,
+                suffix: str, binary: bool) -> Tuple[IO[Any], str]:
+        self._raise_if_faulted("mkstemp", directory)
+        stream, temp_name = self.base.mkstemp(directory, prefix, suffix, binary)
+        self._durable[self._key(temp_name)] = 0
+        return (_TrackedFile(self, stream, self._key(temp_name), True),  # type: ignore[return-value]
+                temp_name)
+
+    def fsync(self, stream: IO[Any]) -> None:
+        path = getattr(stream, "_path", None)
+        action = self._decide("fsync", path or "<stream>")
+        if action in ("eio", "enospc"):
+            raise _injected_error(action, "fsync", str(path))
+        real = getattr(stream, "_stream", stream)
+        if action == "lie":
+            # Report success without making anything durable: data
+            # flushed to the OS is still lost by reopen() after a crash.
+            real.flush()
+            return
+        self.base.fsync(real)
+        if path is not None:
+            self._mark_durable(path, self.base.stat(path).st_size)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        action = self._decide("fsync_dir", path)
+        if action in ("eio", "enospc"):
+            raise _injected_error(action, "fsync_dir", str(path))
+        self.base.fsync_dir(path)
+        parent = self._key(path)
+        self._volatile_renames = {
+            target: src for target, src in self._volatile_renames.items()
+            if os.path.dirname(target) != parent
+        }
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        self._raise_if_faulted("replace", dst)
+        fresh_target = not self.base.exists(dst)
+        self.base.replace(src, dst)
+        src_key, dst_key = self._key(src), self._key(dst)
+        if src_key in self._durable:
+            self._durable[dst_key] = self._durable.pop(src_key)
+        if fresh_target:
+            self._volatile_renames[dst_key] = src_key
+        else:
+            # Overwrite-rename: the old content is unrecoverable, so the
+            # crash model keeps the new entry (non-undoable).
+            self._volatile_renames.pop(dst_key, None)
+
+    def unlink(self, path: PathLike, missing_ok: bool = False) -> bool:
+        action = self._decide("unlink", path)
+        if action == "enoent":
+            if missing_ok:
+                return False
+            raise _injected_error("enoent", "unlink", str(path))
+        if action != "ok":
+            raise _injected_error(action, "unlink", str(path))
+        removed = self.base.unlink(path, missing_ok=missing_ok)
+        key = self._key(path)
+        self._durable.pop(key, None)
+        self._volatile_renames.pop(key, None)
+        return removed
+
+    def mkdir(self, path: PathLike, parents: bool = False,
+              exist_ok: bool = False) -> None:
+        self._raise_if_faulted("mkdir", path)
+        self.base.mkdir(path, parents=parents, exist_ok=exist_ok)
+
+    def stat(self, path: PathLike) -> os.stat_result:
+        action = self._decide("stat", path)
+        if action != "ok":
+            raise _injected_error(action, "stat", str(path))
+        return self.base.stat(path)
+
+    def exists(self, path: PathLike) -> bool:
+        return self.base.exists(path)
+
+    def glob(self, directory: PathLike, pattern: str) -> List[Path]:
+        action = self._decide("glob", directory)
+        if action != "ok":
+            raise _injected_error(action, "glob", str(directory))
+        return self.base.glob(directory, pattern)
+
+    def utime(self, path: PathLike) -> None:
+        action = self._decide("utime", path)
+        if action == "enoent":
+            raise _injected_error("enoent", "utime", str(path))
+        if action != "ok":
+            raise _injected_error(action, "utime", str(path))
+        self.base.utime(path)
+
+    def touch(self, path: PathLike) -> None:
+        self._raise_if_faulted("touch", path)
+        self.base.touch(path)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        total = sum(self.injected.values())
+        return (f"FaultFs(seed={self.seed}, {total} faults injected, "
+                f"{len(self.fired)} crashes)")

@@ -1,0 +1,231 @@
+"""The injectable filesystem seam behind the persistence layer.
+
+Every component that touches disk — :class:`~repro.api.store.ResultStore`,
+:class:`~repro.cluster.artifacts.ArtifactCache`,
+:class:`~repro.cluster.journal.RunJournal`, the observability file
+writers — performs its filesystem operations through an :class:`Fs`
+object instead of calling ``os``/``pathlib`` directly.  The default
+:class:`RealFs` delegates straight through (one attribute lookup per
+operation, all of which are disk-bound anyway, so the identity path and
+the throughput gate are untouched), while the seeded
+:class:`~repro.resilience.faultfs.FaultFs` injects deterministic faults —
+ENOSPC, EIO, torn writes, lying fsyncs — and **crash points**: named
+places in a write path where a :class:`SimulatedCrash` can be raised and
+the on-disk state rolled back to what a ``kill -9`` at that instant would
+have left behind.
+
+Crash points are *registered* at import time (:func:`register_crash_point`)
+so the crash-point harness in ``tests/resilience/`` can enumerate every
+one and prove that crash + reopen + resume is bit-identical to an
+undisturbed run, the same differential discipline the engines are held to.
+
+:class:`SimulatedCrash` deliberately derives from ``BaseException``:
+component code is allowed to catch ``Exception`` for graceful degradation
+(a corrupt cache artifact is a miss), but nothing may swallow a simulated
+crash — a real ``kill -9`` cannot be caught either.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "Fs",
+    "RealFs",
+    "SimulatedCrash",
+    "PathLike",
+    "register_crash_point",
+    "crash_points",
+    "crash_point_description",
+    "default_fs",
+    "set_default_fs",
+    "use_fs",
+]
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death at a registered crash point.
+
+    ``BaseException`` on purpose: degradation code that catches
+    ``Exception`` (corrupt artifacts, torn journals) must never be able
+    to "survive" a crash the way no real process survives ``kill -9``.
+    """
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"simulated crash at {point!r}")
+
+
+# ----------------------------------------------------------------------
+# Crash-point registry
+# ----------------------------------------------------------------------
+_CRASH_POINTS: Dict[str, str] = {}
+
+
+def register_crash_point(name: str, description: str) -> str:
+    """Register a named crash point; returns the name for assignment.
+
+    Components register their crash points at import time, next to the
+    write path that hits them, so ``crash_points()`` is always the
+    complete list the harness must cover.  Re-registration with the same
+    description is idempotent (modules can be reimported by tests).
+    """
+    existing = _CRASH_POINTS.get(name)
+    if existing is not None and existing != description:
+        raise ValueError(
+            f"crash point {name!r} already registered with a different "
+            f"description"
+        )
+    _CRASH_POINTS[name] = description
+    return name
+
+
+def crash_points() -> Tuple[str, ...]:
+    """Every registered crash-point name, sorted for stable iteration."""
+    return tuple(sorted(_CRASH_POINTS))
+
+
+def crash_point_description(name: str) -> str:
+    return _CRASH_POINTS[name]
+
+
+# ----------------------------------------------------------------------
+# The seam
+# ----------------------------------------------------------------------
+class Fs:
+    """Filesystem operations the persistence layer is allowed to use.
+
+    The surface is deliberately small — exactly the calls the stores,
+    caches and journals make today — so a fault-injecting implementation
+    can cover all of it.  All paths are accepted as ``str`` or ``Path``.
+    """
+
+    name = "real"
+
+    # -- files ---------------------------------------------------------
+    def open(self, path: PathLike, mode: str = "r",
+             encoding: Union[str, None] = None) -> IO[Any]:
+        """Open ``path``; text modes should pass ``encoding="utf-8"``."""
+        return open(path, mode, encoding=encoding)
+
+    def mkstemp(self, directory: PathLike, prefix: str,
+                suffix: str, binary: bool) -> Tuple[IO[Any], str]:
+        """A new temp file in ``directory``, opened for writing."""
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(directory), prefix=prefix, suffix=suffix
+        )
+        stream = os.fdopen(
+            handle, "wb" if binary else "w",
+            **({} if binary else {"encoding": "utf-8"}),
+        )
+        return stream, temp_name
+
+    def fsync(self, stream: IO[Any]) -> None:
+        """Flush ``stream`` durably to disk."""
+        os.fsync(stream.fileno())
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """Durably persist directory entries (renames, creates) under ``path``.
+
+        ``os.replace`` makes a rename *atomic* but not *durable*: until
+        the parent directory's metadata is synced, a crash can roll the
+        directory back and lose a file the caller already considers
+        committed.  Best-effort on platforms where directories cannot be
+        opened (the rename is still atomic there).
+        """
+        try:
+            fd = os.open(str(path), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- namespace operations ------------------------------------------
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        os.replace(str(src), str(dst))
+
+    def unlink(self, path: PathLike, missing_ok: bool = False) -> bool:
+        """Remove ``path``; returns ``False`` (instead of raising) when
+        ``missing_ok`` and the file is already gone — the ENOENT-race
+        contract ``gc``/eviction rely on."""
+        try:
+            os.unlink(str(path))
+        except FileNotFoundError:
+            if missing_ok:
+                return False
+            raise
+        return True
+
+    def mkdir(self, path: PathLike, parents: bool = False,
+              exist_ok: bool = False) -> None:
+        Path(path).mkdir(parents=parents, exist_ok=exist_ok)
+
+    # -- queries -------------------------------------------------------
+    def stat(self, path: PathLike) -> os.stat_result:
+        return os.stat(str(path))
+
+    def exists(self, path: PathLike) -> bool:
+        return os.path.exists(str(path))
+
+    def glob(self, directory: PathLike, pattern: str) -> List[Path]:
+        return sorted(Path(directory).glob(pattern))
+
+    def utime(self, path: PathLike) -> None:
+        os.utime(str(path), None)
+
+    def touch(self, path: PathLike) -> None:
+        Path(path).touch()
+
+    # -- fault-injection hooks (no-ops on the real filesystem) ---------
+    def crash_point(self, name: str) -> None:
+        """A registered place a fault plan may crash the process."""
+        return None
+
+
+#: The real filesystem — shared singleton, stateless.
+class RealFs(Fs):
+    """Alias class so ``fs.name`` reads naturally in diagnostics."""
+
+
+REAL_FS = RealFs()
+
+# ----------------------------------------------------------------------
+# The process-default fs.  Components resolve ``fs or default_fs()`` at
+# construction time; the CLI's hidden ``--fs-faults SEED`` flag installs
+# a seeded FaultFs here so the chaos path is drivable end to end without
+# threading a parameter through every engine.
+# ----------------------------------------------------------------------
+_DEFAULT_FS: Fs = REAL_FS
+
+
+def default_fs() -> Fs:
+    """The process-wide default filesystem seam (normally :data:`REAL_FS`)."""
+    return _DEFAULT_FS
+
+
+def set_default_fs(fs: Fs) -> Fs:
+    """Install ``fs`` as the process default; returns the previous one."""
+    global _DEFAULT_FS
+    previous = _DEFAULT_FS
+    _DEFAULT_FS = fs
+    return previous
+
+
+@contextmanager
+def use_fs(fs: Fs) -> Iterator[Fs]:
+    """Temporarily install ``fs`` as the process default."""
+    previous = set_default_fs(fs)
+    try:
+        yield fs
+    finally:
+        set_default_fs(previous)

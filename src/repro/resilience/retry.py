@@ -1,0 +1,180 @@
+"""The one retry/backoff/deadline policy every transient path shares.
+
+Before this module, capped exponential backoff was reimplemented inline
+by the cluster :class:`~repro.cluster.remote.Coordinator`; the TCP
+transport and the persistence layer had none.  :class:`RetryPolicy`
+extracts that logic once: deterministic (seedable jitter, injectable
+sleep and clock), deadline-budgeted, and explicit about *which*
+exceptions are transient — so a retried campaign under a seeded
+:class:`~repro.resilience.faultfs.FaultFs` replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from typing import Any, Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryPolicy", "RetryBudgetExceeded", "TRANSIENT_DISK_ERRNOS",
+           "is_transient_disk_error"]
+
+T = TypeVar("T")
+
+#: errnos worth retrying on the disk path: interrupted/again plus the
+#: injectable transients (EIO from a flaky device, ENOSPC that a
+#: concurrent gc may clear).  Persistent occurrences exhaust the policy
+#: and surface as a typed error at the component layer.
+TRANSIENT_DISK_ERRNOS = (errno.EINTR, errno.EAGAIN, errno.EIO, errno.ENOSPC)
+
+
+def is_transient_disk_error(exc: BaseException) -> bool:
+    """Whether ``exc`` is an OSError the disk retry policy should absorb."""
+    return isinstance(exc, OSError) and exc.errno in TRANSIENT_DISK_ERRNOS
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """Raised when a deadline budget expires before any attempt succeeds.
+
+    Attempt-count exhaustion re-raises the *last underlying error*
+    instead (callers want the real ENOSPC/ConnectionError); the budget
+    error exists for the deadline case where no attempt may even start.
+    """
+
+    def __init__(self, operation: str, elapsed: float, deadline: float):
+        self.operation = operation
+        self.elapsed = elapsed
+        self.deadline = deadline
+        super().__init__(
+            f"retry budget for {operation!r} exceeded: "
+            f"{elapsed:.3f}s elapsed of {deadline:.3f}s deadline"
+        )
+
+
+class RetryPolicy:
+    """Capped exponential backoff with optional jitter and deadline.
+
+    Delay before retry ``n`` (0-based) is ``min(base * 2**n, cap)``,
+    optionally multiplied by a seeded jitter factor in ``[1-j, 1+j]``.
+    ``sleep`` and ``clock`` are injectable so tests (and the simulated
+    cluster) never wait on wall-clock time — the same discipline as
+    ``Coordinator(sleep=...)``.
+    """
+
+    def __init__(self, max_attempts: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 deadline: Optional[float] = None,
+                 jitter: float = 0.0,
+                 seed: int = 0,
+                 retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+                 should_retry: Optional[Callable[[BaseException], bool]] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.deadline = deadline
+        self.jitter = jitter
+        self.seed = seed
+        self.retry_on = retry_on
+        self.should_retry = should_retry
+        self.sleep = sleep
+        self.clock = clock
+        self._rng = random.Random(seed)
+
+    def delay_for(self, attempt: int) -> float:
+        """The backoff before retrying after failed attempt ``attempt`` (0-based)."""
+        delay = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def _retryable(self, exc: BaseException) -> bool:
+        if not isinstance(exc, self.retry_on):
+            return False
+        if self.should_retry is not None:
+            return self.should_retry(exc)
+        return True
+
+    def run(self, operation: Callable[[], T], *,
+            describe: str = "operation",
+            on_retry: Optional[Callable[[int, BaseException], None]] = None) -> T:
+        """Call ``operation`` until it succeeds or the policy is exhausted.
+
+        Exhaustion by attempt count re-raises the last underlying error;
+        exhaustion by deadline raises :class:`RetryBudgetExceeded` carrying
+        the elapsed time.  ``on_retry(attempt, exc)`` fires before each
+        backoff sleep — the hook the obs disk-retry counter uses.
+        """
+        start = self.clock()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if self.deadline is not None:
+                elapsed = self.clock() - start
+                if elapsed >= self.deadline:
+                    raise RetryBudgetExceeded(
+                        describe, elapsed, self.deadline
+                    ) from last_error
+            try:
+                return operation()
+            except BaseException as exc:  # noqa: BLE001 - filtered below
+                if not self._retryable(exc) or attempt + 1 >= self.max_attempts:
+                    raise
+                last_error = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_for(attempt)
+                if self.deadline is not None:
+                    remaining = self.deadline - (self.clock() - start)
+                    if remaining <= 0:
+                        raise RetryBudgetExceeded(
+                            describe, self.clock() - start, self.deadline
+                        ) from exc
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable: loop either returns or raises")
+
+    def with_overrides(self, **overrides: Any) -> "RetryPolicy":
+        """A copy of this policy with some parameters replaced."""
+        fields = dict(
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+            deadline=self.deadline,
+            jitter=self.jitter,
+            seed=self.seed,
+            retry_on=self.retry_on,
+            should_retry=self.should_retry,
+            sleep=self.sleep,
+            clock=self.clock,
+        )
+        fields.update(overrides)
+        return RetryPolicy(**fields)
+
+
+#: The disk-path default: absorbs EINTR/EAGAIN and transient EIO/ENOSPC
+#: with a short capped backoff.  Components copy it with
+#: ``with_overrides`` rather than mutating it.
+def disk_retry_policy(sleep: Callable[[float], None] = time.sleep) -> RetryPolicy:
+    """The default policy for transient disk errors on the write path."""
+    return RetryPolicy(
+        max_attempts=4,
+        backoff_base=0.01,
+        backoff_cap=0.25,
+        retry_on=(OSError,),
+        should_retry=is_transient_disk_error,
+        sleep=sleep,
+    )
+
+
+__all__.append("disk_retry_policy")

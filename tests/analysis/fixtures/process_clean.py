@@ -22,6 +22,15 @@ def append_record(stream, record):
     os.fsync(stream.fileno())
 
 
+def commit_durably(fs, temp_name, target, parent):
+    fs.replace(temp_name, target)
+    fs.fsync_dir(parent)
+
+
+def scrub_label(label):
+    return label.replace("-", "_")
+
+
 def module_level_worker(payload):
     return payload
 

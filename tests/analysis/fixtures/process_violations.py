@@ -27,6 +27,16 @@ def append_record(stream, record):
     stream.write(record)  # expect: proc-fsync
 
 
+def commit_without_dirsync(fs, temp_name, target):
+    fs.replace(temp_name, target)  # expect: proc-dirsync
+
+
+def commit_os_replace(temp_name, target):
+    import os
+
+    os.replace(temp_name, target)  # expect: proc-dirsync
+
+
 def launch_lambda(pool, items):
     return pool.map(lambda item: item * 2, items)  # expect: proc-entry-picklable
 

@@ -1,0 +1,253 @@
+"""FaultFs: seeded schedules, scripts, crash-loss model, reopen semantics."""
+
+import errno
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_CHAOS_RATES,
+    FAULT_KINDS,
+    FaultFs,
+    SimulatedCrash,
+)
+
+
+def write_file(fs, path, data):
+    with fs.open(path, "wb") as stream:
+        stream.write(data)
+        stream.flush()
+        fs.fsync(stream)
+
+
+def run_probe(fs, tmp_path):
+    """A fixed op sequence; returns the fault kind observed at each step."""
+    observed = []
+    for index in range(40):
+        target = tmp_path / f"probe-{index}.bin"
+        try:
+            write_file(fs, target, b"x" * 16)
+            observed.append("ok")
+        except OSError as error:
+            observed.append(errno.errorcode.get(error.errno, "?"))
+    return observed
+
+
+# ----------------------------------------------------------------------
+# Seeded rate faults
+# ----------------------------------------------------------------------
+
+def test_same_seed_same_schedule(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    first = run_probe(FaultFs(seed=7, rates=DEFAULT_CHAOS_RATES), tmp_path / "a")
+    second = run_probe(FaultFs(seed=7, rates=DEFAULT_CHAOS_RATES), tmp_path / "b")
+    assert first == second
+    assert any(step != "ok" for step in first), "seed 7 must inject something"
+
+
+def test_different_seed_different_schedule(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    first = run_probe(FaultFs(seed=7, rates=DEFAULT_CHAOS_RATES), tmp_path / "a")
+    second = run_probe(FaultFs(seed=8, rates=DEFAULT_CHAOS_RATES), tmp_path / "b")
+    assert first != second
+
+
+def test_rate_faults_are_transient_by_construction(tmp_path):
+    """The same op kind never faults twice in a row, even at 90% rates."""
+    fs = FaultFs(seed=3, rates={"eio": 0.9})
+    decisions = [fs._decide("write", "probe") for _ in range(200)]
+    assert "eio" in decisions
+    for previous, current in zip(decisions, decisions[1:]):
+        assert not (previous != "ok" and current != "ok"), (
+            "two consecutive faults on one op kind would defeat retries")
+    # End to end on a single-op call: one retry always succeeds.
+    target = tmp_path / "sub"
+    for _ in range(50):
+        try:
+            fs.mkdir(target, exist_ok=True)
+        except OSError:
+            fs.mkdir(target, exist_ok=True)  # the retry must succeed
+    assert fs.injected.get("eio", 0) > 0
+
+
+def test_read_ops_are_never_rate_faulted(tmp_path):
+    target = tmp_path / "file.txt"
+    target.write_text("content")
+    fs = FaultFs(seed=1, rates={kind: 1.0 for kind in ("eio", "enospc")})
+    for _ in range(20):
+        with fs.open(target, "r", encoding="utf-8") as stream:
+            assert stream.read() == "content"
+        assert fs.stat(target).st_size == len("content")
+        assert fs.glob(tmp_path, "*.txt")
+
+
+# ----------------------------------------------------------------------
+# Scripts
+# ----------------------------------------------------------------------
+
+def test_scripted_write_faults_in_order(tmp_path):
+    fs = FaultFs(script={"write": ["eio", "enospc", "ok"]})
+    target = tmp_path / "file.bin"
+    with pytest.raises(OSError) as eio:
+        write_file(fs, target, b"one")
+    assert eio.value.errno == errno.EIO
+    with pytest.raises(OSError) as enospc:
+        write_file(fs, target, b"two")
+    assert enospc.value.errno == errno.ENOSPC
+    write_file(fs, target, b"three")  # script exhausted -> clean
+    assert target.read_bytes() == b"three"
+    assert fs.injected == {"eio": 1, "enospc": 1}
+
+
+def test_scripted_torn_write_half_bytes(tmp_path):
+    fs = FaultFs(script={"write": ["torn"]})
+    target = tmp_path / "file.bin"
+    with fs.open(target, "wb") as stream:
+        with pytest.raises(OSError) as error:
+            stream.write(b"0123456789")
+        assert error.value.errno == errno.EIO
+    assert target.read_bytes() == b"01234", "a torn write leaves half"
+
+
+def test_scripted_enoent_on_unlink(tmp_path):
+    target = tmp_path / "file.bin"
+    target.write_bytes(b"x")
+    fs = FaultFs(script={"unlink": ["enoent"]})
+    assert fs.unlink(target, missing_ok=True) is False
+    assert target.exists(), "injected ENOENT must not really unlink"
+    assert fs.unlink(target, missing_ok=True) is True
+
+
+def test_script_can_make_faults_persistent(tmp_path):
+    fs = FaultFs(script={"mkstemp": ["enospc"] * 10})
+    for _ in range(10):
+        with pytest.raises(OSError) as error:
+            fs.mkstemp(tmp_path, ".tmp-", ".json", binary=False)
+        assert error.value.errno == errno.ENOSPC
+
+
+def test_validation_rejects_bad_plans():
+    with pytest.raises(ValueError):
+        FaultFs(rates={"bogus": 0.5})
+    with pytest.raises(ValueError):
+        FaultFs(rates={"eio": 1.5})
+    with pytest.raises(ValueError):
+        FaultFs(script={"write": ["explode"]})
+    with pytest.raises(ValueError):
+        FaultFs(crash_at="store.save.pre_replace", crash_on_hit=0)
+    assert set(FAULT_KINDS) == {"eio", "enospc", "torn", "lie", "enoent"}
+
+
+# ----------------------------------------------------------------------
+# Crash points
+# ----------------------------------------------------------------------
+
+def test_crash_at_fires_on_configured_hit():
+    fs = FaultFs(crash_at="journal.append.pre_fsync", crash_on_hit=3)
+    fs.crash_point("journal.append.pre_fsync")
+    fs.crash_point("journal.append.pre_fsync")
+    fs.crash_point("store.save.pre_replace")  # different point: never fires
+    with pytest.raises(SimulatedCrash) as crash:
+        fs.crash_point("journal.append.pre_fsync")
+    assert crash.value.point == "journal.append.pre_fsync"
+    assert fs.crashed
+    assert fs.fired == ["journal.append.pre_fsync"]
+    assert fs.crash_hits == {
+        "journal.append.pre_fsync": 3,
+        "store.save.pre_replace": 1,
+    }
+    # The armed hit already fired; later hits of the same point pass.
+    fs.crash_point("journal.append.pre_fsync")
+
+
+# ----------------------------------------------------------------------
+# Crash-loss model: reopen()
+# ----------------------------------------------------------------------
+
+def test_reopen_truncates_unfsynced_bytes(tmp_path):
+    fs = FaultFs()
+    target = tmp_path / "file.bin"
+    with fs.open(target, "wb") as stream:
+        stream.write(b"durable!")
+        stream.flush()
+        fs.fsync(stream)
+        stream.write(b"-volatile")
+    assert target.read_bytes() == b"durable!-volatile"
+    fs.reopen()
+    assert target.read_bytes() == b"durable!", (
+        "bytes written after the last real fsync are lost by a crash")
+
+
+def test_lying_fsync_does_not_advance_durability(tmp_path):
+    fs = FaultFs(script={"fsync": ["lie"]})
+    target = tmp_path / "file.bin"
+    write_file(fs, target, b"payload")  # the fsync lies: reports success
+    assert target.read_bytes() == b"payload"
+    fs.reopen()
+    assert target.read_bytes() == b"", "a lying fsync made nothing durable"
+
+
+def test_reopen_undoes_rename_without_dirsync(tmp_path):
+    fs = FaultFs()
+    temp = tmp_path / "file.tmp"
+    target = tmp_path / "file.json"
+    write_file(fs, temp, b"payload")
+    fs.replace(temp, target)
+    assert target.exists()
+    fs.reopen()
+    assert not target.exists(), (
+        "a rename is not durable until the parent directory is fsynced")
+
+
+def test_dirsync_makes_rename_survive_reopen(tmp_path):
+    fs = FaultFs()
+    temp = tmp_path / "file.tmp"
+    target = tmp_path / "file.json"
+    write_file(fs, temp, b"payload")
+    fs.replace(temp, target)
+    fs.fsync_dir(tmp_path)
+    fs.reopen()
+    assert target.read_bytes() == b"payload"
+
+
+def test_overwrite_rename_is_not_undone(tmp_path):
+    fs = FaultFs()
+    target = tmp_path / "file.json"
+    target.write_bytes(b"old")
+    temp = tmp_path / "file.tmp"
+    write_file(fs, temp, b"new")
+    fs.replace(temp, target)
+    fs.reopen()
+    assert target.read_bytes() == b"new", (
+        "overwrite-renames are non-undoable: the old entry is gone")
+
+
+def test_reopen_is_idempotent_and_disarms(tmp_path):
+    fs = FaultFs(crash_at="store.save.pre_replace")
+    with pytest.raises(SimulatedCrash):
+        fs.crash_point("store.save.pre_replace")
+    fs.reopen()
+    assert not fs.crashed
+    assert fs.crash_at is None
+    fs.crash_point("store.save.pre_replace")  # disarmed: no crash
+    fs.reopen()  # idempotent
+
+
+def test_empty_plan_is_transparent(tmp_path):
+    """No script, no rates, no crash point: behaves exactly like RealFs."""
+    fs = FaultFs()
+    target = tmp_path / "dir" / "file.txt"
+    fs.mkdir(target.parent, parents=True)
+    with fs.open(target, "w", encoding="utf-8") as stream:
+        stream.write("content")
+        stream.flush()
+        fs.fsync(stream)
+    fs.fsync_dir(target.parent)
+    fs.utime(target)
+    fs.touch(tmp_path / "marker")
+    assert fs.exists(target)
+    assert [p.name for p in fs.glob(tmp_path, "*")] == ["dir", "marker"]
+    assert fs.injected == {}
+    assert fs.fired == []
+    assert "FaultFs(seed=0, 0 faults injected, 0 crashes)" == fs.describe()

@@ -1,0 +1,133 @@
+"""The Fs seam: RealFs semantics, crash-point registry, default-fs plumbing."""
+
+import pytest
+
+from repro.resilience import (
+    REAL_FS,
+    RealFs,
+    SimulatedCrash,
+    crash_point_description,
+    crash_points,
+    default_fs,
+    register_crash_point,
+    set_default_fs,
+    use_fs,
+)
+from repro.resilience.fs import _CRASH_POINTS
+
+
+def test_realfs_roundtrip(tmp_path):
+    fs = RealFs()
+    target = tmp_path / "sub" / "file.txt"
+    fs.mkdir(target.parent, parents=True)
+    with fs.open(target, "w", encoding="utf-8") as stream:
+        stream.write("content")
+        stream.flush()
+        fs.fsync(stream)
+    fs.fsync_dir(target.parent)
+    with fs.open(target, "r", encoding="utf-8") as stream:
+        assert stream.read() == "content"
+    assert fs.exists(target)
+    assert fs.stat(target).st_size == len("content")
+
+
+def test_realfs_mkstemp_and_replace(tmp_path):
+    fs = RealFs()
+    stream, temp_name = fs.mkstemp(tmp_path, ".tmp-", ".json", binary=False)
+    with stream:
+        stream.write("data")
+    target = tmp_path / "final.json"
+    fs.replace(temp_name, target)
+    assert target.read_text() == "data"
+    assert not fs.exists(temp_name)
+
+
+def test_unlink_missing_ok_contract(tmp_path):
+    fs = RealFs()
+    ghost = tmp_path / "ghost"
+    assert fs.unlink(ghost, missing_ok=True) is False
+    with pytest.raises(FileNotFoundError):
+        fs.unlink(ghost)
+    present = tmp_path / "present"
+    present.touch()
+    assert fs.unlink(present, missing_ok=True) is True
+    assert not present.exists()
+
+
+def test_glob_is_sorted(tmp_path):
+    fs = RealFs()
+    for name in ("c.json", "a.json", "b.json", "skip.txt"):
+        (tmp_path / name).touch()
+    names = [path.name for path in fs.glob(tmp_path, "*.json")]
+    assert names == ["a.json", "b.json", "c.json"]
+
+
+def test_fsync_dir_is_best_effort_on_missing_dir(tmp_path):
+    RealFs().fsync_dir(tmp_path / "no-such-dir")  # must not raise
+
+
+def test_crash_point_is_a_noop_on_realfs():
+    REAL_FS.crash_point("store.save.pre_replace")
+
+
+def test_registry_registers_idempotently():
+    name = register_crash_point("test.point.alpha", "a test point")
+    assert name == "test.point.alpha"
+    register_crash_point("test.point.alpha", "a test point")  # same: fine
+    assert "test.point.alpha" in crash_points()
+    assert crash_point_description("test.point.alpha") == "a test point"
+    with pytest.raises(ValueError):
+        register_crash_point("test.point.alpha", "a different description")
+    _CRASH_POINTS.pop("test.point.alpha")
+
+
+def test_registry_lists_every_persistence_write_path():
+    # Registration happens when the persistence modules import.
+    import repro.api.store  # noqa: F401
+    import repro.cluster.artifacts  # noqa: F401
+    import repro.cluster.journal  # noqa: F401
+
+    registered = crash_points()
+    assert set(registered) >= {
+        "store.save.pre_replace",
+        "store.save.post_replace",
+        "cache.store.pre_replace",
+        "cache.store.post_replace",
+        "journal.append.pre_write",
+        "journal.append.pre_fsync",
+        "journal.append.post_fsync",
+    }
+    assert list(registered) == sorted(registered)
+
+
+def test_simulated_crash_is_not_an_exception():
+    crash = SimulatedCrash("some.point")
+    assert crash.point == "some.point"
+    assert isinstance(crash, BaseException)
+    assert not isinstance(crash, Exception), (
+        "degradation code catching Exception must never swallow a crash")
+
+
+def test_default_fs_install_and_restore():
+    original = default_fs()
+    replacement = RealFs()
+    previous = set_default_fs(replacement)
+    try:
+        assert previous is original
+        assert default_fs() is replacement
+    finally:
+        set_default_fs(original)
+    assert default_fs() is original
+
+
+def test_use_fs_restores_on_exit_and_error():
+    original = default_fs()
+    replacement = RealFs()
+    with use_fs(replacement) as installed:
+        assert installed is replacement
+        assert default_fs() is replacement
+    assert default_fs() is original
+    with pytest.raises(RuntimeError):
+        with use_fs(replacement):
+            raise RuntimeError("boom")
+    assert default_fs() is original

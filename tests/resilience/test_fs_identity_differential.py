@@ -1,0 +1,167 @@
+"""Identity differential: an empty fault plan must be invisible.
+
+A :class:`FaultFs` with no script, zero rates and no armed crash point
+must be byte-identical to :class:`RealFs` — both for a fixed filesystem
+op sequence and for a whole cluster campaign (store, journal and cache
+trees compared modulo wall-clock fields, the one legitimate
+nondeterminism between two runs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import CampaignSpec, ResultStore
+from repro.cluster import ClusterEngine
+from repro.resilience import FaultFs, RealFs, use_fs
+from repro.testing import small_config
+from repro.uarch.structures import TargetStructure
+
+SMALL = small_config()
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        workload="sha", structure=TargetStructure.RF, config=SMALL,
+        scale=1, faults=40, seed=0, method="comprehensive",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tree comparison, wall-clock normalised
+# ----------------------------------------------------------------------
+
+def _scrub(value):
+    if isinstance(value, dict):
+        return {key: (0.0 if "wall_clock" in key else _scrub(item))
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_scrub(item) for item in value]
+    return value
+
+
+def _normalise(path: Path) -> bytes:
+    """File bytes, with wall-clock fields zeroed in JSON/JSONL content.
+
+    JSONL records are compared as a *sorted set*: journals append shard
+    records in completion order, which varies with pool scheduling even
+    between two RealFs runs (the merge sorts, so order carries no
+    meaning)."""
+    raw = path.read_bytes()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError:
+        return raw
+    try:  # a single (possibly pretty-printed) JSON document
+        scrubbed = [json.dumps(_scrub(json.loads(text)), sort_keys=True)]
+    except json.JSONDecodeError:
+        try:  # JSONL: one record per line
+            scrubbed = sorted(
+                json.dumps(_scrub(json.loads(line)), sort_keys=True)
+                for line in text.splitlines() if line)
+        except json.JSONDecodeError:
+            return raw
+    return "\n".join(scrubbed).encode("utf-8")
+
+
+def tree_of(root: Path):
+    return {
+        str(path.relative_to(root)): _normalise(path)
+        for path in sorted(root.rglob("*")) if path.is_file()
+    }
+
+
+# ----------------------------------------------------------------------
+# 1. Fixed op sequence
+# ----------------------------------------------------------------------
+
+def exercise(fs, root: Path):
+    observations = []
+    nested = root / "a" / "b"
+    fs.mkdir(nested, parents=True)
+    target = nested / "file.txt"
+    with fs.open(target, "w", encoding="utf-8") as stream:
+        stream.write("line one\n")
+        stream.flush()
+        fs.fsync(stream)
+    with fs.open(target, "a", encoding="utf-8") as stream:
+        stream.write("line two\n")
+        stream.flush()
+        fs.fsync(stream)
+    stream, temp_name = fs.mkstemp(nested, ".tmp-", ".bin", binary=True)
+    with stream:
+        stream.write(b"\x00\x01payload")
+        stream.flush()
+        fs.fsync(stream)
+    fs.replace(temp_name, nested / "artifact.bin")
+    fs.fsync_dir(nested)
+    fs.touch(root / "marker")
+    fs.utime(root / "marker")
+    fs.touch(root / "doomed")
+    observations.append(fs.unlink(root / "doomed", missing_ok=True))
+    observations.append(fs.unlink(root / "doomed", missing_ok=True))
+    observations.append(fs.exists(target))
+    observations.append(fs.stat(target).st_size)
+    observations.append([p.name for p in fs.glob(nested, "*")])
+    with fs.open(target, "r", encoding="utf-8") as stream:
+        observations.append(stream.read())
+    with fs.open(nested / "artifact.bin", "rb") as stream:
+        observations.append(stream.read())
+    return observations
+
+
+def test_fixed_op_sequence_is_byte_identical(tmp_path):
+    real_root = tmp_path / "real"
+    fault_root = tmp_path / "fault"
+    real_root.mkdir()
+    fault_root.mkdir()
+
+    fault_fs = FaultFs()
+    real_observed = exercise(RealFs(), real_root)
+    fault_observed = exercise(fault_fs, fault_root)
+
+    assert fault_observed == real_observed
+    assert tree_of(fault_root) == tree_of(real_root)
+    assert fault_fs.injected == {}
+    assert fault_fs.fired == []
+    # Even a post-hoc reopen must not perturb a fault-free tree: every
+    # byte was made durable the same way the real fs would have.
+    fault_fs.reopen()
+    assert tree_of(fault_root) == tree_of(real_root)
+
+
+# ----------------------------------------------------------------------
+# 2. Whole campaign
+# ----------------------------------------------------------------------
+
+def run_campaign(root: Path, fault_free: bool):
+    def go():
+        store = ResultStore(root / "store")
+        engine = ClusterEngine(max_workers=2, shard_size=5,
+                               cache_dir=root / "cache")
+        return engine.run([spec()], store=store)[0]
+
+    if fault_free:
+        fs = FaultFs()
+        with use_fs(fs):
+            outcome = go()
+        assert fs.injected == {}, "an empty plan must inject nothing"
+        return outcome
+    return go()
+
+
+def test_campaign_under_empty_faultfs_is_identical(tmp_path):
+    real_root = tmp_path / "real"
+    fault_root = tmp_path / "fault"
+    real = run_campaign(real_root, fault_free=False)
+    faulted = run_campaign(fault_root, fault_free=True)
+
+    assert (faulted.classification_fingerprint()
+            == real.classification_fingerprint())
+    real_tree = tree_of(real_root)
+    fault_tree = tree_of(fault_root)
+    assert sorted(real_tree) == sorted(fault_tree), "same files on disk"
+    for name in real_tree:
+        assert fault_tree[name] == real_tree[name], (
+            f"{name} differs beyond wall-clock fields")

@@ -1,0 +1,153 @@
+"""RetryPolicy: backoff math, exhaustion semantics, deadlines, disk defaults."""
+
+import errno
+
+import pytest
+
+from repro.resilience import (
+    RetryBudgetExceeded,
+    RetryPolicy,
+    disk_retry_policy,
+    is_transient_disk_error,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class Flaky:
+    """Fails the first ``failures`` calls with the given errors."""
+
+    def __init__(self, failures, error=None):
+        self.error = error or OSError(errno.EIO, "flaky")
+        self.remaining = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error
+        return "result"
+
+
+def policy(**overrides):
+    clock = FakeClock()
+    fields = dict(sleep=clock.sleep, clock=clock.clock)
+    fields.update(overrides)
+    return RetryPolicy(**fields), clock
+
+
+def test_delay_doubles_then_caps():
+    p = RetryPolicy(backoff_base=0.05, backoff_cap=2.0)
+    assert [p.delay_for(n) for n in range(7)] == [
+        0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0]
+
+
+def test_jitter_is_seeded_and_bounded():
+    delays_a = [RetryPolicy(jitter=0.5, seed=11).delay_for(n) for n in range(5)]
+    delays_b = [RetryPolicy(jitter=0.5, seed=11).delay_for(n) for n in range(5)]
+    assert delays_a == delays_b, "same seed, same jitter stream"
+    plain = RetryPolicy(jitter=0.0)
+    for n, jittered in enumerate(delays_a):
+        base = plain.delay_for(n)
+        assert 0.5 * base <= jittered <= 1.5 * base
+
+
+def test_succeeds_after_transient_failures():
+    p, clock = policy(max_attempts=3, backoff_base=0.05)
+    op = Flaky(failures=2)
+    assert p.run(op) == "result"
+    assert op.calls == 3
+    assert clock.sleeps == [0.05, 0.1]
+
+
+def test_exhaustion_reraises_last_underlying_error():
+    p, _ = policy(max_attempts=3)
+    op = Flaky(failures=99, error=OSError(errno.ENOSPC, "disk full"))
+    with pytest.raises(OSError) as error:
+        p.run(op)
+    assert error.value.errno == errno.ENOSPC
+    assert op.calls == 3
+
+
+def test_non_retryable_error_raises_immediately():
+    p, clock = policy(max_attempts=5, retry_on=(ConnectionError,))
+    op = Flaky(failures=99, error=ValueError("not transient"))
+    with pytest.raises(ValueError):
+        p.run(op)
+    assert op.calls == 1
+    assert clock.sleeps == []
+
+
+def test_should_retry_predicate_filters_within_retry_on():
+    p, _ = policy(max_attempts=5, retry_on=(OSError,),
+                  should_retry=is_transient_disk_error)
+    op = Flaky(failures=99, error=OSError(errno.EACCES, "denied"))
+    with pytest.raises(OSError):
+        p.run(op)
+    assert op.calls == 1, "EACCES is not a transient disk error"
+
+
+def test_deadline_raises_budget_error_with_cause():
+    p, clock = policy(max_attempts=100, backoff_base=0.5,
+                      backoff_cap=0.5, deadline=1.0)
+    op = Flaky(failures=999)
+    with pytest.raises(RetryBudgetExceeded) as budget:
+        p.run(op, describe="probe-write")
+    assert budget.value.operation == "probe-write"
+    assert budget.value.deadline == 1.0
+    assert isinstance(budget.value.__cause__, OSError)
+    assert op.calls >= 2
+    assert clock.now <= 1.0 + 1e-9, "sleeps are capped to the remaining budget"
+
+
+def test_on_retry_hook_fires_per_retry_not_per_attempt():
+    p, _ = policy(max_attempts=4)
+    seen = []
+    op = Flaky(failures=2)
+    p.run(op, on_retry=lambda attempt, exc: seen.append((attempt, exc.errno)))
+    assert seen == [(0, errno.EIO), (1, errno.EIO)]
+
+
+def test_with_overrides_copies_and_replaces():
+    base, clock = policy(max_attempts=3, backoff_base=0.05)
+    derived = base.with_overrides(max_attempts=6, backoff_cap=0.1)
+    assert derived is not base
+    assert derived.max_attempts == 6
+    assert derived.backoff_cap == 0.1
+    assert derived.backoff_base == base.backoff_base
+    assert derived.sleep == clock.sleep, "injected sleep survives the copy"
+    assert base.max_attempts == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0)
+
+
+def test_disk_policy_absorbs_every_injectable_transient():
+    for code in (errno.EINTR, errno.EAGAIN, errno.EIO, errno.ENOSPC):
+        sleeps = []
+        p = disk_retry_policy(sleep=sleeps.append)
+        op = Flaky(failures=1, error=OSError(code, "transient"))
+        assert p.run(op) == "result"
+        assert len(sleeps) == 1
+    assert not is_transient_disk_error(ValueError("nope"))
+    assert not is_transient_disk_error(OSError(errno.EACCES, "denied"))
